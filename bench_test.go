@@ -1,0 +1,315 @@
+package cafshmem
+
+// One benchmark per table/figure of the paper's evaluation, plus ablation
+// benchmarks for the design choices called out in DESIGN.md. Each benchmark
+// regenerates the experiment's data and reports the headline quantity as a
+// custom metric, so `go test -bench=. -benchmem` reproduces the entire
+// evaluation. Virtual-time results are deterministic; the ns/op column
+// reflects host execution cost, while the custom metrics carry the paper's
+// actual measurements.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"cafshmem/internal/caf"
+	"cafshmem/internal/dht"
+	"cafshmem/internal/fabric"
+	"cafshmem/internal/himeno"
+	"cafshmem/internal/pgasbench"
+	"cafshmem/internal/transpose"
+)
+
+// --- Figure 2: raw put latency (§III) ---
+
+func BenchmarkFig2PutLatency(b *testing.B) {
+	var small float64
+	for i := 0; i < b.N; i++ {
+		f := pgasbench.Fig2()
+		small = f.Panels[0].Series[0].Rows[0].Value
+	}
+	b.ReportMetric(small, "us/8B-put-shmem")
+}
+
+// --- Figure 3: raw put bandwidth (§III) ---
+
+func BenchmarkFig3PutBandwidth(b *testing.B) {
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		f := pgasbench.Fig3()
+		rows := f.Panels[0].Series[0].Rows
+		bw = rows[len(rows)-1].Value
+	}
+	b.ReportMetric(bw, "MB/s-4MiB-shmem")
+}
+
+// --- Table II: feature mapping (generation + invariants) ---
+
+func BenchmarkTableIIMapping(b *testing.B) {
+	n := 0
+	for i := 0; i < b.N; i++ {
+		n = len(caf.TableII())
+	}
+	b.ReportMetric(float64(n), "features")
+}
+
+// --- Figure 6: CAF contiguous + strided put on Cray XC30 (§V-B) ---
+
+func BenchmarkFig6ContiguousPut(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		xc := fabric.CrayXC30()
+		shm, err := pgasbench.CAFContigBandwidth(
+			pgasbench.CAFPutConfig{Label: "shmem", Opts: caf.UHCAFOverCraySHMEM(xc), Pairs: 1},
+			[]int{65536, 1048576})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gas, err := pgasbench.CAFContigBandwidth(
+			pgasbench.CAFPutConfig{Label: "gasnet", Opts: caf.UHCAFOverGASNet(xc, fabric.ProfGASNetAries), Pairs: 1},
+			[]int{65536, 1048576})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = pgasbench.GeoMeanRatio(shm, gas)
+	}
+	b.ReportMetric((ratio-1)*100, "%-gain-vs-gasnet")
+}
+
+func BenchmarkFig6StridedPut(b *testing.B) {
+	var r2dimNaive float64
+	for i := 0; i < b.N; i++ {
+		xc := fabric.CrayXC30()
+		naiveOpts := caf.UHCAFOverCraySHMEM(xc)
+		naiveOpts.Strided = caf.StridedNaive
+		naive, err := pgasbench.CAFStridedBandwidth(
+			pgasbench.CAFPutConfig{Label: "naive", Opts: naiveOpts, Pairs: 1}, []int{4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		twoDim, err := pgasbench.CAFStridedBandwidth(
+			pgasbench.CAFPutConfig{Label: "2dim", Opts: caf.UHCAFOverCraySHMEM(xc), Pairs: 1}, []int{4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2dimNaive = pgasbench.GeoMeanRatio(twoDim, naive)
+	}
+	b.ReportMetric(r2dimNaive, "x-2dim-over-naive")
+}
+
+// --- Figure 7: the same on Stampede (§V-B) ---
+
+func BenchmarkFig7StridedPut(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		naiveOpts := caf.UHCAFOverMV2XSHMEM()
+		naiveOpts.Strided = caf.StridedNaive
+		naive, err := pgasbench.CAFStridedBandwidth(
+			pgasbench.CAFPutConfig{Label: "naive", Opts: naiveOpts, Pairs: 1}, []int{4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		twoDim, err := pgasbench.CAFStridedBandwidth(
+			pgasbench.CAFPutConfig{Label: "2dim", Opts: caf.UHCAFOverMV2XSHMEM(), Pairs: 1}, []int{4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = pgasbench.GeoMeanRatio(naive, twoDim)
+	}
+	// §V-B2: ~1.0 on MVAPICH2-X (iput is a loop of putmem).
+	b.ReportMetric(ratio, "naive/2dim-ratio")
+}
+
+// --- Figure 8: coarray locks on Titan (§V-B3) ---
+
+func BenchmarkFig8Locks(b *testing.B) {
+	var ms float64
+	for i := 0; i < b.N; i++ {
+		ti := fabric.Titan()
+		s, err := pgasbench.LockContention(
+			pgasbench.LockBenchConfig{Label: "shmem", Opts: caf.UHCAFOverCraySHMEM(ti), Rounds: 3},
+			[]int{64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ms = s.Rows[0].Value
+	}
+	b.ReportMetric(ms, "ms-64-images")
+}
+
+// --- Figure 9: distributed hash table on Titan (§V-C) ---
+
+func BenchmarkFig9DHT(b *testing.B) {
+	var ups float64
+	for i := 0; i < b.N; i++ {
+		r, err := dht.Bench(caf.UHCAFOverCraySHMEM(fabric.Titan()), 32, 128, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ups = r.UpdatesPS
+	}
+	b.ReportMetric(ups, "updates/s-virtual")
+}
+
+// --- Figure 10: Himeno on Stampede (§V-D) ---
+
+func BenchmarkFig10Himeno(b *testing.B) {
+	var mflops float64
+	opts := caf.UHCAFOverMV2XSHMEM()
+	opts.Strided = caf.StridedNaive
+	prm := himeno.Params{NX: 32, NY: 64, NZ: 16, Iters: 2}
+	for i := 0; i < b.N; i++ {
+		r, err := himeno.Run(opts, 32, prm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mflops = r.MFLOPS
+	}
+	b.ReportMetric(mflops, "MFLOPS-virtual")
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// BenchmarkAblationQuiet quantifies the §IV-B conservative rule: quiet after
+// every put vs deferring completion to synchronisation points.
+func BenchmarkAblationQuiet(b *testing.B) {
+	run := func(deferred bool) float64 {
+		o := caf.UHCAFOverMV2XSHMEM()
+		o.DeferredQuiet = deferred
+		var t float64
+		err := caf.Run(17, o, func(img *caf.Image) {
+			c := caf.Allocate[int64](img, 64)
+			img.SyncAll()
+			img.Clock().Reset()
+			if img.ThisImage() == 1 {
+				for k := 0; k < 50; k++ {
+					c.PutElem(17, int64(k), k%64)
+				}
+				t = img.Clock().Now()
+			}
+			img.SyncAll()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return t
+	}
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		conservative := run(false)
+		deferred := run(true)
+		overhead = conservative / deferred
+	}
+	b.ReportMetric(overhead, "x-conservative-vs-deferred")
+}
+
+// BenchmarkAblationLocks compares the paper's MCS lock against the
+// remote-spinning CAS lock and the N-element global-lock-array strawman
+// §IV-D rejects, under genuine concurrent contention (all images hammer
+// lck[1] simultaneously). The telling metric is remote atomics per
+// acquisition: MCS needs a constant number (enqueue + detach/hand-off),
+// while remote spinning burns an unbounded stream of CAS probes — exactly
+// the "spinning on non-local memory locations" traffic MCS exists to avoid.
+func BenchmarkAblationLocks(b *testing.B) {
+	for _, algo := range []caf.LockAlgo{caf.LockMCS, caf.LockNaiveSpin, caf.LockGlobalArray} {
+		b.Run(algo.String(), func(b *testing.B) {
+			var atomicsPerAcq float64
+			const images, per = 16, 10
+			for i := 0; i < b.N; i++ {
+				o := caf.UHCAFOverCraySHMEM(fabric.Titan())
+				o.Locks = algo
+				var totalAtomics int64
+				err := caf.Run(images, o, func(img *caf.Image) {
+					lck := caf.NewLock(img)
+					img.SyncAll()
+					for k := 0; k < per; k++ {
+						lck.Acquire(1)
+						lck.Release(1)
+					}
+					img.SyncAll()
+					atomic.AddInt64(&totalAtomics, img.Stats.Atomics)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				atomicsPerAcq = float64(totalAtomics) / float64(images*per)
+			}
+			b.ReportMetric(atomicsPerAcq, "remote-atomics/acquire")
+		})
+	}
+}
+
+// BenchmarkAblationBaseDim quantifies why §IV-C restricts the base-dimension
+// choice to the first two dimensions: on a section whose innermost and
+// outermost dimensions select equally many elements, picking the outer one
+// (StridedBestDim) walks huge memory strides and loses to 2dim despite
+// issuing the same number of library calls.
+func BenchmarkAblationBaseDim(b *testing.B) {
+	measure := func(algo caf.StridedAlgo) float64 {
+		o := caf.UHCAFOverCraySHMEM(fabric.CrayXC30())
+		o.Strided = algo
+		var t float64
+		err := caf.Run(17, o, func(img *caf.Image) {
+			// Innermost dimension: 32 elements at small stride; outermost: 63
+			// elements at a huge memory stride. BestDim minimises call count
+			// by walking the outer dimension; 2dim refuses, for locality.
+			c := caf.Allocate[int64](img, 64, 4, 64)
+			sec := caf.Section{{Lo: 0, Hi: 62, Step: 2}, {Lo: 0, Hi: 3, Step: 1}, {Lo: 0, Hi: 62, Step: 1}}
+			vals := make([]int64, sec.NumElems())
+			img.SyncAll()
+			img.Clock().Reset()
+			if img.ThisImage() == 1 {
+				c.Put(17, sec, vals)
+				t = img.Clock().Now()
+			}
+			img.SyncAll()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return t
+	}
+	var penalty float64
+	for i := 0; i < b.N; i++ {
+		twoDim := measure(caf.Strided2Dim)
+		bestDim := measure(caf.StridedBestDim)
+		penalty = bestDim / twoDim
+	}
+	b.ReportMetric(penalty, "x-bestdim-vs-2dim")
+}
+
+// BenchmarkAblationMatrixStride reproduces the §V-D observation in isolation:
+// for matrix-oriented sections, one putmem per contiguous block (naive) vs
+// 1-D strided calls (2dim).
+func BenchmarkAblationMatrixStride(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		f := pgasbench.MatrixOrientedAblation()
+		p := f.Panels[0]
+		gain = pgasbench.GeoMeanRatio(
+			*p.FindSeries("UHCAF-MVAPICH2-X-SHMEM-naive"),
+			*p.FindSeries("UHCAF-MVAPICH2-X-SHMEM-2dim"))
+	}
+	b.ReportMetric(gain, "x-naive-over-2dim")
+}
+
+// BenchmarkTranspose exercises the all-to-all rectangular-section exchange of
+// a distributed matrix transpose under each strided algorithm — the
+// application-shaped companion to the Fig 6 microbenchmark.
+func BenchmarkTranspose(b *testing.B) {
+	for _, algo := range []caf.StridedAlgo{caf.StridedNaive, caf.Strided2Dim} {
+		b.Run(algo.String(), func(b *testing.B) {
+			o := caf.UHCAFOverCraySHMEM(fabric.CrayXC30())
+			o.Strided = algo
+			var mbps float64
+			for i := 0; i < b.N; i++ {
+				r, err := transpose.Run(o, 8, transpose.Plan{N: 64})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mbps = r.MBps
+			}
+			b.ReportMetric(mbps, "MB/s-virtual")
+		})
+	}
+}

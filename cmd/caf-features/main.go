@@ -1,0 +1,33 @@
+// caf-features prints the paper's Table I (CAF implementations) and Table II
+// (CAF <-> OpenSHMEM feature mapping), each row annotated with the facility
+// in this repository that implements it.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"cafshmem/internal/caf"
+)
+
+func main() {
+	fmt.Println("Table I: CAF implementations and communication layers")
+	fmt.Println(strings.Repeat("-", 78))
+	for _, row := range caf.TableI() {
+		fmt.Printf("  %-22s %-22s %s\n", row[0], row[1], row[2])
+	}
+
+	fmt.Println()
+	fmt.Println("Table II: CAF <-> OpenSHMEM feature mapping")
+	fmt.Println(strings.Repeat("-", 78))
+	for _, r := range caf.TableII() {
+		marker := "direct"
+		if !r.Direct {
+			marker = "PAPER CONTRIBUTION"
+		}
+		fmt.Printf("%-34s [%s]\n", r.Property, marker)
+		fmt.Printf("    CAF:       %s\n", r.CAF)
+		fmt.Printf("    OpenSHMEM: %s\n", r.OpenSHMEM)
+		fmt.Printf("    here:      %s\n\n", r.Runtime)
+	}
+}

@@ -1,0 +1,31 @@
+// dht-bench regenerates the paper's Figure 9: the distributed hash table
+// benchmark on the Titan model, comparing Cray-CAF, UHCAF-over-GASNet and
+// UHCAF-over-Cray-SHMEM.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cafshmem/internal/pgasbench"
+)
+
+func main() {
+	maxImages := flag.Int("images", 1024, "maximum image count")
+	buckets := flag.Int("buckets", 128, "hash buckets per image")
+	updates := flag.Int("updates", 50, "random locked updates per image")
+	flag.Parse()
+
+	f := pgasbench.Fig9(*maxImages, *buckets, *updates)
+	fmt.Print(f.Render())
+
+	p := f.Panels[0]
+	shm := p.FindSeries("UHCAF-Cray-SHMEM")
+	cray := p.FindSeries("Cray-CAF")
+	gas := p.FindSeries("UHCAF-GASNet")
+	fmt.Printf("\nsummary (geometric-mean time ratios):\n")
+	fmt.Printf("  Cray-CAF / UHCAF-Cray-SHMEM      = %.2f  (paper: UHCAF-SHMEM 28%% faster)\n",
+		pgasbench.GeoMeanRatio(*cray, *shm))
+	fmt.Printf("  UHCAF-GASNet / UHCAF-Cray-SHMEM  = %.2f  (paper: UHCAF-SHMEM 18%% faster)\n",
+		pgasbench.GeoMeanRatio(*gas, *shm))
+}

@@ -1,0 +1,30 @@
+// himeno-bench regenerates the paper's Figure 10: the CAF Himeno benchmark
+// on the Stampede model, UHCAF over GASNet vs UHCAF over MVAPICH2-X SHMEM.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"cafshmem/internal/himeno"
+	"cafshmem/internal/pgasbench"
+)
+
+func main() {
+	maxImages := flag.Int("images", 256, "maximum image count")
+	nx := flag.Int("nx", 32, "global grid extent in x (contiguous dimension)")
+	ny := flag.Int("ny", 256, "global grid extent in y (decomposed dimension)")
+	nz := flag.Int("nz", 16, "global grid extent in z")
+	iters := flag.Int("iters", 3, "Jacobi iterations")
+	flag.Parse()
+
+	prm := himeno.Params{NX: *nx, NY: *ny, NZ: *nz, Iters: *iters}
+	f := pgasbench.Fig10(*maxImages, prm)
+	fmt.Print(f.Render())
+
+	p := f.Panels[0]
+	shm := p.FindSeries("UHCAF-MVAPICH2-X-SHMEM")
+	gas := p.FindSeries("UHCAF-GASNet")
+	fmt.Printf("\nsummary (geometric-mean MFLOPS ratio, SHMEM/GASNet): %.3f  (paper: ~6%% avg, 22%% max)\n",
+		pgasbench.GeoMeanRatio(*shm, *gas))
+}

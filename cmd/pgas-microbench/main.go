@@ -1,0 +1,62 @@
+// pgas-microbench regenerates the paper's microbenchmark figures (2, 3, 6,
+// 7, 8) from the PGAS Microbenchmark suite reimplementation.
+//
+// Usage:
+//
+//	pgas-microbench                  # all figures
+//	pgas-microbench -fig 6           # one figure
+//	pgas-microbench -fig 8 -images 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cafshmem/internal/pgasbench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 2, 3, 6, 7, 8, matrix, or all")
+	maxImages := flag.Int("images", 1024, "maximum image count for the lock benchmark (Fig 8)")
+	verify := flag.Bool("verify", false, "run the suite's put/get correctness battery instead of benchmarks")
+	flag.Parse()
+
+	if *verify {
+		ran, err := pgasbench.VerifyAll()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "verification FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		for _, name := range ran {
+			fmt.Printf("ok  %s\n", name)
+		}
+		return
+	}
+
+	figures := map[string]func() pgasbench.Figure{
+		"2":      pgasbench.Fig2,
+		"3":      pgasbench.Fig3,
+		"6":      pgasbench.Fig6,
+		"7":      pgasbench.Fig7,
+		"8":      func() pgasbench.Figure { return pgasbench.Fig8(*maxImages) },
+		"matrix": pgasbench.MatrixOrientedAblation,
+	}
+	order := []string{"2", "3", "6", "7", "8", "matrix"}
+
+	if *fig != "all" {
+		f, ok := figures[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pgas-microbench: unknown figure %q (have 2, 3, 6, 7, 8, matrix)\n", *fig)
+			os.Exit(2)
+		}
+		fig := f()
+		fmt.Print(fig.Render())
+		return
+	}
+	for _, id := range order {
+		fig := figures[id]()
+		fmt.Print(fig.Render())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,135 @@
+// reproduce runs the full evaluation of the paper — every figure of §V plus
+// the §III motivation figures and the §V-D matrix-oriented observation — and
+// prints a paper-vs-measured report (the source of EXPERIMENTS.md).
+//
+// Usage:
+//
+//	reproduce            # moderate scale (minutes)
+//	reproduce -full      # paper-scale image counts (1024/2048 images)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"cafshmem/internal/himeno"
+	"cafshmem/internal/pgasbench"
+)
+
+func main() {
+	full := flag.Bool("full", false, "sweep to the paper's image counts (slower)")
+	flag.Parse()
+
+	lockImages, dhtImages, himImages := 256, 256, 128
+	himParams := pgasbench.DefaultHimenoParams()
+	if *full {
+		lockImages, dhtImages, himImages = 1024, 1024, 2048
+		himParams = himeno.Params{NX: 32, NY: 2048, NZ: 16, Iters: 3}
+	}
+
+	section := func(name string) func() {
+		start := time.Now()
+		fmt.Printf("\n################ %s ################\n", name)
+		return func() { fmt.Printf("[%s took %v]\n", name, time.Since(start).Round(time.Millisecond)) }
+	}
+
+	done := section("Figure 2: raw put latency (§III)")
+	fig2 := pgasbench.Fig2()
+	fmt.Print(fig2.Render())
+	done()
+
+	done = section("Figure 3: raw put bandwidth (§III)")
+	fig3 := pgasbench.Fig3()
+	fmt.Print(fig3.Render())
+	done()
+
+	done = section("Figure 6: CAF put + strided put, Cray XC30 (§V-B)")
+	fig6 := pgasbench.Fig6()
+	fmt.Print(fig6.Render())
+	summariseFig6(fig6)
+	done()
+
+	done = section("Figure 7: CAF put + strided put, Stampede (§V-B)")
+	fig7 := pgasbench.Fig7()
+	fmt.Print(fig7.Render())
+	summariseFig7(fig7)
+	done()
+
+	done = section("Figure 8: coarray locks, Titan (§V-B3)")
+	fig8 := pgasbench.Fig8(lockImages)
+	fmt.Print(fig8.Render())
+	summariseFig8(fig8)
+	done()
+
+	done = section("Figure 9: distributed hash table, Titan (§V-C)")
+	fig9 := pgasbench.Fig9(dhtImages, 128, 50)
+	fmt.Print(fig9.Render())
+	summariseFig9(fig9)
+	done()
+
+	done = section("Figure 10: Himeno, Stampede (§V-D)")
+	fig10 := pgasbench.Fig10(himImages, himParams)
+	fmt.Print(fig10.Render())
+	summariseFig10(fig10)
+	done()
+
+	done = section("§V-D matrix-oriented strides (naive vs 2dim)")
+	mf := pgasbench.MatrixOrientedAblation()
+	fmt.Print(mf.Render())
+	done()
+}
+
+func summariseFig6(f pgasbench.Figure) {
+	c := f.Panels[0]
+	shm, gas := c.FindSeries("UHCAF-Cray-SHMEM"), c.FindSeries("UHCAF-GASNet")
+	fmt.Printf("\npaper: avg ~8%% contiguous put bandwidth gain over GASNet;  measured: %.1f%%\n",
+		(pgasbench.GeoMeanRatio(*shm, *gas)-1)*100)
+	s := f.Panels[2]
+	twoDim, cray, naive := s.FindSeries("UHCAF-Cray-SHMEM-2dim"), s.FindSeries("Cray-CAF"), s.FindSeries("UHCAF-Cray-SHMEM-naive")
+	fmt.Printf("paper: strided ~3x over Cray-CAF, ~9x over naive;  measured: %.1fx, %.1fx\n",
+		pgasbench.GeoMeanRatio(*twoDim, *cray), pgasbench.GeoMeanRatio(*twoDim, *naive))
+}
+
+func summariseFig7(f pgasbench.Figure) {
+	c := f.Panels[0]
+	shm, gas := c.FindSeries("UHCAF-MVAPICH2-X-SHMEM"), c.FindSeries("UHCAF-GASNet")
+	fmt.Printf("\npaper: avg ~8%% contiguous gain over GASNet;  measured: %.1f%%\n",
+		(pgasbench.GeoMeanRatio(*shm, *gas)-1)*100)
+	s := f.Panels[2]
+	naive, twoDim := s.FindSeries("UHCAF-MVAPICH2-X-SHMEM-naive"), s.FindSeries("UHCAF-MVAPICH2-X-SHMEM-2dim")
+	fmt.Printf("paper: naive == 2dim on MVAPICH2-X (iput is a loop of putmem);  measured ratio: %.3f\n",
+		pgasbench.GeoMeanRatio(*naive, *twoDim))
+}
+
+func summariseFig8(f pgasbench.Figure) {
+	p := f.Panels[0]
+	shm, cray, gas := p.FindSeries("UHCAF-Cray-SHMEM"), p.FindSeries("Cray-CAF"), p.FindSeries("UHCAF-GASNet")
+	fmt.Printf("\npaper: UHCAF-SHMEM 22%% faster than Cray-CAF, 11%% faster than GASNet\n")
+	fmt.Printf("measured: %.1f%% faster than Cray-CAF, %.1f%% faster than GASNet (geomean over image counts)\n",
+		(1-1/pgasbench.GeoMeanRatio(*cray, *shm))*100,
+		(1-1/pgasbench.GeoMeanRatio(*gas, *shm))*100)
+}
+
+func summariseFig9(f pgasbench.Figure) {
+	p := f.Panels[0]
+	shm, cray, gas := p.FindSeries("UHCAF-Cray-SHMEM"), p.FindSeries("Cray-CAF"), p.FindSeries("UHCAF-GASNet")
+	fmt.Printf("\npaper: UHCAF-SHMEM 28%% faster than Cray-CAF, 18%% faster than GASNet\n")
+	fmt.Printf("measured: %.1f%% faster than Cray-CAF, %.1f%% faster than GASNet (geomean over image counts)\n",
+		(1-1/pgasbench.GeoMeanRatio(*cray, *shm))*100,
+		(1-1/pgasbench.GeoMeanRatio(*gas, *shm))*100)
+}
+
+func summariseFig10(f pgasbench.Figure) {
+	p := f.Panels[0]
+	shm, gas := p.FindSeries("UHCAF-MVAPICH2-X-SHMEM"), p.FindSeries("UHCAF-GASNet")
+	maxGain := 0.0
+	for i := range shm.Rows {
+		if g := shm.Rows[i].Value/gas.Rows[i].Value - 1; g > maxGain {
+			maxGain = g
+		}
+	}
+	fmt.Printf("\npaper: ~6%% average, 22%% maximum MFLOPS gain over GASNet\n")
+	fmt.Printf("measured: %.1f%% average (geomean), %.1f%% maximum\n",
+		(pgasbench.GeoMeanRatio(*shm, *gas)-1)*100, maxGain*100)
+}

@@ -1,0 +1,59 @@
+// Quickstart: the paper's Figure 1 program, written against this
+// repository's CAF runtime API.
+//
+//	integer :: coarray_x(4)[*]
+//	integer, allocatable :: coarray_y(:)[:]
+//	...
+//	coarray_x = my_image
+//	coarray_y = 0
+//	coarray_y(2) = coarray_x(3)[4]
+//	coarray_x(1)[4] = coarray_y(2)
+//	sync all
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"cafshmem/internal/caf"
+)
+
+func main() {
+	var mu sync.Mutex // serialise example output
+
+	opts := caf.UHCAFOverMV2XSHMEM() // UHCAF retargeted to OpenSHMEM
+	err := caf.Run(4, opts, func(img *caf.Image) {
+		me := img.ThisImage() // this_image()
+		n := img.NumImages()  // num_images()
+
+		// integer :: coarray_x(4)[*]  /  allocate(coarray_y(4)[*])
+		x := caf.Allocate[int64](img, 4)
+		y := caf.Allocate[int64](img, 4)
+
+		// coarray_x = my_image ; coarray_y = 0
+		x.Fill(int64(me))
+		y.Fill(0)
+		img.SyncAll()
+
+		// coarray_y(2) = coarray_x(3)[4]   (Fortran is 1-based; Go API is 0-based)
+		y.Set(x.GetElem(4, 2), 1)
+		// coarray_x(1)[4] = coarray_y(2)
+		x.PutElem(4, y.At(1), 0)
+
+		// sync all
+		img.SyncAll()
+
+		mu.Lock()
+		fmt.Printf("image %d/%d: coarray_x = %v  coarray_y = %v\n", me, n, x.Slice(), y.Slice())
+		mu.Unlock()
+		img.SyncAll()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module cafshmem
+
+go 1.22

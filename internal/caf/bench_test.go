@@ -1,0 +1,119 @@
+package caf
+
+import (
+	"fmt"
+	"testing"
+
+	"cafshmem/internal/fabric"
+)
+
+// Host-side execution cost of the runtime's hot paths; virtual-time results
+// are benchmarked by the figure harnesses at the repository root.
+
+func BenchmarkStridedPutAlgorithms(b *testing.B) {
+	sec := Section{{Lo: 0, Hi: 62, Step: 2}, {Lo: 0, Hi: 62, Step: 2}}
+	for _, algo := range []StridedAlgo{StridedNaive, StridedOneDim, Strided2Dim, StridedBestDim} {
+		b.Run(algo.String(), func(b *testing.B) {
+			o := UHCAFOverCraySHMEM(fabric.CrayXC30())
+			o.Strided = algo
+			err := Run(2, o, func(img *Image) {
+				c := Allocate[int64](img, 64, 64)
+				vals := make([]int64, sec.NumElems())
+				img.SyncAll()
+				if img.ThisImage() == 1 {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						c.Put(2, sec, vals)
+					}
+					b.StopTimer()
+				}
+				img.SyncAll()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkPutElem(b *testing.B) {
+	err := Run(2, UHCAFOverMV2XSHMEM(), func(img *Image) {
+		c := Allocate[int64](img, 64)
+		img.SyncAll()
+		if img.ThisImage() == 1 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.PutElem(2, int64(i), i%64)
+			}
+			b.StopTimer()
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkMCSLockUncontended(b *testing.B) {
+	err := Run(2, UHCAFOverMV2XSHMEM(), func(img *Image) {
+		lck := NewLock(img)
+		img.SyncAll()
+		if img.ThisImage() == 1 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lck.Acquire(2)
+				lck.Release(2)
+			}
+			b.StopTimer()
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCoSum(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		b.Run(fmt.Sprintf("%dimages", n), func(b *testing.B) {
+			err := Run(n, UHCAFOverMV2XSHMEM(), func(img *Image) {
+				vals := []int64{int64(img.ThisImage())}
+				img.SyncAll()
+				if img.ThisImage() == 1 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					CoSum(img, vals, 0)
+				}
+				if img.ThisImage() == 1 {
+					b.StopTimer()
+				}
+				img.SyncAll()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkPackRef(b *testing.B) {
+	var r RemoteRef
+	for i := 0; i < b.N; i++ {
+		r = PackRef(i%1000+1, int64(i)&refMaxOffset, uint8(i))
+	}
+	_ = r
+}
+
+func BenchmarkSectionIteration(b *testing.B) {
+	sec := Section{{Lo: 0, Hi: 63, Step: 2}, {Lo: 0, Hi: 63, Step: 2}, {Lo: 0, Hi: 7, Step: 1}}
+	counts := sec.Counts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		odometer(counts, func(idx []int) { total++ })
+		if total != sec.NumElems() {
+			b.Fatal("miscount")
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package caf
+
+import (
+	"fmt"
+
+	"cafshmem/internal/pgas"
+)
+
+// Coarray is symmetric, remotely-accessible storage with the same local
+// shape on every image — the runtime object behind both save and allocatable
+// coarrays (§IV-A: "A save coarray will be automatically remotely accessible
+// in OpenSHMEM, and we can implement the allocate and deallocate operations
+// using shmalloc and shfree").
+//
+// Storage is column-major (Fortran order): dimension 1 is contiguous. All
+// subscripts in this API are 0-based; image indices are 1-based like Fortran.
+type Coarray[T pgas.Elem] struct {
+	img     *Image
+	shape   []int
+	strides []int64 // element strides, column-major: strides[0] == 1
+	codims  []int   // codimension extents; last one unbounded ("*")
+	off     int64   // symmetric partition offset
+	n       int     // total local elements
+	es      int     // element size in bytes
+}
+
+// Allocate collectively creates a coarray with the given local shape — the
+// runtime form of "allocate(x(shape)[*])". Every image must call it in the
+// same order. The cobounds default to [*] (flat image indexing).
+func Allocate[T pgas.Elem](img *Image, shape ...int) *Coarray[T] {
+	if len(shape) == 0 {
+		shape = []int{1}
+	}
+	n := 1
+	strides := make([]int64, len(shape))
+	for i, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("caf: coarray extent %d in dimension %d must be positive", d, i+1))
+		}
+		strides[i] = int64(n)
+		n *= d
+	}
+	es := pgas.SizeOf[T]()
+	off := img.tr.Malloc(int64(n) * int64(es))
+	return &Coarray[T]{
+		img:     img,
+		shape:   append([]int(nil), shape...),
+		strides: strides,
+		codims:  []int{0}, // [*]
+		off:     off,
+		n:       n,
+		es:      es,
+	}
+}
+
+// WithCodims declares the cobounds, e.g. x[2,*] -> WithCodims(2, 0). The last
+// codimension may be 0 meaning "*" (unbounded). Returns the coarray for
+// chaining.
+func (c *Coarray[T]) WithCodims(codims ...int) *Coarray[T] {
+	if len(codims) == 0 {
+		panic("caf: need at least one codimension")
+	}
+	for i, d := range codims[:len(codims)-1] {
+		if d <= 0 {
+			panic(fmt.Sprintf("caf: codimension %d must be positive", i+1))
+		}
+	}
+	c.codims = append([]int(nil), codims...)
+	return c
+}
+
+// ImageIndex maps cosubscripts (1-based, like Fortran) to an image index
+// (the image_index intrinsic). Returns 0 if the cosubscripts name no image.
+func (c *Coarray[T]) ImageIndex(cosubs ...int) int {
+	if len(cosubs) != len(c.codims) {
+		return 0
+	}
+	idx := 0
+	mult := 1
+	for i, s := range cosubs {
+		if s < 1 {
+			return 0
+		}
+		if i < len(c.codims)-1 {
+			if s > c.codims[i] {
+				return 0
+			}
+			idx += (s - 1) * mult
+			mult *= c.codims[i]
+		} else {
+			idx += (s - 1) * mult
+		}
+	}
+	if idx >= c.img.NumImages() {
+		return 0
+	}
+	return idx + 1
+}
+
+// CoSubscripts maps an image index (1-based) to cosubscripts — the
+// this_image(coarray) intrinsic generalised to any image.
+func (c *Coarray[T]) CoSubscripts(image int) []int {
+	c.img.checkImage(image)
+	rem := image - 1
+	out := make([]int, len(c.codims))
+	for i := 0; i < len(c.codims)-1; i++ {
+		out[i] = rem%c.codims[i] + 1
+		rem /= c.codims[i]
+	}
+	out[len(c.codims)-1] = rem + 1
+	return out
+}
+
+// Shape returns the local shape.
+func (c *Coarray[T]) Shape() []int { return append([]int(nil), c.shape...) }
+
+// Len returns the number of local elements.
+func (c *Coarray[T]) Len() int { return c.n }
+
+// ElemSize returns the element size in bytes.
+func (c *Coarray[T]) ElemSize() int { return c.es }
+
+// Deallocate collectively releases the coarray ("deallocate" -> shfree).
+func (c *Coarray[T]) Deallocate() {
+	c.img.tr.Free(c.off, int64(c.n)*int64(c.es))
+	c.off = -1
+}
+
+func (c *Coarray[T]) linear(idx []int) int64 {
+	if len(idx) != len(c.shape) {
+		panic(fmt.Sprintf("caf: %d subscripts for rank-%d coarray", len(idx), len(c.shape)))
+	}
+	var off int64
+	for d, i := range idx {
+		if i < 0 || i >= c.shape[d] {
+			panic(fmt.Sprintf("caf: subscript %d out of extent %d in dimension %d", i, c.shape[d], d+1))
+		}
+		off += int64(i) * c.strides[d]
+	}
+	return off
+}
+
+// byteOff returns the absolute partition offset of the element at idx.
+func (c *Coarray[T]) byteOff(idx []int) int64 {
+	return c.off + c.linear(idx)*int64(c.es)
+}
+
+// --- Local (non-co-indexed) access ---
+
+// Set stores v into the local element at idx.
+func (c *Coarray[T]) Set(v T, idx ...int) {
+	c.img.tr.(localMem).pgasPE().StoreLocal(c.byteOff(idx), pgas.EncodeOne(v))
+}
+
+// At loads the local element at idx.
+func (c *Coarray[T]) At(idx ...int) T {
+	b := c.img.tr.(localMem).pgasPE().LocalBytes(c.byteOff(idx), int64(c.es))
+	return pgas.DecodeOne[T](b)
+}
+
+// SetSlice stores the whole local array from vals (column-major order).
+func (c *Coarray[T]) SetSlice(vals []T) {
+	if len(vals) != c.n {
+		panic(fmt.Sprintf("caf: SetSlice of %d values into %d-element coarray", len(vals), c.n))
+	}
+	c.img.tr.(localMem).pgasPE().StoreLocal(c.off, pgas.EncodeSlice[T](nil, vals))
+}
+
+// Slice returns a copy of the whole local array (column-major order).
+func (c *Coarray[T]) Slice() []T {
+	b := c.img.tr.(localMem).pgasPE().LocalBytes(c.off, int64(c.n)*int64(c.es))
+	out := make([]T, c.n)
+	pgas.DecodeSlice(out, b)
+	return out
+}
+
+// Fill sets every local element to v.
+func (c *Coarray[T]) Fill(v T) {
+	vals := make([]T, c.n)
+	for i := range vals {
+		vals[i] = v
+	}
+	c.SetSlice(vals)
+}
+
+// WaitLocal blocks until the *local* element at idx satisfies pred, adopting
+// the causal timestamp of the satisfying remote write. Only 8-byte element
+// types are supported (the runtime spins on 64-bit words, like
+// shmem_wait_until). This is the building block for user-level point-to-point
+// signalling with coarrays.
+func (c *Coarray[T]) WaitLocal(pred func(T) bool, idx ...int) {
+	if c.es != 8 {
+		panic(fmt.Sprintf("caf: WaitLocal requires an 8-byte element type, have %d bytes", c.es))
+	}
+	var buf [8]byte
+	c.img.tr.WaitLocal64(c.byteOff(idx), func(v int64) bool {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(uint64(v) >> (8 * i))
+		}
+		return pred(pgas.DecodeOne[T](buf[:]))
+	})
+}
+
+// localMem is the little escape hatch transports provide for zero-cost local
+// loads/stores (Fortran local array accesses do not go through the network).
+type localMem interface{ pgasPE() *pgas.PE }

@@ -1,0 +1,33 @@
+package caf
+
+// Critical implements Fortran's CRITICAL construct: a block of code that at
+// most one image executes at a time. The standard associates one implicit
+// lock with each critical construct in the program; the compiler allocates
+// it at startup, which is why NewCritical is collective. The lock instance
+// lives at image 1, acquired with the same machinery as coarray locks
+// (§IV-D) — a critical construct is sugar for lock/unlock on a hidden
+// lock variable.
+type Critical struct {
+	lck *Lock
+}
+
+// NewCritical collectively creates the critical construct's hidden lock.
+// Every image must call it (in the same order relative to other collective
+// allocations), exactly as a compiler would emit at program start.
+func NewCritical(img *Image) *Critical {
+	return &Critical{lck: NewLock(img)}
+}
+
+// Execute runs body under mutual exclusion across all images:
+//
+//	critical
+//	    <body>
+//	end critical
+//
+// The hidden lock is released even if body panics, so an error inside a
+// critical block does not deadlock the rest of the job.
+func (c *Critical) Execute(body func()) {
+	c.lck.Acquire(1)
+	defer c.lck.Release(1)
+	body()
+}

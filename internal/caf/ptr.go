@@ -1,0 +1,70 @@
+package caf
+
+import "fmt"
+
+// RemoteRef is the packed 64-bit remote pointer of §IV-D: "The tail and next
+// fields, functioning as pointers to qnodes belonging to a remote image, are
+// represented using 20 bits for the image index, 36 bits for the offset of
+// the qnode within the remote-accessible buffer space, and the final 8 bits
+// reserved for other flags. By packing this remote pointer within a 64-bit
+// representation, we can utilize support for 8-byte remote atomics provided
+// by OpenSHMEM."
+//
+// Layout (bit 63 .. bit 0):
+//
+//	[63:44] image index (20 bits, 1-based so that the zero word is nil)
+//	[43: 8] offset      (36 bits)
+//	[ 7: 0] flags       (8 bits)
+type RemoteRef uint64
+
+const (
+	refImageBits  = 20
+	refOffsetBits = 36
+	refFlagBits   = 8
+
+	refMaxImage  = 1<<refImageBits - 1  // 1,048,575 images
+	refMaxOffset = 1<<refOffsetBits - 1 // 64 GiB of buffer space
+	refMaxFlags  = 1<<refFlagBits - 1
+)
+
+// NilRef is the null remote pointer (image 0 does not exist: images are
+// 1-based).
+const NilRef RemoteRef = 0
+
+// PackRef builds a RemoteRef from a 1-based image index, a buffer offset and
+// flag bits.
+func PackRef(image int, offset int64, flags uint8) RemoteRef {
+	if image < 1 || image > refMaxImage {
+		panic(fmt.Sprintf("caf: image %d does not fit the %d-bit packed field", image, refImageBits))
+	}
+	if offset < 0 || offset > refMaxOffset {
+		panic(fmt.Sprintf("caf: offset %d does not fit the %d-bit packed field", offset, refOffsetBits))
+	}
+	return RemoteRef(uint64(image)<<(refOffsetBits+refFlagBits) |
+		uint64(offset)<<refFlagBits |
+		uint64(flags))
+}
+
+// IsNil reports whether the reference is null.
+func (r RemoteRef) IsNil() bool { return r == NilRef }
+
+// Image returns the 1-based image index.
+func (r RemoteRef) Image() int { return int(r >> (refOffsetBits + refFlagBits)) }
+
+// Offset returns the buffer offset.
+func (r RemoteRef) Offset() int64 { return int64(r>>refFlagBits) & refMaxOffset }
+
+// Flags returns the flag byte.
+func (r RemoteRef) Flags() uint8 { return uint8(r & refMaxFlags) }
+
+// WithFlags returns a copy with the flag byte replaced.
+func (r RemoteRef) WithFlags(f uint8) RemoteRef {
+	return (r &^ RemoteRef(refMaxFlags)) | RemoteRef(f)
+}
+
+func (r RemoteRef) String() string {
+	if r.IsNil() {
+		return "ref<nil>"
+	}
+	return fmt.Sprintf("ref<img %d, off %#x, flags %#02x>", r.Image(), r.Offset(), r.Flags())
+}

@@ -1,0 +1,76 @@
+package caf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPackRefRoundtrip(t *testing.T) {
+	r := PackRef(42, 0x123456789, 0x7f)
+	if r.Image() != 42 || r.Offset() != 0x123456789 || r.Flags() != 0x7f {
+		t.Fatalf("roundtrip failed: %v", r)
+	}
+}
+
+func TestNilRef(t *testing.T) {
+	if !NilRef.IsNil() {
+		t.Fatal("NilRef must be nil")
+	}
+	if PackRef(1, 0, 0).IsNil() {
+		t.Fatal("image 1, offset 0 must not be nil (images are 1-based)")
+	}
+}
+
+func TestPackRefLimits(t *testing.T) {
+	// The paper's field widths: 20-bit image, 36-bit offset, 8-bit flags.
+	r := PackRef(refMaxImage, refMaxOffset, 0xff)
+	if r.Image() != refMaxImage || r.Offset() != refMaxOffset || r.Flags() != 0xff {
+		t.Fatalf("extreme values corrupted: %v", r)
+	}
+	for _, f := range []func(){
+		func() { PackRef(0, 0, 0) },              // image 0 invalid
+		func() { PackRef(refMaxImage+1, 0, 0) },  // image overflow
+		func() { PackRef(1, refMaxOffset+1, 0) }, // offset overflow
+		func() { PackRef(1, -1, 0) },             // negative offset
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range pack should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWithFlags(t *testing.T) {
+	r := PackRef(7, 1000, 0x01)
+	r2 := r.WithFlags(0xab)
+	if r2.Image() != 7 || r2.Offset() != 1000 || r2.Flags() != 0xab {
+		t.Fatalf("WithFlags corrupted fields: %v", r2)
+	}
+}
+
+// Property: pack/unpack is the identity for all in-range field values, and
+// distinct field triples give distinct words.
+func TestPackRefProperty(t *testing.T) {
+	f := func(img uint32, off uint64, flags uint8) bool {
+		i := int(img%refMaxImage) + 1
+		o := int64(off % (refMaxOffset + 1))
+		r := PackRef(i, o, flags)
+		return r.Image() == i && r.Offset() == o && r.Flags() == flags && !r.IsNil()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	if NilRef.String() != "ref<nil>" {
+		t.Fatal("nil string form")
+	}
+	if PackRef(3, 64, 1).String() == "" {
+		t.Fatal("empty string form")
+	}
+}

@@ -1,0 +1,99 @@
+package caf
+
+import "fmt"
+
+// Range selects elements lo..hi (inclusive, 0-based) with a positive step —
+// the runtime form of a Fortran subscript triplet lo:hi:step.
+type Range struct {
+	Lo, Hi, Step int
+}
+
+// Count returns the number of selected elements.
+func (r Range) Count() int {
+	if r.Hi < r.Lo {
+		return 0
+	}
+	return (r.Hi-r.Lo)/r.Step + 1
+}
+
+// Section is a multi-dimensional array section: one Range per dimension, in
+// Fortran dimension order (dimension 1 first — the contiguous one under the
+// runtime's column-major layout).
+type Section []Range
+
+// All returns the full-extent section of a given shape (the Fortran "(:,:)")
+func All(shape ...int) Section {
+	s := make(Section, len(shape))
+	for i, n := range shape {
+		s[i] = Range{Lo: 0, Hi: n - 1, Step: 1}
+	}
+	return s
+}
+
+// Idx returns a single-element section for the given 0-based subscripts.
+func Idx(subs ...int) Section {
+	s := make(Section, len(subs))
+	for i, v := range subs {
+		s[i] = Range{Lo: v, Hi: v, Step: 1}
+	}
+	return s
+}
+
+// Counts returns the per-dimension element counts.
+func (s Section) Counts() []int {
+	c := make([]int, len(s))
+	for i, r := range s {
+		c[i] = r.Count()
+	}
+	return c
+}
+
+// NumElems returns the total number of selected elements.
+func (s Section) NumElems() int {
+	n := 1
+	for _, r := range s {
+		n *= r.Count()
+	}
+	return n
+}
+
+// validate checks the section against an array shape.
+func (s Section) validate(shape []int) error {
+	if len(s) != len(shape) {
+		return fmt.Errorf("caf: section rank %d does not match array rank %d", len(s), len(shape))
+	}
+	for d, r := range s {
+		if r.Step < 1 {
+			return fmt.Errorf("caf: dimension %d: step %d must be >= 1", d+1, r.Step)
+		}
+		if r.Lo < 0 || r.Hi >= shape[d] {
+			return fmt.Errorf("caf: dimension %d: range %d:%d outside extent %d", d+1, r.Lo, r.Hi, shape[d])
+		}
+		if r.Count() == 0 {
+			return fmt.Errorf("caf: dimension %d: empty range %d:%d:%d", d+1, r.Lo, r.Hi, r.Step)
+		}
+	}
+	return nil
+}
+
+// odometer iterates the index space of dims (counts), calling f with the
+// current multi-index, fastest dimension first. A nil or empty counts slice
+// yields a single call with an empty index.
+func odometer(counts []int, f func(idx []int)) {
+	idx := make([]int, len(counts))
+	for {
+		f(idx)
+		d := 0
+		for d < len(counts) {
+			idx[d]++
+			if idx[d] < counts[d] {
+				break
+			}
+			idx[d] = 0
+			d++
+		}
+		if d == len(counts) {
+			return
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package caf
+
+import (
+	"fmt"
+
+	"cafshmem/internal/pgas"
+)
+
+// Co-indexed remote memory access. Put implements "x(sec)[j] = vals", Get
+// implements "vals = x(sec)[j]". Following the translation rule of §IV-B,
+// the runtime issues a quiet after every put and before every get (unless
+// the DeferredQuiet ablation option is set), restoring CAF's same-image
+// ordering guarantees on top of OpenSHMEM's weaker completion semantics.
+//
+// Multi-dimensional sections are decomposed by the configured StridedAlgo:
+//
+//   - naive: one contiguous put/get per maximal contiguous run (one per
+//     element when dimension 1 is strided) — §IV-C's baseline;
+//   - 1dim: one 1-D strided library call per pencil along dimension 1;
+//   - 2dim: the paper's 2dim_strided — base dimension chosen as the one with
+//     more strided elements among the first two dimensions, trading call
+//     count against data locality;
+//   - vendor: Cray CAF's strided path (dimension-1 hardware strided calls
+//     with the vendor runtime's per-element costs).
+
+// Put writes vals (dense, column-major section order) into section sec of
+// the coarray on image j (1-based).
+func (c *Coarray[T]) Put(j int, sec Section, vals []T) {
+	c.img.checkImage(j)
+	if err := sec.validate(c.shape); err != nil {
+		panic(err)
+	}
+	if sec.NumElems() != len(vals) {
+		panic(fmt.Sprintf("caf: section selects %d elements but %d values given", sec.NumElems(), len(vals)))
+	}
+	c.putSection(j-1, sec, vals)
+	c.img.maybeQuiet()
+}
+
+// Get reads section sec of the coarray on image j (1-based), returning the
+// elements dense in column-major section order.
+func (c *Coarray[T]) Get(j int, sec Section) []T {
+	c.img.checkImage(j)
+	if err := sec.validate(c.shape); err != nil {
+		panic(err)
+	}
+	c.img.maybeQuiet() // §IV-B: quiet before get
+	out := make([]T, sec.NumElems())
+	c.getSection(j-1, sec, out)
+	return out
+}
+
+// PutElem writes a single element: x(idx)[j] = v.
+func (c *Coarray[T]) PutElem(j int, v T, idx ...int) {
+	c.img.checkImage(j)
+	if c.img.opts.IntraNodeDirect && c.img.tr.DirectWrite(j-1, c.byteOff(idx), pgas.EncodeOne(v)) {
+		c.img.Stats.DirectOps++
+		return // a store completes immediately: no quiet needed
+	}
+	c.img.tr.PutMem(j-1, c.byteOff(idx), pgas.EncodeOne(v))
+	c.img.Stats.Puts++
+	c.img.maybeQuiet()
+}
+
+// GetElem reads a single element: v = x(idx)[j].
+func (c *Coarray[T]) GetElem(j int, idx ...int) T {
+	c.img.checkImage(j)
+	var buf [8]byte
+	b := buf[:c.es]
+	if c.img.opts.IntraNodeDirect {
+		c.img.maybeQuiet() // pending puts must still be ordered before the load
+		if c.img.tr.DirectRead(j-1, c.byteOff(idx), b) {
+			c.img.Stats.DirectOps++
+			return pgas.DecodeOne[T](b)
+		}
+	} else {
+		c.img.maybeQuiet()
+	}
+	c.img.tr.GetMem(j-1, c.byteOff(idx), b)
+	c.img.Stats.Gets++
+	return pgas.DecodeOne[T](b)
+}
+
+// PutFull writes the entire local array of image j: x(:,...,:)[j] = vals.
+func (c *Coarray[T]) PutFull(j int, vals []T) { c.Put(j, All(c.shape...), vals) }
+
+// GetFull reads the entire local array of image j.
+func (c *Coarray[T]) GetFull(j int) []T { return c.Get(j, All(c.shape...)) }
+
+// contigRun returns the number of leading dimensions that form one
+// contiguous run and the run length in elements. Dimension d can merge into
+// the run if its step is 1 and every earlier dimension is covered in full.
+func (c *Coarray[T]) contigRun(sec Section) (runDims, runElems int) {
+	runElems = 1
+	fullSoFar := true
+	for d := 0; d < len(sec); d++ {
+		if sec[d].Step != 1 || (d > 0 && !fullSoFar) {
+			break
+		}
+		runElems *= sec[d].Count()
+		runDims = d + 1
+		fullSoFar = fullSoFar && sec[d].Lo == 0 && sec[d].Count() == c.shape[d]
+	}
+	if runDims == 0 {
+		runElems = 1
+	}
+	return runDims, runElems
+}
+
+// baseDim picks the strided-call dimension for the configured algorithm.
+func (c *Coarray[T]) baseDim(sec Section) int {
+	switch c.img.opts.Strided {
+	case Strided2Dim:
+		// §IV-C: consider only the first two dimensions (locality trade-off)
+		// and pick the one with more strided elements.
+		if len(sec) >= 2 && sec[1].Count() > sec[0].Count() {
+			return 1
+		}
+		return 0
+	case StridedBestDim:
+		// Extension: minimise the call count outright, whatever the memory
+		// stride of the chosen dimension.
+		best := 0
+		for d := 1; d < len(sec); d++ {
+			if sec[d].Count() > sec[best].Count() {
+				best = d
+			}
+		}
+		return best
+	default: // 1dim, vendor
+		return 0
+	}
+}
+
+func (c *Coarray[T]) putSection(target int, sec Section, vals []T) {
+	tr := c.img.tr
+	es := int64(c.es)
+
+	// Fast path shared by all algorithms: a fully contiguous section is a
+	// single putmem regardless of strategy — or a direct store when the
+	// target shares the node and §VII's IntraNodeDirect is enabled.
+	runDims, runElems := c.contigRun(sec)
+	if runDims == len(sec) {
+		lo := make([]int, len(sec))
+		for d := range sec {
+			lo[d] = sec[d].Lo
+		}
+		data := pgas.EncodeSlice[T](nil, vals)
+		if c.img.opts.IntraNodeDirect && tr.DirectWrite(target, c.byteOff(lo), data) {
+			c.img.Stats.DirectOps++
+			return
+		}
+		tr.PutMem(target, c.byteOff(lo), data)
+		c.img.Stats.Puts++
+		return
+	}
+
+	switch c.img.opts.Strided {
+	case StridedNaive:
+		c.eachRun(sec, runDims, runElems, func(byteOff int64, valOff int) {
+			tr.PutMem(target, byteOff, pgas.EncodeSlice[T](nil, vals[valOff:valOff+runElems]))
+			c.img.Stats.Puts++
+		})
+	default: // 1dim, 2dim, vendor: 1-D strided library calls along base dim
+		base := c.baseDim(sec)
+		c.eachPencil(sec, base, func(byteOff int64, gather []T) {
+			strideBytes := int64(sec[base].Step) * c.strides[base] * es
+			tr.PutStrided1D(target, byteOff, strideBytes, c.es, pgas.EncodeSlice[T](nil, gather))
+			c.img.Stats.StridedCalls++
+		}, vals, nil)
+	}
+}
+
+func (c *Coarray[T]) getSection(target int, sec Section, out []T) {
+	tr := c.img.tr
+	es := int64(c.es)
+
+	runDims, runElems := c.contigRun(sec)
+	if runDims == len(sec) {
+		lo := make([]int, len(sec))
+		for d := range sec {
+			lo[d] = sec[d].Lo
+		}
+		raw := make([]byte, int64(len(out))*es)
+		if c.img.opts.IntraNodeDirect && tr.DirectRead(target, c.byteOff(lo), raw) {
+			pgas.DecodeSlice(out, raw)
+			c.img.Stats.DirectOps++
+			return
+		}
+		tr.GetMem(target, c.byteOff(lo), raw)
+		pgas.DecodeSlice(out, raw)
+		c.img.Stats.Gets++
+		return
+	}
+
+	switch c.img.opts.Strided {
+	case StridedNaive:
+		raw := make([]byte, int64(runElems)*es)
+		c.eachRun(sec, runDims, runElems, func(byteOff int64, valOff int) {
+			tr.GetMem(target, byteOff, raw)
+			pgas.DecodeSlice(out[valOff:valOff+runElems], raw)
+			c.img.Stats.Gets++
+		})
+	default:
+		base := c.baseDim(sec)
+		c.eachPencil(sec, base, func(byteOff int64, scatter []T) {
+			strideBytes := int64(sec[base].Step) * c.strides[base] * es
+			raw := make([]byte, int64(len(scatter))*es)
+			tr.GetStrided1D(target, byteOff, strideBytes, c.es, raw)
+			pgas.DecodeSlice(scatter, raw)
+			c.img.Stats.StridedCalls++
+		}, nil, out)
+	}
+}
+
+// eachRun enumerates the maximal contiguous runs of the section: the first
+// runDims dimensions form the run; the remaining dimensions are iterated in
+// column-major order. f receives the absolute byte offset of each run and
+// the dense value offset.
+func (c *Coarray[T]) eachRun(sec Section, runDims, runElems int, f func(byteOff int64, valOff int)) {
+	// When no dimension merges (dimension 1 is strided), runs are single
+	// elements: dimension 1 is iterated in the inner loop below, and the
+	// odometer covers dimensions 2..rank.
+	innerEnd := runDims
+	if innerEnd == 0 {
+		innerEnd = 1
+	}
+	outer := sec[innerEnd:]
+	counts := make([]int, len(outer))
+	for i, r := range outer {
+		counts[i] = r.Count()
+	}
+	// Base contribution from the inner dimensions' lower bounds.
+	var innerLin int64
+	for d := 0; d < innerEnd; d++ {
+		innerLin += int64(sec[d].Lo) * c.strides[d]
+	}
+	valOff := 0
+	odometer(counts, func(idx []int) {
+		lin := innerLin
+		for i, v := range idx {
+			d := innerEnd + i
+			lin += int64(sec[d].Lo+v*sec[d].Step) * c.strides[d]
+		}
+		if runDims == 0 {
+			for k := 0; k < sec[0].Count(); k++ {
+				off := c.off + (lin+int64(k*sec[0].Step)*c.strides[0])*int64(c.es)
+				f(off, valOff)
+				valOff += runElems
+			}
+			return
+		}
+		f(c.off+lin*int64(c.es), valOff)
+		valOff += runElems
+	})
+}
+
+// eachPencil enumerates 1-D pencils along the base dimension, iterating the
+// other dimensions in column-major order. For puts it passes a dense gather
+// of the pencil's source values; for gets it passes a scatter view that the
+// callback fills. vals/out are the dense section-order buffers.
+func (c *Coarray[T]) eachPencil(sec Section, base int, f func(byteOff int64, pencil []T), vals []T, out []T) {
+	counts := sec.Counts()
+	nbase := counts[base]
+
+	// Section-order linear strides (for locating pencil elements in the
+	// dense buffer).
+	secStride := make([]int, len(sec))
+	m := 1
+	for d := range sec {
+		secStride[d] = m
+		m *= counts[d]
+	}
+
+	otherCounts := make([]int, 0, len(sec)-1)
+	otherDims := make([]int, 0, len(sec)-1)
+	for d := range sec {
+		if d != base {
+			otherCounts = append(otherCounts, counts[d])
+			otherDims = append(otherDims, d)
+		}
+	}
+
+	pencil := make([]T, nbase)
+	odometer(otherCounts, func(idx []int) {
+		var lin int64
+		secBase := 0
+		for i, v := range idx {
+			d := otherDims[i]
+			lin += int64(sec[d].Lo+v*sec[d].Step) * c.strides[d]
+			secBase += v * secStride[d]
+		}
+		lin += int64(sec[base].Lo) * c.strides[base]
+		byteOff := c.off + lin*int64(c.es)
+
+		if vals != nil {
+			if base == 0 {
+				// Pencil elements are already dense in the source buffer.
+				copy(pencil, vals[secBase:secBase+nbase])
+			} else {
+				for k := 0; k < nbase; k++ {
+					pencil[k] = vals[secBase+k*secStride[base]]
+				}
+			}
+			f(byteOff, pencil)
+			return
+		}
+		f(byteOff, pencil)
+		if base == 0 {
+			copy(out[secBase:secBase+nbase], pencil)
+		} else {
+			for k := 0; k < nbase; k++ {
+				out[secBase+k*secStride[base]] = pencil[k]
+			}
+		}
+	})
+}

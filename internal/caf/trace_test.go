@@ -1,0 +1,129 @@
+package caf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsOperations(t *testing.T) {
+	trc := NewTracer()
+	o := shmemOpts()
+	o.Tracer = trc
+	err := Run(2, o, func(img *Image) {
+		c := Allocate[int64](img, 8)
+		if img.ThisImage() == 1 {
+			c.PutElem(2, 7, 0)
+			_ = c.GetElem(2, 0)
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := map[string]int{}
+	for _, ev := range trc.Events() {
+		byOp[ev.Op]++
+		if ev.End < ev.Start {
+			t.Fatalf("event ends before it starts: %+v", ev)
+		}
+		if ev.Image < 1 || ev.Image > 2 {
+			t.Fatalf("bad image in event: %+v", ev)
+		}
+	}
+	if byOp["put"] < 1 {
+		t.Fatalf("expected at least one put event, got %v", byOp)
+	}
+	if byOp["get"] < 1 {
+		t.Fatalf("expected at least one get event, got %v", byOp)
+	}
+	if byOp["barrier"] < 2 {
+		t.Fatalf("expected barrier events from SyncAll, got %v", byOp)
+	}
+	if byOp["quiet"] < 1 {
+		t.Fatalf("expected quiet events (§IV-B rule), got %v", byOp)
+	}
+}
+
+func TestTracerSummaryAndCSV(t *testing.T) {
+	trc := NewTracer()
+	o := shmemOpts()
+	o.Tracer = trc
+	err := Run(3, o, func(img *Image) {
+		a := NewAtomicVar(img)
+		a.Add(1, 1)
+		img.SyncAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := trc.Summary()
+	if len(sum) == 0 {
+		t.Fatal("empty summary")
+	}
+	foundAmo := false
+	for _, s := range sum {
+		if s.Op == "amo" {
+			foundAmo = true
+			if s.Count != 3 || s.Bytes != 24 {
+				t.Fatalf("amo summary wrong: %+v", s)
+			}
+		}
+	}
+	if !foundAmo {
+		t.Fatal("amo missing from summary")
+	}
+
+	var sb strings.Builder
+	if err := trc.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	csv := sb.String()
+	if !strings.HasPrefix(csv, "image,op,target,bytes,start_ns,end_ns\n") {
+		t.Fatal("CSV header missing")
+	}
+	if strings.Count(csv, "\n") != len(trc.Events())+1 {
+		t.Fatal("CSV row count mismatch")
+	}
+
+	trc.Reset()
+	if len(trc.Events()) != 0 {
+		t.Fatal("Reset did not clear events")
+	}
+}
+
+func TestTracerWithLocksAndDirect(t *testing.T) {
+	trc := NewTracer()
+	o := shmemOpts()
+	o.Tracer = trc
+	o.IntraNodeDirect = true
+	err := Run(2, o, func(img *Image) {
+		lck := NewLock(img)
+		lck.Acquire(1)
+		lck.Release(1)
+		c := Allocate[int64](img, 2)
+		c.PutElem(2, 5, 0) // same node: direct
+		img.SyncAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := map[string]int{}
+	for _, ev := range trc.Events() {
+		byOp[ev.Op]++
+	}
+	if byOp["amo"] < 2 {
+		t.Fatalf("lock traffic should record amo events, got %v", byOp)
+	}
+	if byOp["direct-put"] != 2 {
+		t.Fatalf("expected 2 direct-put events, got %v", byOp)
+	}
+	// The hybrid handle still resolves through the tracing decorator.
+	err = Run(1, o, func(img *Image) {
+		if img.SHMEM() == nil {
+			panic("SHMEM must unwrap the tracing decorator")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,329 @@
+package caf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"cafshmem/internal/fabric"
+	"cafshmem/internal/gasnet"
+	"cafshmem/internal/pgas"
+	"cafshmem/internal/shmem"
+)
+
+// Transport is the communication layer the CAF runtime is mapped onto. The
+// paper's contribution is precisely this mapping for OpenSHMEM (§IV); the
+// GASNet transport reproduces the original UHCAF backend it is compared
+// against, and the Cray-CAF comparator is the shmem transport over the
+// Cray-DMAPP profile with the vendor strided/lock strategies.
+type Transport interface {
+	Name() string
+	PE() int
+	NPEs() int
+
+	// Malloc collectively allocates size bytes of symmetric (same offset on
+	// every image) remotely-accessible memory and returns the offset. Free
+	// collectively releases it (a no-op on transports without a freeing
+	// allocator, like GASNet's attached segment).
+	Malloc(size int64) int64
+	Free(off, size int64)
+
+	// PutMem writes with local-completion semantics; remote completion
+	// requires Quiet. GetMem blocks until data is locally usable.
+	PutMem(target int, off int64, data []byte)
+	GetMem(target int, off int64, dst []byte)
+
+	// PutStrided1D scatters len(src)/elemSize dense source elements to the
+	// target at strideBytes spacing (shmem_iput); GetStrided1D gathers. Their
+	// cost depends on the library's strided implementation quality.
+	PutStrided1D(target int, off, strideBytes int64, elemSize int, src []byte)
+	GetStrided1D(target int, off, strideBytes int64, elemSize int, dst []byte)
+
+	// Quiet waits for remote completion of outstanding puts (shmem_quiet).
+	Quiet()
+
+	// Remote atomics on 64-bit words (the MCS lock's toolbox).
+	Swap64(target int, off int64, v int64) int64
+	CompareSwap64(target int, off int64, expected, desired int64) int64
+	FetchAdd64(target int, off int64, v int64) int64
+	FetchAnd64(target int, off int64, v int64) int64
+	FetchOr64(target int, off int64, v int64) int64
+	FetchXor64(target int, off int64, v int64) int64
+
+	// DirectWrite / DirectRead implement the paper's §VII future work: when
+	// the target is on the same node and the library can expose its memory
+	// (shmem_ptr), access it with load/store instructions at memory-copy
+	// cost, bypassing the communication path. They return false when direct
+	// access is impossible (cross-node target, or no shmem_ptr equivalent).
+	DirectWrite(target int, off int64, data []byte) bool
+	DirectRead(target int, off int64, dst []byte) bool
+
+	// WaitLocal64 spins on a local 64-bit word until pred holds, adopting the
+	// causal timestamp of the satisfying write.
+	WaitLocal64(off int64, pred func(int64) bool)
+
+	// Barrier synchronises all images with completion semantics.
+	Barrier()
+
+	Clock() *fabric.Clock
+	Machine() *fabric.Machine
+	SameNode(a, b int) bool
+	StridedMode() fabric.StridedMode
+}
+
+// --- OpenSHMEM transport (the paper's contribution) ---
+
+type shmemTransport struct {
+	pe  *shmem.PE
+	all shmem.Sym // whole-partition view for offset-addressed operations
+}
+
+func newShmemTransport(pe *shmem.PE) *shmemTransport {
+	return &shmemTransport{pe: pe, all: shmem.Sym{Off: 0, Size: pgas.MaxSegmentBytes}}
+}
+
+func (t *shmemTransport) Name() string { return "shmem/" + t.pe.World().Profile().Name }
+func (t *shmemTransport) PE() int      { return t.pe.MyPE() }
+func (t *shmemTransport) NPEs() int    { return t.pe.NumPEs() }
+
+func (t *shmemTransport) Malloc(size int64) int64 { return t.pe.Malloc(size).Off }
+
+func (t *shmemTransport) Free(off, size int64) {
+	t.pe.Free(shmem.Sym{Off: off, Size: size})
+}
+
+func (t *shmemTransport) pgasPE() *pgas.PE { return t.pe.Pgas() }
+
+func (t *shmemTransport) PutMem(target int, off int64, data []byte) {
+	t.pe.PutMem(target, t.all, off, data)
+}
+
+func (t *shmemTransport) GetMem(target int, off int64, dst []byte) {
+	t.pe.GetMem(target, t.all, off, dst)
+}
+
+func (t *shmemTransport) PutStrided1D(target int, off, strideBytes int64, elemSize int, src []byte) {
+	t.pe.IPutMem(target, t.all, off, strideBytes, elemSize, src)
+}
+
+func (t *shmemTransport) GetStrided1D(target int, off, strideBytes int64, elemSize int, dst []byte) {
+	t.pe.IGetMem(target, t.all, off, strideBytes, elemSize, dst)
+}
+
+func (t *shmemTransport) Quiet() { t.pe.Quiet() }
+
+func (t *shmemTransport) wordIdx(off int64) int {
+	if off%8 != 0 {
+		panic("caf: atomic on unaligned offset")
+	}
+	return int(off / 8)
+}
+
+func (t *shmemTransport) Swap64(target int, off int64, v int64) int64 {
+	return t.pe.Swap(target, t.all, t.wordIdx(off), v)
+}
+
+func (t *shmemTransport) CompareSwap64(target int, off int64, expected, desired int64) int64 {
+	return t.pe.CompareSwap(target, t.all, t.wordIdx(off), expected, desired)
+}
+
+func (t *shmemTransport) FetchAdd64(target int, off int64, v int64) int64 {
+	return t.pe.FetchAdd(target, t.all, t.wordIdx(off), v)
+}
+
+func (t *shmemTransport) FetchAnd64(target int, off int64, v int64) int64 {
+	return t.pe.FetchAnd(target, t.all, t.wordIdx(off), v)
+}
+
+func (t *shmemTransport) FetchOr64(target int, off int64, v int64) int64 {
+	return t.pe.FetchOr(target, t.all, t.wordIdx(off), v)
+}
+
+func (t *shmemTransport) FetchXor64(target int, off int64, v int64) int64 {
+	return t.pe.FetchXor(target, t.all, t.wordIdx(off), v)
+}
+
+// directIssueNs is the fixed instruction-issue cost of a direct load/store
+// access (no library involvement at all).
+const directIssueNs = 20
+
+func (t *shmemTransport) directGap() float64 {
+	// A direct load/store streams at memory-copy speed: roughly twice the
+	// intra-node library bandwidth, with none of its per-call latency (no
+	// injection, no loopback, no completion tracking).
+	return t.pe.World().Profile().IntraGapNsPerByte / 2
+}
+
+func (t *shmemTransport) DirectWrite(target int, off int64, data []byte) bool {
+	if !t.SameNode(t.PE(), target) {
+		return false
+	}
+	t.pe.Clock().Advance(directIssueNs + float64(len(data))*t.directGap())
+	t.pe.World().PgasWorld().Write(target, off, data, t.pe.Clock().Now())
+	return true
+}
+
+func (t *shmemTransport) DirectRead(target int, off int64, dst []byte) bool {
+	if !t.SameNode(t.PE(), target) {
+		return false
+	}
+	t.pe.Clock().Advance(directIssueNs + float64(len(dst))*t.directGap())
+	t.pe.World().PgasWorld().Read(target, off, dst)
+	return true
+}
+
+func (t *shmemTransport) WaitLocal64(off int64, pred func(int64) bool) {
+	ts := t.pe.Pgas().WaitUntil(off, 8, func(b []byte) bool {
+		return pred(int64(leUint64(b)))
+	})
+	t.pe.Clock().MergeAtLeast(ts)
+	t.pe.Clock().Advance(t.pe.World().Profile().OverheadNs)
+}
+
+func (t *shmemTransport) Barrier() { t.pe.Barrier() }
+
+func (t *shmemTransport) Clock() *fabric.Clock     { return t.pe.Clock() }
+func (t *shmemTransport) Machine() *fabric.Machine { return t.pe.World().PgasWorld().Machine() }
+func (t *shmemTransport) SameNode(a, b int) bool   { return t.Machine().SameNode(a, b) }
+func (t *shmemTransport) StridedMode() fabric.StridedMode {
+	return t.pe.World().Profile().Strided
+}
+
+// --- GASNet transport (the original UHCAF backend) ---
+
+// AM handler indices the GASNet transport registers for atomic emulation.
+// GASNet has no remote atomics; the runtime ships each AMO as a request/reply
+// active-message pair, paying handler dispatch at the target (§III).
+const (
+	amSwap = iota
+	amCSwap
+	amFAdd
+	amFAnd
+	amFOr
+	amFXor
+)
+
+type gasnetTransport struct {
+	ep  *gasnet.EP
+	all gasnet.Seg
+}
+
+func newGasnetTransport(ep *gasnet.EP) *gasnetTransport {
+	return &gasnetTransport{ep: ep, all: gasnet.Seg{Off: 0, Size: pgas.MaxSegmentBytes}}
+}
+
+// registerGasnetHandlers installs the AMO emulation handlers; call once per
+// world before attaching endpoints.
+func registerGasnetHandlers(w *gasnet.World) {
+	w.RegisterHandler(amSwap, func(tok *gasnet.Token, _ []byte, args []int64) {
+		tok.Reply(int64(tok.RMW64(args[0], pgas.OpSwap, uint64(args[1]))))
+	})
+	w.RegisterHandler(amCSwap, func(tok *gasnet.Token, _ []byte, args []int64) {
+		old := tok.ReadU64(args[0])
+		if old == uint64(args[1]) {
+			tok.WriteU64(args[0], uint64(args[2]))
+		}
+		tok.Reply(int64(old))
+	})
+	w.RegisterHandler(amFAdd, func(tok *gasnet.Token, _ []byte, args []int64) {
+		tok.Reply(int64(tok.RMW64(args[0], pgas.OpAdd, uint64(args[1]))))
+	})
+	w.RegisterHandler(amFAnd, func(tok *gasnet.Token, _ []byte, args []int64) {
+		tok.Reply(int64(tok.RMW64(args[0], pgas.OpAnd, uint64(args[1]))))
+	})
+	w.RegisterHandler(amFOr, func(tok *gasnet.Token, _ []byte, args []int64) {
+		tok.Reply(int64(tok.RMW64(args[0], pgas.OpOr, uint64(args[1]))))
+	})
+	w.RegisterHandler(amFXor, func(tok *gasnet.Token, _ []byte, args []int64) {
+		tok.Reply(int64(tok.RMW64(args[0], pgas.OpXor, uint64(args[1]))))
+	})
+}
+
+func (t *gasnetTransport) Name() string { return "gasnet/" + t.ep.World().Profile().Name }
+func (t *gasnetTransport) PE() int      { return t.ep.MyNode() }
+func (t *gasnetTransport) NPEs() int    { return t.ep.Nodes() }
+
+func (t *gasnetTransport) Malloc(size int64) int64 { return t.ep.Malloc(size).Off }
+
+// Free is collective but does not return space: GASNet attaches a raw
+// segment and leaves allocation policy to the runtime; the original UHCAF
+// GASNet backend likewise never returns segment space to the conduit.
+func (t *gasnetTransport) Free(off, size int64) { t.ep.Barrier() }
+
+func (t *gasnetTransport) pgasPE() *pgas.PE { return t.ep.Pgas() }
+
+func (t *gasnetTransport) PutMem(target int, off int64, data []byte) {
+	t.ep.Put(target, t.all, off, data)
+}
+
+func (t *gasnetTransport) GetMem(target int, off int64, dst []byte) {
+	t.ep.Get(target, t.all, off, dst)
+}
+
+// PutStrided1D: GASNet has no strided API, so the runtime loops contiguous
+// puts — this is exactly the "UHCAF-GASNet" behaviour in Figs 6-7.
+func (t *gasnetTransport) PutStrided1D(target int, off, strideBytes int64, elemSize int, src []byte) {
+	for k := 0; k*elemSize < len(src); k++ {
+		t.ep.Put(target, t.all, off+int64(k)*strideBytes, src[k*elemSize:(k+1)*elemSize])
+	}
+}
+
+func (t *gasnetTransport) GetStrided1D(target int, off, strideBytes int64, elemSize int, dst []byte) {
+	for k := 0; k*elemSize < len(dst); k++ {
+		t.ep.Get(target, t.all, off+int64(k)*strideBytes, dst[k*elemSize:(k+1)*elemSize])
+	}
+}
+
+func (t *gasnetTransport) Quiet() { t.ep.WaitSyncAll() }
+
+func (t *gasnetTransport) amo(target, handler int, args ...int64) int64 {
+	return t.ep.RequestSync(target, handler, args...)[0]
+}
+
+func (t *gasnetTransport) Swap64(target int, off int64, v int64) int64 {
+	return t.amo(target, amSwap, off, v)
+}
+
+func (t *gasnetTransport) CompareSwap64(target int, off int64, expected, desired int64) int64 {
+	return t.amo(target, amCSwap, off, expected, desired)
+}
+
+func (t *gasnetTransport) FetchAdd64(target int, off int64, v int64) int64 {
+	return t.amo(target, amFAdd, off, v)
+}
+
+func (t *gasnetTransport) FetchAnd64(target int, off int64, v int64) int64 {
+	return t.amo(target, amFAnd, off, v)
+}
+
+func (t *gasnetTransport) FetchOr64(target int, off int64, v int64) int64 {
+	return t.amo(target, amFOr, off, v)
+}
+
+func (t *gasnetTransport) FetchXor64(target int, off int64, v int64) int64 {
+	return t.amo(target, amFXor, off, v)
+}
+
+// GASNet exposes no shmem_ptr equivalent; direct access is never possible.
+func (t *gasnetTransport) DirectWrite(int, int64, []byte) bool { return false }
+func (t *gasnetTransport) DirectRead(int, int64, []byte) bool  { return false }
+
+func (t *gasnetTransport) WaitLocal64(off int64, pred func(int64) bool) {
+	ts := t.ep.Pgas().WaitUntil(off, 8, func(b []byte) bool {
+		return pred(int64(leUint64(b)))
+	})
+	t.ep.Clock().MergeAtLeast(ts)
+	t.ep.Clock().Advance(t.ep.World().Profile().OverheadNs)
+}
+
+func (t *gasnetTransport) Barrier() { t.ep.Barrier() }
+
+func (t *gasnetTransport) Clock() *fabric.Clock     { return t.ep.Clock() }
+func (t *gasnetTransport) Machine() *fabric.Machine { return t.ep.World().PgasWorld().Machine() }
+func (t *gasnetTransport) SameNode(a, b int) bool   { return t.Machine().SameNode(a, b) }
+func (t *gasnetTransport) StridedMode() fabric.StridedMode {
+	return t.ep.World().Profile().Strided
+}
+
+func leUint64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+var errBadTransport = fmt.Errorf("caf: unknown transport kind")

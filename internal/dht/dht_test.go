@@ -1,0 +1,146 @@
+package dht
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"cafshmem/internal/caf"
+	"cafshmem/internal/fabric"
+)
+
+func opts() caf.Options { return caf.UHCAFOverMV2XSHMEM() }
+
+func TestUpdateAndLookup(t *testing.T) {
+	err := caf.Run(4, opts(), func(img *caf.Image) {
+		tab := New(img, 64)
+		if img.ThisImage() == 1 {
+			if err := tab.Update(42, 5); err != nil {
+				panic(err)
+			}
+			if err := tab.Update(42, 3); err != nil {
+				panic(err)
+			}
+			if err := tab.Update(7, 1); err != nil {
+				panic(err)
+			}
+			if v := tab.Lookup(42); v != 8 {
+				panic("accumulated value wrong")
+			}
+			if v := tab.Lookup(7); v != 1 {
+				panic("single value wrong")
+			}
+			if v := tab.Lookup(99999); v != 0 {
+				panic("absent key should read 0")
+			}
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentUpdatesConserveTotal(t *testing.T) {
+	// Every image hammers a small key space; locks must make updates atomic,
+	// so the grand total equals the number of updates.
+	const per = 40
+	var grand int64
+	err := caf.Run(6, opts(), func(img *caf.Image) {
+		tab := New(img, 32)
+		rng := uint64(img.ThisImage()) * 77
+		for i := 0; i < per; i++ {
+			rng = splitmix64(rng)
+			if err := tab.Update(rng%8, 1); err != nil { // only 8 distinct keys: heavy contention
+				panic(err)
+			}
+		}
+		img.SyncAll()
+		atomic.AddInt64(&grand, tab.LocalSum())
+		img.SyncAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grand != 6*per {
+		t.Fatalf("lost updates under contention: total %d, want %d", grand, 6*per)
+	}
+}
+
+func TestCollisionProbing(t *testing.T) {
+	// With a single image and tiny table, different keys must coexist via
+	// linear probing until the table is full, then Update errors.
+	err := caf.Run(1, opts(), func(img *caf.Image) {
+		tab := New(img, 4)
+		for k := uint64(0); k < 4; k++ {
+			if err := tab.Update(k, int64(k+1)); err != nil {
+				panic(err)
+			}
+		}
+		for k := uint64(0); k < 4; k++ {
+			if v := tab.Lookup(k); v != int64(k+1) {
+				panic("probed key lost")
+			}
+		}
+		if err := tab.Update(1000, 1); err == nil {
+			panic("full table should reject a new key")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysDistributeAcrossImages(t *testing.T) {
+	err := caf.Run(8, opts(), func(img *caf.Image) {
+		tab := New(img, 128)
+		if img.ThisImage() == 1 {
+			seen := map[int]bool{}
+			for k := uint64(0); k < 256; k++ {
+				image, slot := tab.home(k)
+				if image < 1 || image > 8 || slot < 0 || slot >= 128 {
+					panic("home out of range")
+				}
+				seen[image] = true
+			}
+			if len(seen) < 6 {
+				panic("keys badly distributed across images")
+			}
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchShape(t *testing.T) {
+	// Fig 9's ordering: UHCAF over Cray SHMEM beats both the Cray CAF
+	// configuration and UHCAF over GASNet. Individual runs carry scheduler
+	// noise (real lock collisions), so compare totals over several image
+	// counts, like the paper's aggregate summary.
+	ti := fabric.Titan()
+	total := func(opts caf.Options) float64 {
+		sum := 0.0
+		for _, imgs := range []int{4, 8, 16} {
+			// Disjoint pattern: deterministic virtual time (see BenchPattern).
+			r, err := BenchPattern(opts, imgs, 64, 30, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.UpdatesPS <= 0 {
+				t.Fatal("throughput must be positive")
+			}
+			sum += r.TimeMs
+		}
+		return sum
+	}
+	shm := total(caf.UHCAFOverCraySHMEM(ti))
+	cray := total(caf.CrayCAF(ti))
+	gas := total(caf.UHCAFOverGASNet(ti, fabric.ProfGASNetGemini))
+	if !(shm < cray) {
+		t.Fatalf("UHCAF-Cray-SHMEM (%v ms) should beat Cray-CAF (%v ms)", shm, cray)
+	}
+	if !(shm < gas) {
+		t.Fatalf("UHCAF-Cray-SHMEM (%v ms) should beat UHCAF-GASNet (%v ms)", shm, gas)
+	}
+}

@@ -1,0 +1,74 @@
+package dht
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cafshmem/internal/caf"
+)
+
+// Model-based test: the distributed table must agree with a plain
+// mutex-protected map under arbitrary concurrent update streams.
+func TestModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const images, per, keys = 5, 30, 12
+
+		// Pre-generate each image's operation stream deterministically.
+		ops := make([][][2]int64, images)
+		for i := range ops {
+			ops[i] = make([][2]int64, per)
+			for k := range ops[i] {
+				ops[i][k] = [2]int64{rng.Int63n(keys), rng.Int63n(9) - 4}
+			}
+		}
+
+		// Reference: plain map.
+		want := map[uint64]int64{}
+		for _, stream := range ops {
+			for _, op := range stream {
+				want[uint64(op[0])] += op[1]
+			}
+		}
+
+		// Distributed run.
+		var mu sync.Mutex
+		got := map[uint64]int64{}
+		err := caf.Run(images, opts(), func(img *caf.Image) {
+			tab := New(img, 64)
+			for _, op := range ops[img.ThisImage()-1] {
+				if err := tab.Update(uint64(op[0]), op[1]); err != nil {
+					panic(err)
+				}
+			}
+			img.SyncAll()
+			if img.ThisImage() == 1 {
+				mu.Lock()
+				for k := uint64(0); k < keys; k++ {
+					if v := tab.Lookup(k); v != 0 {
+						got[k] = v
+					}
+				}
+				mu.Unlock()
+			}
+			img.SyncAll()
+		})
+		if err != nil {
+			return false
+		}
+		for k, v := range want {
+			if v != 0 && got[k] != v {
+				return false
+			}
+			if v == 0 && got[k] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

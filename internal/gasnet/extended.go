@@ -1,0 +1,80 @@
+package gasnet
+
+import "fmt"
+
+// Extended API: one-sided put/get against the target's registered segment
+// (our per-PE partition). Offsets are absolute partition offsets; layered
+// runtimes allocate them with the collective Malloc below.
+
+// Seg is a handle to a symmetric segment region (same offset on all PEs).
+type Seg struct {
+	Off  int64
+	Size int64
+}
+
+// Put copies data into the target's segment and blocks for *local*
+// completion (gasnet_put_bulk semantics for the source buffer). Remote
+// completion requires WaitSyncAll or a barrier.
+func (ep *EP) Put(target int, seg Seg, off int64, data []byte) {
+	ep.checkTarget(target)
+	if len(data) == 0 {
+		return
+	}
+	if off < 0 || off+int64(len(data)) > seg.Size {
+		panic(fmt.Sprintf("gasnet: put of %d bytes at %d overflows %d-byte segment region", len(data), off, seg.Size))
+	}
+	intra, pairs := ep.intra(target), ep.pairs()
+	prof := ep.world.prof
+	ep.p.Clock.Advance(prof.PutInjectNs(len(data), intra, pairs))
+	vis := ep.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
+	ep.world.pw.Write(target, seg.Off+off, data, vis)
+	if vis > ep.pendingT {
+		ep.pendingT = vis
+	}
+}
+
+// PutNB is the explicit-handle non-blocking put (gasnet_put_nb). The
+// returned handle must be synced with WaitSync.
+func (ep *EP) PutNB(target int, seg Seg, off int64, data []byte) SyncHandle {
+	before := ep.pendingT
+	ep.Put(target, seg, off, data)
+	h := SyncHandle{t: ep.pendingT}
+	ep.pendingT = before // the op belongs to the handle, not the implicit set
+	if h.t < before {
+		ep.pendingT = before
+	}
+	return h
+}
+
+// Get copies n bytes from the target's segment into dst, blocking until the
+// data is locally usable (gasnet_get_bulk).
+func (ep *EP) Get(target int, seg Seg, off int64, dst []byte) {
+	ep.checkTarget(target)
+	if len(dst) == 0 {
+		return
+	}
+	if off < 0 || off+int64(len(dst)) > seg.Size {
+		panic(fmt.Sprintf("gasnet: get of %d bytes at %d overflows %d-byte segment region", len(dst), off, seg.Size))
+	}
+	intra, pairs := ep.intra(target), ep.pairs()
+	ep.p.Clock.Advance(ep.world.prof.GetNs(len(dst), intra, pairs))
+	ep.world.pw.Read(target, seg.Off+off, dst)
+}
+
+// SyncHandle tracks one non-blocking operation.
+type SyncHandle struct{ t float64 }
+
+// WaitSync blocks until the handle's operation is remotely complete
+// (gasnet_wait_syncnb).
+func (ep *EP) WaitSync(h SyncHandle) {
+	ep.p.Clock.Advance(ep.world.prof.OverheadNs)
+	ep.p.Clock.MergeAtLeast(h.t)
+}
+
+// WaitSyncAll completes all implicit-handle operations
+// (gasnet_wait_syncnbi_all).
+func (ep *EP) WaitSyncAll() {
+	ep.p.Clock.Advance(ep.world.prof.OverheadNs)
+	ep.p.Clock.MergeAtLeast(ep.pendingT)
+	ep.pendingT = 0
+}

@@ -1,0 +1,61 @@
+package gasnet
+
+import (
+	"fmt"
+	"sync"
+
+	"cafshmem/internal/pgas"
+)
+
+// symHeap is a bump allocator over the symmetric segment space. GASNet
+// itself only attaches a raw segment; runtimes layered on it manage the
+// space. We provide a collective Malloc so layered code can allocate
+// identical offsets on all nodes, mirroring shmem's symmetric heap (the CAF
+// runtime needs this regardless of transport).
+type symHeap struct {
+	mu  sync.Mutex
+	brk int64
+}
+
+const segAlign = 64
+
+func newSymHeap() *symHeap { return &symHeap{brk: segAlign} }
+
+func (h *symHeap) alloc(size int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("gasnet: allocation size must be positive, got %d", size)
+	}
+	sz := (size + segAlign - 1) &^ (segAlign - 1)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	off := h.brk
+	if off+sz > pgas.MaxSegmentBytes {
+		return 0, fmt.Errorf("gasnet: segment exhausted")
+	}
+	h.brk += sz
+	return off, nil
+}
+
+// Malloc collectively reserves a symmetric segment region: every node calls
+// with the same size and receives the identical handle.
+func (ep *EP) Malloc(size int64) Seg {
+	type slot struct {
+		seg Seg
+		err error
+	}
+	w := ep.world
+	ep.Barrier()
+	shared := w.pw.Shared("gasnet.malloc", func() interface{} { return &sync.Map{} }).(*sync.Map)
+	if ep.p.ID == 0 {
+		off, err := w.heap.alloc(size)
+		shared.Store("cur", &slot{Seg{Off: off, Size: size}, err})
+	}
+	ep.Barrier()
+	v, _ := shared.Load("cur")
+	res := v.(*slot)
+	ep.Barrier()
+	if res.err != nil {
+		panic(res.err)
+	}
+	return res.seg
+}

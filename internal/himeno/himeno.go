@@ -1,0 +1,251 @@
+// Package himeno implements the CAF port of the Himeno benchmark the paper
+// evaluates in §V-D: a 19-point Jacobi relaxation for the pressure Poisson
+// equation of an incompressible fluid solver, with halo exchange between
+// images using matrix-oriented strided coarray transfers.
+//
+// As in the reference benchmark, the coefficient arrays are constant
+// (a = {1,1,1,1/6}, b = 0, c = 1, bnd = 1, wrk1 = 0), so they are folded
+// into the kernel; the flop count per point (34) follows the official
+// Himeno MFLOPS accounting.
+//
+// The grid is decomposed along the second dimension (Fortran's j), which
+// makes each halo plane a matrix-oriented section: contiguous pencils of NX
+// elements, strided across the third dimension — exactly the §V-D case where
+// the naive (putmem-per-contiguous-block) transfer beats 1-D strided calls.
+package himeno
+
+import (
+	"fmt"
+
+	"cafshmem/internal/caf"
+)
+
+const (
+	omega      = 0.8
+	a4         = 1.0 / 6.0
+	flopsPerPt = 34.0
+)
+
+// Params configures a run.
+type Params struct {
+	NX, NY, NZ int // global grid (including fixed boundary planes)
+	Iters      int
+	// Gather reassembles the global field on image 1 after the run
+	// (validation only; not part of the timed region).
+	Gather bool
+}
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	Images int
+	Gosa   float64
+	TimeMs float64 // virtual time of the slowest image
+	MFLOPS float64 // official Himeno metric over virtual time
+	// Field is the reassembled global pressure field (nil unless
+	// Params.Gather), indexed i + NX*(j + NY*k).
+	Field []float32
+}
+
+func (p Params) validate(images int) error {
+	if p.NX < 3 || p.NY < 3 || p.NZ < 3 {
+		return fmt.Errorf("himeno: grid %dx%dx%d too small", p.NX, p.NY, p.NZ)
+	}
+	if p.Iters < 1 {
+		return fmt.Errorf("himeno: need at least one iteration")
+	}
+	if images > p.NY {
+		return fmt.Errorf("himeno: %d images exceed %d j-planes", images, p.NY)
+	}
+	return nil
+}
+
+// decompose returns the global j range [lo, hi) owned by image (1-based).
+func decompose(ny, images, image int) (lo, hi int) {
+	base := ny / images
+	rem := ny % images
+	idx := image - 1
+	lo = idx*base + min(idx, rem)
+	hi = lo + base
+	if idx < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// initPressure returns the standard Himeno initial condition for global
+// k-plane index k: p = (k/(NZ-1))^2.
+func initPressure(k, nz int) float32 {
+	v := float32(k) / float32(nz-1)
+	return v * v
+}
+
+// Run executes the distributed benchmark and returns its result. The
+// computation is real (the returned Gosa is the true residual); only time is
+// modelled, as everywhere in this repository.
+func Run(opts caf.Options, images int, prm Params) (Result, error) {
+	if err := prm.validate(images); err != nil {
+		return Result{}, err
+	}
+	res := Result{Images: images}
+	var worst float64
+	var gosaOut float64
+	var gathered []float32
+	err := caf.Run(images, opts, func(img *caf.Image) {
+		nx, ny, nz := prm.NX, prm.NY, prm.NZ
+		me := img.ThisImage()
+		lo, hi := decompose(ny, images, me)
+		nyLoc := hi - lo
+		// Coarrays are symmetric: every image allocates the same local shape,
+		// sized for the largest slab (image 1 under this decomposition), even
+		// when its own slab is smaller.
+		nyAlloc := planeCount(ny, images, 1)
+
+		// Local array: (nx, nyAlloc+2, nz); j=0 and j=nyLoc+1 are ghosts.
+		p := caf.Allocate[float32](img, nx, nyAlloc+2, nz)
+		cur := make([]float32, p.Len())
+		at := func(i, j, k int) int { return i + nx*(j+(nyAlloc+2)*k) }
+		for k := 0; k < nz; k++ {
+			for j := 0; j < nyAlloc+2; j++ {
+				for i := 0; i < nx; i++ {
+					cur[at(i, j, k)] = initPressure(k, nz)
+				}
+			}
+		}
+		p.SetSlice(cur)
+		img.SyncAll()
+
+		img.Clock().Reset()
+		var gosa float64
+		next := make([]float32, len(cur))
+		for it := 0; it < prm.Iters; it++ {
+			copy(next, cur)
+			gosa = 0
+			// Jacobi sweep over this image's interior points. Global
+			// boundaries (i, k extremes; global j = 0 and ny-1) stay fixed.
+			for k := 1; k < nz-1; k++ {
+				for j := 1; j <= nyLoc; j++ {
+					gj := lo + j - 1
+					if gj == 0 || gj == ny-1 {
+						continue
+					}
+					for i := 1; i < nx-1; i++ {
+						c0 := cur[at(i, j, k)]
+						s0 := cur[at(i+1, j, k)] + cur[at(i-1, j, k)] +
+							cur[at(i, j+1, k)] + cur[at(i, j-1, k)] +
+							cur[at(i, j, k+1)] + cur[at(i, j, k-1)]
+						ss := s0*a4 - c0
+						gosa += float64(ss) * float64(ss)
+						next[at(i, j, k)] = c0 + omega*ss
+					}
+				}
+			}
+			// Charge the modelled compute time for the sweep.
+			pts := float64((nx - 2) * nyLoc * (nz - 2))
+			img.Clock().Advance(opts.Machine.ComputeNs(flopsPerPt * pts))
+
+			cur, next = next, cur
+			p.SetSlice(cur)
+			// Everyone's local store must land before neighbours write into
+			// our ghost planes (and vice versa).
+			img.SyncAll()
+
+			// Halo exchange: matrix-oriented planes (contiguous in i,
+			// strided across k).
+			if me > 1 {
+				plane := extractPlane(cur, nx, nyAlloc, nz, 1)
+				leftNyLoc := planeCount(ny, images, me-1)
+				p2 := sectionPlane(nx, nz, leftNyLoc+1)
+				putPlane(img, p, me-1, p2, plane)
+			}
+			if me < images {
+				plane := extractPlane(cur, nx, nyAlloc, nz, nyLoc)
+				p2 := sectionPlane(nx, nz, 0)
+				putPlane(img, p, me+1, p2, plane)
+			}
+			img.SyncAll()
+			// Refresh ghosts into the working copy.
+			refresh := p.Slice()
+			copy(cur, refresh)
+
+			// Residual reduction, as the reference code does every iteration.
+			gosa = caf.CoSum(img, []float64{gosa}, 0)[0]
+		}
+		img.SyncAll()
+		if me == 1 {
+			worst = img.Clock().Now()
+			gosaOut = gosa
+		}
+		if prm.Gather {
+			if me == 1 {
+				field := make([]float32, nx*ny*nz)
+				for m := 1; m <= images; m++ {
+					mlo, mhi := decompose(ny, images, m)
+					mny := mhi - mlo
+					sec := caf.Section{
+						{Lo: 0, Hi: nx - 1, Step: 1},
+						{Lo: 1, Hi: mny, Step: 1},
+						{Lo: 0, Hi: nz - 1, Step: 1},
+					}
+					vals := p.Get(m, sec)
+					vi := 0
+					for k := 0; k < nz; k++ {
+						for j := 0; j < mny; j++ {
+							gj := mlo + j
+							copy(field[0+nx*(gj+ny*k):nx+nx*(gj+ny*k)], vals[vi:vi+nx])
+							vi += nx
+						}
+					}
+				}
+				gathered = field
+			}
+			img.SyncAll()
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	interior := float64((prm.NX - 2) * (prm.NY - 2) * (prm.NZ - 2))
+	res.TimeMs = worst / 1e6
+	res.Gosa = gosaOut
+	res.MFLOPS = flopsPerPt * interior * float64(prm.Iters) / (worst / 1e9) / 1e6
+	res.Field = gathered
+	return res, nil
+}
+
+// planeCount returns nyLoc of another image.
+func planeCount(ny, images, image int) int {
+	lo, hi := decompose(ny, images, image)
+	return hi - lo
+}
+
+// sectionPlane selects the whole (i, k) plane at local j index j.
+func sectionPlane(nx, nz, j int) caf.Section {
+	return caf.Section{
+		{Lo: 0, Hi: nx - 1, Step: 1},
+		{Lo: j, Hi: j, Step: 1},
+		{Lo: 0, Hi: nz - 1, Step: 1},
+	}
+}
+
+// extractPlane copies local j-plane j out of the working array (whose j
+// extent is nyAlloc+2) in section (column-major) order.
+func extractPlane(cur []float32, nx, nyAlloc, nz, j int) []float32 {
+	out := make([]float32, nx*nz)
+	for k := 0; k < nz; k++ {
+		base := nx * (j + (nyAlloc+2)*k)
+		copy(out[k*nx:(k+1)*nx], cur[base:base+nx])
+	}
+	return out
+}
+
+func putPlane(img *caf.Image, p *caf.Coarray[float32], target int, sec caf.Section, vals []float32) {
+	p.Put(target, sec, vals)
+	_ = img
+}

@@ -1,0 +1,139 @@
+package himeno
+
+import (
+	"math"
+	"testing"
+
+	"cafshmem/internal/caf"
+	"cafshmem/internal/fabric"
+)
+
+func stampedeOpts() caf.Options {
+	o := caf.UHCAFOverMV2XSHMEM()
+	o.Strided = caf.StridedNaive // §V-D: the best algorithm for Himeno
+	return o
+}
+
+func TestDecompose(t *testing.T) {
+	// 10 planes over 3 images: 4+3+3, contiguous, covering everything.
+	covered := 0
+	prev := 0
+	for m := 1; m <= 3; m++ {
+		lo, hi := decompose(10, 3, m)
+		if lo != prev {
+			t.Fatalf("image %d starts at %d, want %d", m, lo, prev)
+		}
+		covered += hi - lo
+		prev = hi
+	}
+	if covered != 10 || prev != 10 {
+		t.Fatalf("decomposition does not cover the grid: %d planes", covered)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	if _, err := Run(stampedeOpts(), 2, Params{NX: 2, NY: 8, NZ: 8, Iters: 1}); err == nil {
+		t.Fatal("tiny grid should fail")
+	}
+	if _, err := Run(stampedeOpts(), 2, Params{NX: 8, NY: 8, NZ: 8, Iters: 0}); err == nil {
+		t.Fatal("zero iterations should fail")
+	}
+	if _, err := Run(stampedeOpts(), 20, Params{NX: 8, NY: 8, NZ: 8, Iters: 1}); err == nil {
+		t.Fatal("more images than planes should fail")
+	}
+}
+
+// The distributed solver must agree with the serial reference: identical
+// per-point arithmetic means the fields match exactly; the residual is
+// summed in a different order, so it matches to rounding.
+func TestDistributedMatchesSerial(t *testing.T) {
+	prm := Params{NX: 12, NY: 16, NZ: 10, Iters: 4, Gather: true}
+	wantGosa, wantField := Serial(prm)
+	for _, images := range []int{1, 2, 3, 5, 8} {
+		res, err := Run(stampedeOpts(), images, prm)
+		if err != nil {
+			t.Fatalf("images=%d: %v", images, err)
+		}
+		if res.Field == nil {
+			t.Fatalf("images=%d: no gathered field", images)
+		}
+		for i := range wantField {
+			if res.Field[i] != wantField[i] {
+				t.Fatalf("images=%d: field[%d] = %v, want %v", images, i, res.Field[i], wantField[i])
+			}
+		}
+		if math.Abs(res.Gosa-wantGosa) > 1e-9*math.Abs(wantGosa)+1e-12 {
+			t.Fatalf("images=%d: gosa %v, want %v", images, res.Gosa, wantGosa)
+		}
+	}
+}
+
+// Every transport/algorithm combination must compute the same physics.
+func TestAllConfigsSamePhysics(t *testing.T) {
+	prm := Params{NX: 10, NY: 12, NZ: 8, Iters: 3, Gather: true}
+	_, wantField := Serial(prm)
+	st := fabric.Stampede()
+	configs := []caf.Options{
+		stampedeOpts(),
+		caf.UHCAFOverMV2XSHMEM(), // 2dim
+		caf.UHCAFOverGASNet(st, fabric.ProfGASNetIBV),
+		caf.UHCAFOverCraySHMEM(fabric.CrayXC30()),
+		caf.CrayCAF(fabric.CrayXC30()),
+	}
+	for _, o := range configs {
+		res, err := Run(o, 4, prm)
+		if err != nil {
+			t.Fatalf("%s: %v", o.Profile, err)
+		}
+		for i := range wantField {
+			if res.Field[i] != wantField[i] {
+				t.Fatalf("%s: field diverges at %d", o.Profile, i)
+			}
+		}
+	}
+}
+
+// Gosa must decrease: the Jacobi iteration converges on this problem.
+func TestResidualDecreases(t *testing.T) {
+	g1, _ := Serial(Params{NX: 16, NY: 16, NZ: 16, Iters: 1})
+	g8, _ := Serial(Params{NX: 16, NY: 16, NZ: 16, Iters: 8})
+	if !(g8 < g1) {
+		t.Fatalf("residual did not decrease: %v -> %v", g1, g8)
+	}
+}
+
+// Fig 10's shape at one point: with >= 16 images, UHCAF over MVAPICH2-X
+// SHMEM (naive strided) outperforms UHCAF over GASNet.
+func TestFig10Ordering(t *testing.T) {
+	prm := Params{NX: 16, NY: 64, NZ: 12, Iters: 2}
+	st := fabric.Stampede()
+	shm, err := Run(stampedeOpts(), 32, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gas, err := Run(caf.UHCAFOverGASNet(st, fabric.ProfGASNetIBV), 32, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(shm.MFLOPS > gas.MFLOPS) {
+		t.Fatalf("SHMEM (%v MFLOPS) should beat GASNet (%v MFLOPS) at 32 images", shm.MFLOPS, gas.MFLOPS)
+	}
+}
+
+// §V-D: for Himeno's matrix-oriented halos on Stampede, the naive algorithm
+// must be at least as good as 2dim_strided.
+func TestNaiveBestForHimeno(t *testing.T) {
+	prm := Params{NX: 16, NY: 64, NZ: 12, Iters: 2}
+	naive, err := Run(stampedeOpts(), 32, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoDim, err := Run(caf.UHCAFOverMV2XSHMEM(), 32, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.MFLOPS < twoDim.MFLOPS*0.999 {
+		t.Fatalf("naive (%v MFLOPS) should not lose to 2dim (%v MFLOPS) on matrix-oriented halos",
+			naive.MFLOPS, twoDim.MFLOPS)
+	}
+}

@@ -1,0 +1,37 @@
+package himeno
+
+// Serial is the single-address-space reference implementation used to
+// validate the distributed CAF version: identical kernel, identical
+// per-point operation order, no communication.
+func Serial(prm Params) (gosa float64, field []float32) {
+	nx, ny, nz := prm.NX, prm.NY, prm.NZ
+	at := func(i, j, k int) int { return i + nx*(j+ny*k) }
+	cur := make([]float32, nx*ny*nz)
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				cur[at(i, j, k)] = initPressure(k, nz)
+			}
+		}
+	}
+	next := make([]float32, len(cur))
+	for it := 0; it < prm.Iters; it++ {
+		copy(next, cur)
+		gosa = 0
+		for k := 1; k < nz-1; k++ {
+			for j := 1; j < ny-1; j++ {
+				for i := 1; i < nx-1; i++ {
+					c0 := cur[at(i, j, k)]
+					s0 := cur[at(i+1, j, k)] + cur[at(i-1, j, k)] +
+						cur[at(i, j+1, k)] + cur[at(i, j-1, k)] +
+						cur[at(i, j, k+1)] + cur[at(i, j, k-1)]
+					ss := s0*a4 - c0
+					gosa += float64(ss) * float64(ss)
+					next[at(i, j, k)] = c0 + omega*ss
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	return gosa, cur
+}

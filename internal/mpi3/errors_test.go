@@ -1,0 +1,100 @@
+package mpi3
+
+import (
+	"strings"
+	"testing"
+)
+
+// Negative-path coverage for the MPI-3 RMA epoch discipline.
+
+func TestUnlockWithoutLockPanics(t *testing.T) {
+	err := Run(cfg(), 2, func(pr *Proc) {
+		win := pr.WinAllocate(8)
+		if pr.Rank() == 0 {
+			pr.Unlock(1, win)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "epoch") {
+		t.Fatalf("expected epoch violation, got %v", err)
+	}
+}
+
+func TestDoubleLockAllPanics(t *testing.T) {
+	err := Run(cfg(), 1, func(pr *Proc) {
+		win := pr.WinAllocate(8)
+		pr.LockAll(win)
+		pr.LockAll(win)
+	})
+	if err == nil {
+		t.Fatal("double LockAll should panic")
+	}
+}
+
+func TestUnlockAllWithoutLockAllPanics(t *testing.T) {
+	err := Run(cfg(), 1, func(pr *Proc) {
+		win := pr.WinAllocate(8)
+		pr.UnlockAll(win)
+	})
+	if err == nil {
+		t.Fatal("UnlockAll without LockAll should panic")
+	}
+}
+
+func TestDoubleLockSameTargetPanics(t *testing.T) {
+	err := Run(cfg(), 2, func(pr *Proc) {
+		win := pr.WinAllocate(8)
+		if pr.Rank() == 0 {
+			pr.Lock(LockShared, 1, win)
+			pr.Lock(LockShared, 1, win)
+		}
+	})
+	if err == nil {
+		t.Fatal("double Lock on one target should panic")
+	}
+}
+
+func TestFlushAllOutsideEpochPanics(t *testing.T) {
+	err := Run(cfg(), 1, func(pr *Proc) {
+		win := pr.WinAllocate(8)
+		pr.FlushAll(win)
+	})
+	if err == nil {
+		t.Fatal("FlushAll outside an epoch should panic")
+	}
+}
+
+func TestGetBounds(t *testing.T) {
+	err := Run(cfg(), 2, func(pr *Proc) {
+		win := pr.WinAllocate(8)
+		if pr.Rank() == 0 {
+			pr.LockAll(win)
+			dst := make([]byte, 16)
+			pr.Get(win, 1, 0, dst)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("expected window overflow, got %v", err)
+	}
+}
+
+func TestNegativeWindowPanics(t *testing.T) {
+	err := Run(cfg(), 1, func(pr *Proc) {
+		pr.WinAllocate(-8)
+	})
+	if err == nil {
+		t.Fatal("negative window size should panic")
+	}
+}
+
+func TestTargetRangeChecked(t *testing.T) {
+	err := Run(cfg(), 2, func(pr *Proc) {
+		win := pr.WinAllocate(8)
+		pr.LockAll(win)
+		if pr.Rank() == 0 {
+			pr.Put(win, 7, 0, []byte{1})
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected rank range panic, got %v", err)
+	}
+}

@@ -1,0 +1,177 @@
+package mpi3
+
+import (
+	"fmt"
+
+	"cafshmem/internal/pgas"
+)
+
+// Lock opens a passive-target access epoch on win at target
+// (MPI_Win_lock). LockExclusive serialises against other exclusive lockers.
+func (pr *Proc) Lock(kind LockKind, target int, win *Win) {
+	pr.checkTarget(target)
+	e := pr.epochFor(win, true)
+	if e.targets[target] || e.all {
+		panic(fmt.Sprintf("mpi3: rank %d already holds an epoch on target %d", pr.p.ID, target))
+	}
+	if kind == LockExclusive {
+		win.exclMu.Lock()
+		e.heldExcl = append(e.heldExcl, target)
+	}
+	e.targets[target] = true
+	pr.p.Clock.Advance(pr.world.prof.OverheadNs + pr.world.prof.WindowSyncNs)
+}
+
+// Unlock closes the epoch on target, completing all operations to it
+// (MPI_Win_unlock).
+func (pr *Proc) Unlock(target int, win *Win) {
+	e := pr.epochFor(win, false)
+	if e == nil || !e.targets[target] {
+		panic(fmt.Sprintf("mpi3: rank %d unlocking target %d without an epoch", pr.p.ID, target))
+	}
+	pr.flushEpoch(e)
+	delete(e.targets, target)
+	for i, t := range e.heldExcl {
+		if t == target {
+			e.heldExcl = append(e.heldExcl[:i], e.heldExcl[i+1:]...)
+			win.exclMu.Unlock()
+			break
+		}
+	}
+	pr.p.Clock.Advance(pr.world.prof.OverheadNs + pr.world.prof.WindowSyncNs)
+}
+
+// LockAll opens a shared epoch on every rank (MPI_Win_lock_all) — the idiom
+// one-sided benchmarks (and PGAS runtimes over MPI) use.
+func (pr *Proc) LockAll(win *Win) {
+	e := pr.epochFor(win, true)
+	if e.all {
+		panic("mpi3: LockAll on an already-locked window")
+	}
+	e.all = true
+	pr.p.Clock.Advance(pr.world.prof.OverheadNs + pr.world.prof.WindowSyncNs)
+}
+
+// UnlockAll closes the shared epoch (MPI_Win_unlock_all).
+func (pr *Proc) UnlockAll(win *Win) {
+	e := pr.epochFor(win, false)
+	if e == nil || !e.all {
+		panic("mpi3: UnlockAll without LockAll")
+	}
+	pr.flushEpoch(e)
+	e.all = false
+	pr.p.Clock.Advance(pr.world.prof.OverheadNs + pr.world.prof.WindowSyncNs)
+}
+
+func (pr *Proc) requireEpoch(e *epoch, target int) {
+	if e == nil || (!e.all && !e.targets[target]) {
+		panic(fmt.Sprintf("mpi3: RMA to target %d outside an access epoch", target))
+	}
+}
+
+// Put is MPI_Put: one-sided write into the target's window region. Completion
+// (local and remote) requires Flush/Unlock.
+func (pr *Proc) Put(win *Win, target int, off int64, data []byte) {
+	pr.checkTarget(target)
+	if off < 0 || off+int64(len(data)) > win.size {
+		panic(fmt.Sprintf("mpi3: put of %d bytes at %d overflows %d-byte window", len(data), off, win.size))
+	}
+	e := pr.epochFor(win, false)
+	pr.requireEpoch(e, target)
+	intra, pairs := pr.intra(target), pr.pairs()
+	prof := pr.world.prof
+	pr.p.Clock.Advance(prof.PutInjectNs(len(data), intra, pairs) + prof.WindowSyncNs)
+	vis := pr.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
+	pr.world.pw.Write(target, win.off+off, data, vis)
+	if vis > e.pendingT {
+		e.pendingT = vis
+	}
+}
+
+// Get is MPI_Get: one-sided read from the target's window region. We model
+// it as blocking-on-data (the common implementation behaviour for
+// passive-target gets followed immediately by a flush).
+func (pr *Proc) Get(win *Win, target int, off int64, dst []byte) {
+	pr.checkTarget(target)
+	if off < 0 || off+int64(len(dst)) > win.size {
+		panic(fmt.Sprintf("mpi3: get of %d bytes at %d overflows %d-byte window", len(dst), off, win.size))
+	}
+	pr.requireEpoch(pr.epochFor(win, false), target)
+	intra, pairs := pr.intra(target), pr.pairs()
+	pr.p.Clock.Advance(pr.world.prof.GetNs(len(dst), intra, pairs) + pr.world.prof.WindowSyncNs)
+	pr.world.pw.Read(target, win.off+off, dst)
+}
+
+// Flush completes all outstanding operations to target (MPI_Win_flush).
+func (pr *Proc) Flush(target int, win *Win) {
+	e := pr.epochFor(win, false)
+	pr.requireEpoch(e, target)
+	pr.flushEpoch(e)
+}
+
+// FlushAll completes all outstanding operations on the window
+// (MPI_Win_flush_all).
+func (pr *Proc) FlushAll(win *Win) {
+	e := pr.epochFor(win, false)
+	if e == nil || (!e.all && len(e.targets) == 0) {
+		panic("mpi3: FlushAll outside an access epoch")
+	}
+	pr.flushEpoch(e)
+}
+
+func (pr *Proc) flushEpoch(e *epoch) {
+	prof := pr.world.prof
+	pr.p.Clock.Advance(prof.OverheadNs + prof.WindowSyncNs)
+	pr.p.Clock.MergeAtLeast(e.pendingT)
+	e.pendingT = 0
+}
+
+// Fence is the active-target MPI_Win_fence: a collective that closes and
+// opens an epoch for everyone.
+func (pr *Proc) Fence(win *Win) {
+	e := pr.epochFor(win, true)
+	pr.flushEpoch(e)
+	w := pr.world
+	n := w.pw.NumPEs()
+	pr.p.Barrier(w.prof.BarrierNs(n, w.machine.NodesFor(n)) + w.prof.WindowSyncNs)
+	// A fence epoch permits RMA to any target until the next fence.
+	e.all = true
+}
+
+// Accumulate applies MPI_SUM to a 64-bit word in the target window
+// (MPI_Accumulate with MPI_LONG_LONG/MPI_SUM).
+func (pr *Proc) Accumulate(win *Win, target int, off int64, v int64) {
+	pr.checkTarget(target)
+	e := pr.epochFor(win, false)
+	pr.requireEpoch(e, target)
+	intra, pairs := pr.intra(target), pr.pairs()
+	prof := pr.world.prof
+	pr.p.Clock.Advance(prof.AtomicRTTNs(intra, pairs) + prof.WindowSyncNs)
+	pr.world.pw.RMW64(target, win.off+off, pgas.OpAdd, uint64(v), pr.p.Clock.Now())
+}
+
+// FetchAndOp is MPI_Fetch_and_op with MPI_SUM on a 64-bit word.
+func (pr *Proc) FetchAndOp(win *Win, target int, off int64, v int64) int64 {
+	pr.checkTarget(target)
+	pr.requireEpoch(pr.epochFor(win, false), target)
+	intra, pairs := pr.intra(target), pr.pairs()
+	prof := pr.world.prof
+	pr.p.Clock.Advance(prof.AtomicRTTNs(intra, pairs) + prof.WindowSyncNs)
+	return int64(pr.world.pw.RMW64(target, win.off+off, pgas.OpAdd, uint64(v), pr.p.Clock.Now()))
+}
+
+// CompareAndSwap is MPI_Compare_and_swap on a 64-bit word.
+func (pr *Proc) CompareAndSwap(win *Win, target int, off int64, expected, desired int64) int64 {
+	pr.checkTarget(target)
+	pr.requireEpoch(pr.epochFor(win, false), target)
+	intra, pairs := pr.intra(target), pr.pairs()
+	prof := pr.world.prof
+	pr.p.Clock.Advance(prof.AtomicRTTNs(intra, pairs) + prof.WindowSyncNs)
+	return int64(pr.world.pw.CompareSwap64(target, win.off+off, uint64(expected), uint64(desired), pr.p.Clock.Now()))
+}
+
+func (pr *Proc) checkTarget(t int) {
+	if t < 0 || t >= pr.Size() {
+		panic(fmt.Sprintf("mpi3: rank %d out of range [0,%d)", t, pr.Size()))
+	}
+}

@@ -1,0 +1,78 @@
+package pgas
+
+import "sync"
+
+// barrier is a reusable sense-reversing barrier that additionally aggregates
+// the maximum virtual arrival time of the participants, so that the release
+// time respects causality (no PE may leave a barrier "before" the last PE
+// arrived).
+type barrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	n        int
+	count    int
+	gen      uint64
+	maxT     float64
+	outT     float64
+	poisoned bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n participants have called it, then returns the
+// maximum arriveT across the group. The last arriver computes the max and
+// wakes the rest.
+func (b *barrier) await(arriveT float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic("pgas: barrier poisoned (another PE failed)")
+	}
+	if arriveT > b.maxT {
+		b.maxT = arriveT
+	}
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.outT = b.maxT
+		b.maxT = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.outT
+	}
+	gen := b.gen
+	for b.gen == gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic("pgas: barrier poisoned (another PE failed)")
+	}
+	return b.outT
+}
+
+func (b *barrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// BarrierSync performs a world-wide rendezvous: it blocks until every PE in
+// the world has called it and returns the maximum virtual arrival time.
+// Library layers add their own modelled barrier cost on top (the returned
+// value is the causality floor, not the release time).
+func (w *World) BarrierSync(arriveT float64) float64 {
+	return w.barrier.await(arriveT)
+}
+
+// Barrier is the common composed operation: rendezvous at the PE's current
+// clock, then advance the clock to the release time plus costNs.
+func (p *PE) Barrier(costNs float64) {
+	rel := p.world.BarrierSync(p.Clock.Now())
+	p.Clock.MergeAtLeast(rel)
+	p.Clock.Advance(costNs)
+}

@@ -1,0 +1,78 @@
+package pgas
+
+import (
+	"fmt"
+	"testing"
+
+	"cafshmem/internal/fabric"
+)
+
+func BenchmarkWrite(b *testing.B) {
+	for _, size := range []int{8, 4096, 1 << 20} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			w, err := NewWorld(fabric.Stampede(), 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Write(1, 0, data, float64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	w, err := NewWorld(fabric.Stampede(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w.Write(1, 0, make([]byte, 4096), 0)
+	dst := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Read(1, 0, dst)
+	}
+}
+
+func BenchmarkRMW64(b *testing.B) {
+	w, err := NewWorld(fabric.Stampede(), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.RMW64(1, 0, OpAdd, 1, float64(i))
+	}
+}
+
+func BenchmarkEncodeDecodeFloat64(b *testing.B) {
+	src := make([]float64, 1024)
+	dst := make([]float64, 1024)
+	var buf []byte
+	b.SetBytes(8 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = EncodeSlice(buf[:0], src)
+		DecodeSlice(dst, buf)
+	}
+}
+
+func BenchmarkBarrierSync(b *testing.B) {
+	w, err := NewWorld(fabric.Stampede(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	err = w.Run(func(p *PE) {
+		for i := 0; i < b.N; i++ {
+			p.Barrier(0)
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package pgas
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Elem is the set of element types that may live in remotely-accessible
+// memory. Partitions are raw bytes; these helpers give the library layers a
+// typed view with explicit little-endian encoding, which keeps the whole
+// repository free of unsafe pointer reinterpretation.
+type Elem interface {
+	byte | int32 | int64 | uint64 | float32 | float64
+}
+
+// SizeOf returns the encoded size in bytes of one element of type T.
+func SizeOf[T Elem]() int {
+	var v T
+	switch any(v).(type) {
+	case byte:
+		return 1
+	case int32, float32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// EncodeSlice appends the little-endian encoding of src to dst and returns
+// the extended buffer.
+func EncodeSlice[T Elem](dst []byte, src []T) []byte {
+	switch s := any(src).(type) {
+	case []byte:
+		return append(dst, s...)
+	case []int32:
+		for _, v := range s {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+		}
+	case []int64:
+		for _, v := range s {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		}
+	case []uint64:
+		for _, v := range s {
+			dst = binary.LittleEndian.AppendUint64(dst, v)
+		}
+	case []float32:
+		for _, v := range s {
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+		}
+	case []float64:
+		for _, v := range s {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	default:
+		panic(fmt.Sprintf("pgas: unsupported element type %T", src))
+	}
+	return dst
+}
+
+// DecodeSlice decodes len(dst) elements from the little-endian buffer src.
+func DecodeSlice[T Elem](dst []T, src []byte) {
+	switch d := any(dst).(type) {
+	case []byte:
+		copy(d, src)
+	case []int32:
+		for i := range d {
+			d[i] = int32(binary.LittleEndian.Uint32(src[4*i:]))
+		}
+	case []int64:
+		for i := range d {
+			d[i] = int64(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+	case []uint64:
+		for i := range d {
+			d[i] = binary.LittleEndian.Uint64(src[8*i:])
+		}
+	case []float32:
+		for i := range d {
+			d[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[4*i:]))
+		}
+	case []float64:
+		for i := range d {
+			d[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+		}
+	default:
+		panic(fmt.Sprintf("pgas: unsupported element type %T", dst))
+	}
+}
+
+// EncodeOne encodes a single element.
+func EncodeOne[T Elem](v T) []byte {
+	return EncodeSlice[T](nil, []T{v})
+}
+
+// DecodeOne decodes a single element from the front of src.
+func DecodeOne[T Elem](src []byte) T {
+	var out [1]T
+	DecodeSlice[T](out[:], src)
+	return out[0]
+}

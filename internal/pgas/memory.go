@@ -1,0 +1,223 @@
+package pgas
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ensureLen grows the partition to cover length bytes. Must be called with
+// p.mu held. Partitions grow lazily so that worlds with thousands of PEs do
+// not reserve memory they never touch.
+func (p *PE) ensureLen(length int64) {
+	if length > MaxSegmentBytes {
+		panic(fmt.Sprintf("pgas: PE %d segment would exceed %d bytes (asked %d)", p.ID, MaxSegmentBytes, length))
+	}
+	if int64(len(p.seg)) >= length {
+		return
+	}
+	old := len(p.seg)
+	if int64(cap(p.seg)) >= length {
+		// Extend within capacity; explicitly clear the exposed region so the
+		// partition always reads as zero-initialised memory.
+		p.seg = p.seg[:length]
+		clear(p.seg[old:])
+		return
+	}
+	// Grow geometrically to amortise, starting at 4 KiB.
+	newCap := int64(cap(p.seg))
+	if newCap < 4096 {
+		newCap = 4096
+	}
+	for newCap < length {
+		newCap *= 2
+	}
+	ns := make([]byte, length, newCap)
+	copy(ns, p.seg)
+	p.seg = ns
+}
+
+// Write copies data into the target PE's partition at off, one-sided: the
+// target goroutine does not participate. visibleAt is the virtual time at
+// which the data becomes observable at the target; watches overlapping the
+// range adopt it, and blocked waiters are woken.
+func (w *World) Write(target int, off int64, data []byte, visibleAt float64) {
+	if len(data) == 0 {
+		return
+	}
+	p := w.pes[target]
+	p.mu.Lock()
+	p.ensureLen(off + int64(len(data)))
+	copy(p.seg[off:], data)
+	p.noteWrite(off, int64(len(data)), visibleAt)
+	p.mu.Unlock()
+}
+
+// Read copies len(dst) bytes out of the target PE's partition at off.
+func (w *World) Read(target int, off int64, dst []byte) {
+	if len(dst) == 0 {
+		return
+	}
+	p := w.pes[target]
+	p.mu.Lock()
+	p.ensureLen(off + int64(len(dst)))
+	copy(dst, p.seg[off:off+int64(len(dst))])
+	p.mu.Unlock()
+}
+
+// WriteUint64 stores an 8-byte little-endian word one-sided.
+func (w *World) WriteUint64(target int, off int64, v uint64, visibleAt float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.Write(target, off, b[:], visibleAt)
+}
+
+// ReadUint64 loads an 8-byte little-endian word one-sided.
+func (w *World) ReadUint64(target int, off int64) uint64 {
+	var b [8]byte
+	w.Read(target, off, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// AtomicOp names a read-modify-write operation on a 64-bit word.
+type AtomicOp int
+
+const (
+	OpAdd AtomicOp = iota
+	OpAnd
+	OpOr
+	OpXor
+	OpSwap
+)
+
+// RMW64 atomically applies op to the 64-bit little-endian word at (target,
+// off) and returns the previous value. The update is visible at visibleAt.
+func (w *World) RMW64(target int, off int64, op AtomicOp, operand uint64, visibleAt float64) uint64 {
+	p := w.pes[target]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureLen(off + 8)
+	old := binary.LittleEndian.Uint64(p.seg[off:])
+	var nw uint64
+	switch op {
+	case OpAdd:
+		nw = old + operand
+	case OpAnd:
+		nw = old & operand
+	case OpOr:
+		nw = old | operand
+	case OpXor:
+		nw = old ^ operand
+	case OpSwap:
+		nw = operand
+	default:
+		panic(fmt.Sprintf("pgas: unknown atomic op %d", op))
+	}
+	binary.LittleEndian.PutUint64(p.seg[off:], nw)
+	p.noteWrite(off, 8, visibleAt)
+	return old
+}
+
+// CompareSwap64 atomically replaces the word at (target, off) with desired if
+// it equals expected, returning the previous value (OpenSHMEM cswap
+// semantics: the caller checks old == expected for success).
+func (w *World) CompareSwap64(target int, off int64, expected, desired uint64, visibleAt float64) uint64 {
+	p := w.pes[target]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureLen(off + 8)
+	old := binary.LittleEndian.Uint64(p.seg[off:])
+	if old == expected {
+		binary.LittleEndian.PutUint64(p.seg[off:], desired)
+		p.noteWrite(off, 8, visibleAt)
+	}
+	return old
+}
+
+// tsTrackMaxBytes bounds which writes record per-word timestamps: flag and
+// control-word traffic is always small; bulk payloads are never waited on.
+const tsTrackMaxBytes = 1024
+
+// noteWrite records a write's visibility time on overlapping watches and on
+// the per-word timestamp index, then wakes waiters. Must be called with p.mu
+// held.
+func (p *PE) noteWrite(off, n int64, visibleAt float64) {
+	for wt := range p.watches {
+		if off < wt.off+wt.n && wt.off < off+n {
+			if visibleAt > wt.ts {
+				wt.ts = visibleAt
+			}
+		}
+	}
+	if n <= tsTrackMaxBytes {
+		for w := off &^ 7; w < off+n; w += 8 {
+			if visibleAt > p.wordTs[w] {
+				p.wordTs[w] = visibleAt
+			}
+		}
+	}
+	p.cond.Broadcast()
+}
+
+// rangeTs returns the latest recorded visibility timestamp overlapping
+// [off, off+n). Must be called with p.mu held.
+func (p *PE) rangeTs(off, n int64) float64 {
+	ts := 0.0
+	for w := off &^ 7; w < off+n; w += 8 {
+		if t := p.wordTs[w]; t > ts {
+			ts = t
+		}
+	}
+	return ts
+}
+
+// WaitUntil blocks the calling PE until pred holds over the n bytes at off of
+// its *own* partition, then returns the virtual time at which the last write
+// to the range became visible (0 if the range was never written). The caller
+// is responsible for merging the returned timestamp into its clock; the
+// per-word timestamp index makes the result independent of whether the
+// satisfying write raced ahead of the watch registration.
+//
+// This is the substrate for shmem_wait_until and for the local spin of the
+// MCS lock (paper §IV-D: "It will then locally spin on its qnode's locked
+// field").
+func (p *PE) WaitUntil(off, n int64, pred func([]byte) bool) float64 {
+	wt := &watch{off: off, n: n}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureLen(off + n)
+	p.watches[wt] = struct{}{}
+	defer delete(p.watches, wt)
+	for {
+		p.world.checkFailed()
+		if pred(p.seg[off : off+n]) {
+			ts := p.rangeTs(off, n)
+			if wt.ts > ts {
+				ts = wt.ts
+			}
+			return ts
+		}
+		p.cond.Wait()
+	}
+}
+
+// WaitUntil64 blocks until cmp(word) holds for the local 64-bit word at off.
+func (p *PE) WaitUntil64(off int64, cmp func(uint64) bool) float64 {
+	return p.WaitUntil(off, 8, func(b []byte) bool {
+		return cmp(binary.LittleEndian.Uint64(b))
+	})
+}
+
+// LocalBytes returns a snapshot copy of n bytes at off of the PE's own
+// partition. A copy (not an alias) is returned because partitions may be
+// reallocated on growth and written concurrently by remote PEs.
+func (p *PE) LocalBytes(off, n int64) []byte {
+	dst := make([]byte, n)
+	p.world.Read(p.ID, off, dst)
+	return dst
+}
+
+// StoreLocal writes into the PE's own partition with immediate visibility
+// (used for initialising local coarray data; costs are the caller's concern).
+func (p *PE) StoreLocal(off int64, data []byte) {
+	p.world.Write(p.ID, off, data, p.Clock.Now())
+}

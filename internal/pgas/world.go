@@ -1,0 +1,206 @@
+// Package pgas is the execution substrate for the PGAS libraries in this
+// repository. It launches N goroutines as processing elements (PEs), gives
+// each a partitioned memory segment (the "symmetric segment"), and provides
+// one-sided access to any PE's partition without the target's participation —
+// the defining property of the PGAS model.
+//
+// pgas is deliberately cost-agnostic: it moves real bytes and tracks
+// virtual-time causality (timestamps on writes, max-merge on waits), while
+// the library layers above it (shmem, gasnet, mpi3) decide how many virtual
+// nanoseconds each operation costs using a fabric.CostProfile.
+package pgas
+
+import (
+	"fmt"
+	"sync"
+
+	"cafshmem/internal/fabric"
+)
+
+// MaxSegmentBytes bounds each PE's partition. 2^36 matches the offset width
+// of the packed remote pointers used by the CAF lock implementation (paper
+// §IV-D: "36 bits for the offset of the qnode within the remote-accessible
+// buffer space").
+const MaxSegmentBytes = int64(1) << 36
+
+// World is one SPMD execution: n PEs over a modelled machine.
+type World struct {
+	machine *fabric.Machine
+	n       int
+	pes     []*PE
+	barrier *barrier
+
+	mu     sync.Mutex
+	shared map[string]interface{}
+
+	failMu sync.Mutex
+	failed error
+
+	pairsOverride int // 0 = derive from placement
+}
+
+// PE is one processing element. The goroutine running the PE's body is the
+// only writer of Clock; all cross-PE access goes through the World's
+// one-sided operations, which lock the target PE's partition.
+type PE struct {
+	ID    int
+	Clock fabric.Clock
+	world *World
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	seg     []byte
+	watches map[*watch]struct{}
+	// wordTs records the latest visibility timestamp per 8-byte-aligned word
+	// for small writes (flags, counters, lock words), so a WaitUntil that
+	// registers after the satisfying write still recovers its causal
+	// timestamp. Large payload writes are not tracked (nothing waits on
+	// them), keeping the bookkeeping O(1) per flag-sized write.
+	wordTs map[int64]float64
+}
+
+// watch observes a byte range of a PE's partition. Writers that overlap the
+// range record the virtual time their data became visible; waiters merge it
+// into their clock when the awaited condition holds.
+type watch struct {
+	off, n int64
+	ts     float64
+}
+
+// NewWorld creates a world of n PEs on the given machine model.
+func NewWorld(machine *fabric.Machine, n int) (*World, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("pgas: need at least 1 PE, got %d", n)
+	}
+	if machine == nil {
+		return nil, fmt.Errorf("pgas: nil machine")
+	}
+	w := &World{
+		machine: machine,
+		n:       n,
+		pes:     make([]*PE, n),
+		barrier: newBarrier(n),
+		shared:  map[string]interface{}{},
+	}
+	for i := range w.pes {
+		p := &PE{ID: i, world: w, watches: map[*watch]struct{}{}, wordTs: map[int64]float64{}}
+		p.cond = sync.NewCond(&p.mu)
+		w.pes[i] = p
+	}
+	return w, nil
+}
+
+// Run executes body once per PE, each on its own goroutine, and blocks until
+// every PE returns. A panic in any PE poisons the world (waking all blocked
+// PEs) and is reported as an error.
+func Run(machine *fabric.Machine, n int, body func(*PE)) error {
+	w, err := NewWorld(machine, n)
+	if err != nil {
+		return err
+	}
+	return w.Run(body)
+}
+
+// Run executes body on every PE of an already-constructed world.
+func (w *World) Run(body func(*PE)) error {
+	var wg sync.WaitGroup
+	wg.Add(w.n)
+	for _, p := range w.pes {
+		go func(p *PE) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					w.poison(fmt.Errorf("pgas: PE %d panicked: %v", p.ID, r))
+				}
+			}()
+			body(p)
+		}(p)
+	}
+	wg.Wait()
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failed
+}
+
+// Machine returns the machine model this world runs on.
+func (w *World) Machine() *fabric.Machine { return w.machine }
+
+// NumPEs returns the number of processing elements.
+func (w *World) NumPEs() int { return w.n }
+
+// PE returns the processing element with the given rank.
+func (w *World) PE(id int) *PE { return w.pes[id] }
+
+// SetActivePairsPerNode overrides the contention model's estimate of how many
+// PEs per node are concurrently driving the NIC. The microbenchmarks use this
+// to model the paper's "1 pair" vs "16 pairs" configurations. Zero restores
+// the default (all co-located PEs are assumed active — the SPMD common case).
+func (w *World) SetActivePairsPerNode(k int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.pairsOverride = k
+}
+
+// ActivePairs returns the number of communicating PEs assumed to share the
+// NIC of the given PE's node, for the contention model.
+func (w *World) ActivePairs(pe int) int {
+	w.mu.Lock()
+	ov := w.pairsOverride
+	w.mu.Unlock()
+	if ov > 0 {
+		return ov
+	}
+	// Block placement: the PEs on pe's node are a contiguous rank range.
+	per := w.machine.CoresPerNode
+	if per <= 0 {
+		return 1
+	}
+	node := w.machine.NodeOf(pe)
+	lo := node * per
+	hi := lo + per
+	if hi > w.n {
+		hi = w.n
+	}
+	if hi-lo < 1 {
+		return 1
+	}
+	return hi - lo
+}
+
+// Shared returns (creating on first use under the world lock) a shared object
+// slot. Library layers use it for collectively-managed state such as the
+// symmetric heap allocator. The init function runs at most once per key.
+func (w *World) Shared(key string, init func() interface{}) interface{} {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	v, ok := w.shared[key]
+	if !ok {
+		v = init()
+		w.shared[key] = v
+	}
+	return v
+}
+
+func (w *World) poison(err error) {
+	w.failMu.Lock()
+	if w.failed == nil {
+		w.failed = err
+	}
+	w.failMu.Unlock()
+	// Wake everything that might be blocked so the process can unwind.
+	w.barrier.poison()
+	for _, p := range w.pes {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+func (w *World) checkFailed() {
+	w.failMu.Lock()
+	err := w.failed
+	w.failMu.Unlock()
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,310 @@
+package pgasbench
+
+import (
+	"cafshmem/internal/caf"
+	"cafshmem/internal/fabric"
+)
+
+// Standard sweeps used across the figures.
+var (
+	SmallSizes  = []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	LargeSizes  = []int{4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288, 1048576, 2097152, 4194304}
+	StrideSweep = []int{2, 4, 8, 16, 32, 64}
+	ImageSweep  = []int{2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+)
+
+func mustSeries(s Series, err error) Series {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Fig2 regenerates the paper's Figure 2: put latency comparison (1 pair, two
+// nodes) for SHMEM vs MPI-3.0 vs GASNet on Stampede and on the Cray/Gemini
+// platform, small and large message sizes.
+func Fig2() Figure {
+	st := fabric.Stampede()
+	ti := fabric.Titan()
+	panel := func(title string, m *fabric.Machine, profs []struct {
+		lib  Library
+		name string
+	}, sizes []int) Panel {
+		p := Panel{Title: title, XLabel: "bytes", YLabel: "latency (us)"}
+		for _, pr := range profs {
+			cfg := RawPutConfig{Machine: m, Profile: pr.name, Library: pr.lib, Pairs: 1, Sizes: sizes, Iters: 5}
+			p.Series = append(p.Series, mustSeries(PutLatency(cfg)))
+		}
+		return p
+	}
+	stampedeLibs := []struct {
+		lib  Library
+		name string
+	}{
+		{LibSHMEM, fabric.ProfMV2XSHMEM},
+		{LibMPI3, fabric.ProfMV2XMPI3},
+		{LibGASNet, fabric.ProfGASNetIBV},
+	}
+	titanLibs := []struct {
+		lib  Library
+		name string
+	}{
+		{LibSHMEM, fabric.ProfCraySHMEM},
+		{LibMPI3, fabric.ProfCrayMPICH},
+		{LibGASNet, fabric.ProfGASNetGemini},
+	}
+	return Figure{
+		ID:    "Fig2",
+		Title: "Put latency comparison using two nodes for SHMEM, MPI-3.0 and GASNet",
+		Panels: []Panel{
+			panel("(a) Stampede: Put 1-pair, small sizes", st, stampedeLibs, SmallSizes),
+			panel("(b) Stampede: Put 1-pair, large sizes", st, stampedeLibs, LargeSizes),
+			panel("(c) Titan: Put 1-pair, small sizes", ti, titanLibs, SmallSizes),
+			panel("(d) Titan: Put 1-pair, large sizes", ti, titanLibs, LargeSizes),
+		},
+	}
+}
+
+// Fig3 regenerates Figure 3: put bandwidth with 1 and 16 communicating pairs.
+func Fig3() Figure {
+	st := fabric.Stampede()
+	ti := fabric.Titan()
+	panel := func(title string, m *fabric.Machine, profs []struct {
+		lib  Library
+		name string
+	}, pairs int) Panel {
+		p := Panel{Title: title, XLabel: "bytes", YLabel: "bandwidth (MB/s)"}
+		for _, pr := range profs {
+			cfg := RawPutConfig{Machine: m, Profile: pr.name, Library: pr.lib, Pairs: pairs, Sizes: LargeSizes, Iters: 3}
+			p.Series = append(p.Series, mustSeries(PutBandwidth(cfg)))
+		}
+		return p
+	}
+	stampedeLibs := []struct {
+		lib  Library
+		name string
+	}{
+		{LibSHMEM, fabric.ProfMV2XSHMEM},
+		{LibMPI3, fabric.ProfMV2XMPI3},
+		{LibGASNet, fabric.ProfGASNetIBV},
+	}
+	titanLibs := []struct {
+		lib  Library
+		name string
+	}{
+		{LibSHMEM, fabric.ProfCraySHMEM},
+		{LibMPI3, fabric.ProfCrayMPICH},
+		{LibGASNet, fabric.ProfGASNetGemini},
+	}
+	return Figure{
+		ID:    "Fig3",
+		Title: "Put bandwidth comparison using two nodes for SHMEM, MPI-3.0 and GASNet",
+		Panels: []Panel{
+			panel("(a) Stampede: Put 1 pair", st, stampedeLibs, 1),
+			panel("(b) Stampede: Put 16 pairs", st, stampedeLibs, 16),
+			panel("(c) Titan: Put 1 pair", ti, titanLibs, 1),
+			panel("(d) Titan: Put 16 pairs", ti, titanLibs, 16),
+		},
+	}
+}
+
+// xc30Configs returns the three CAF configurations of Figure 6.
+func xc30Configs() []CAFPutConfig {
+	xc := fabric.CrayXC30()
+	return []CAFPutConfig{
+		{Label: "Cray-CAF", Opts: caf.CrayCAF(xc)},
+		{Label: "UHCAF-GASNet", Opts: caf.UHCAFOverGASNet(xc, fabric.ProfGASNetAries)},
+		{Label: "UHCAF-Cray-SHMEM", Opts: caf.UHCAFOverCraySHMEM(xc)},
+	}
+}
+
+// Fig6 regenerates Figure 6: CAF contiguous and 2-D strided put bandwidth on
+// the Cray XC30.
+func Fig6() Figure {
+	configs := xc30Configs()
+	contig := func(title string, pairs int) Panel {
+		p := Panel{Title: title, XLabel: "bytes", YLabel: "bandwidth (MB/s)"}
+		for _, c := range configs {
+			c.Pairs = pairs
+			p.Series = append(p.Series, mustSeries(CAFContigBandwidth(c, LargeSizes)))
+		}
+		return p
+	}
+	xc := fabric.CrayXC30()
+	stridedConfigs := []CAFPutConfig{
+		{Label: "Cray-CAF", Opts: caf.CrayCAF(xc)},
+		{Label: "UHCAF-Cray-SHMEM-naive", Opts: func() caf.Options {
+			o := caf.UHCAFOverCraySHMEM(xc)
+			o.Strided = caf.StridedNaive
+			return o
+		}()},
+		{Label: "UHCAF-Cray-SHMEM-2dim", Opts: caf.UHCAFOverCraySHMEM(xc)},
+	}
+	strided := func(title string, pairs int) Panel {
+		p := Panel{Title: title, XLabel: "stride (ints)", YLabel: "bandwidth (MB/s)"}
+		for _, c := range stridedConfigs {
+			c.Pairs = pairs
+			p.Series = append(p.Series, mustSeries(CAFStridedBandwidth(c, StrideSweep)))
+		}
+		return p
+	}
+	return Figure{
+		ID:    "Fig6",
+		Title: "PGAS Microbenchmark tests on Cray XC30: put and 2-D strided put bandwidth",
+		Panels: []Panel{
+			contig("(a) Contiguous put: 1 pair", 1),
+			contig("(b) Contiguous put: 16 pairs", 16),
+			strided("(c) Strided put: 1 pair", 1),
+			strided("(d) Strided put: 16 pairs", 16),
+		},
+	}
+}
+
+// Fig7 regenerates Figure 7: the same benchmarks on Stampede with
+// MVAPICH2-X SHMEM (whose iput is a loop of putmem, so naive == 2dim).
+func Fig7() Figure {
+	st := fabric.Stampede()
+	contigConfigs := []CAFPutConfig{
+		{Label: "UHCAF-GASNet", Opts: caf.UHCAFOverGASNet(st, fabric.ProfGASNetIBV)},
+		{Label: "UHCAF-MVAPICH2-X-SHMEM", Opts: caf.UHCAFOverMV2XSHMEM()},
+	}
+	contig := func(title string, pairs int) Panel {
+		p := Panel{Title: title, XLabel: "bytes", YLabel: "bandwidth (MB/s)"}
+		for _, c := range contigConfigs {
+			c.Pairs = pairs
+			p.Series = append(p.Series, mustSeries(CAFContigBandwidth(c, LargeSizes)))
+		}
+		return p
+	}
+	stridedConfigs := []CAFPutConfig{
+		{Label: "UHCAF-GASNet", Opts: caf.UHCAFOverGASNet(st, fabric.ProfGASNetIBV)},
+		{Label: "UHCAF-MVAPICH2-X-SHMEM-naive", Opts: func() caf.Options {
+			o := caf.UHCAFOverMV2XSHMEM()
+			o.Strided = caf.StridedNaive
+			return o
+		}()},
+		{Label: "UHCAF-MVAPICH2-X-SHMEM-2dim", Opts: caf.UHCAFOverMV2XSHMEM()},
+	}
+	strided := func(title string, pairs int) Panel {
+		p := Panel{Title: title, XLabel: "stride (ints)", YLabel: "bandwidth (MB/s)"}
+		for _, c := range stridedConfigs {
+			c.Pairs = pairs
+			p.Series = append(p.Series, mustSeries(CAFStridedBandwidth(c, StrideSweep)))
+		}
+		return p
+	}
+	return Figure{
+		ID:    "Fig7",
+		Title: "PGAS Microbenchmark tests on Stampede: put and 2-D strided put bandwidth",
+		Panels: []Panel{
+			contig("(a) Contiguous put: 1 pair", 1),
+			contig("(b) Contiguous put: 16 pairs", 16),
+			strided("(c) Strided put: 1 pair", 1),
+			strided("(d) Strided put: 16 pairs", 16),
+		},
+	}
+}
+
+// Fig8 regenerates Figure 8: the lock microbenchmark on Titan — all images
+// repeatedly acquire and release the lock at image 1.
+func Fig8(maxImages int) Figure {
+	ti := fabric.Titan()
+	counts := []int{}
+	for _, n := range ImageSweep {
+		if n <= maxImages {
+			counts = append(counts, n)
+		}
+	}
+	configs := []LockBenchConfig{
+		{Label: "Cray-CAF", Opts: caf.CrayCAF(ti)},
+		{Label: "UHCAF-GASNet", Opts: caf.UHCAFOverGASNet(ti, fabric.ProfGASNetGemini)},
+		{Label: "UHCAF-Cray-SHMEM", Opts: caf.UHCAFOverCraySHMEM(ti)},
+	}
+	p := Panel{Title: "Locks: all images acquiring/releasing lck[1]", XLabel: "images", YLabel: "time (ms)"}
+	for _, c := range configs {
+		p.Series = append(p.Series, mustSeries(LockContention(c, counts)))
+	}
+	return Figure{
+		ID:     "Fig8",
+		Title:  "Microbenchmark test for locks on Titan",
+		Panels: []Panel{p},
+	}
+}
+
+// MatrixOrientedAblation regenerates the §V-D observation on Stampede: for
+// matrix-oriented sections (contiguous dimension 1), the naive algorithm
+// (putmem per contiguous block) beats 2dim_strided because MVAPICH2-X's iput
+// devolves into per-element puts.
+func MatrixOrientedAblation() Figure {
+	configs := []CAFPutConfig{
+		{Label: "UHCAF-MVAPICH2-X-SHMEM-naive", Opts: func() caf.Options {
+			o := caf.UHCAFOverMV2XSHMEM()
+			o.Strided = caf.StridedNaive
+			return o
+		}()},
+		{Label: "UHCAF-MVAPICH2-X-SHMEM-2dim", Opts: caf.UHCAFOverMV2XSHMEM()},
+	}
+	p := Panel{Title: "Matrix-oriented section (dim 1 contiguous)", XLabel: "stride (ints)", YLabel: "bandwidth (MB/s)"}
+	for _, c := range configs {
+		p.Series = append(p.Series, mustSeries(CAFMatrixBandwidth(c, StrideSweep)))
+	}
+	return Figure{
+		ID:     "MatrixStride",
+		Title:  "§V-D: matrix-oriented strides favour putmem per contiguous block",
+		Panels: []Panel{p},
+	}
+}
+
+// CAFMatrixBandwidth is CAFStridedBandwidth's matrix-oriented sibling:
+// dimension 1 is a contiguous block (stride 1), dimension 2 is strided —
+// the Himeno halo pattern of §V-D.
+func CAFMatrixBandwidth(cfg CAFPutConfig, strides []int) (Series, error) {
+	const elems = 64
+	if cfg.Iters <= 0 {
+		cfg.Iters = 3
+	}
+	if cfg.Pairs <= 0 {
+		cfg.Pairs = 1
+	}
+	per := cfg.Opts.Machine.CoresPerNode
+	images := 2 * per
+	opts := cfg.Opts
+	opts.ActivePairsPerNode = cfg.Pairs
+
+	results := make([]float64, len(strides))
+	vals := make([]int32, elems*elems)
+	err := caf.Run(images, opts, func(img *Image) {
+		me := img.ThisImage()
+		isSrc := me <= cfg.Pairs
+		target := me + per
+		for si, stride := range strides {
+			c := caf.Allocate[int32](img, elems, elems*stride)
+			sec := caf.Section{
+				{Lo: 0, Hi: elems - 1, Step: 1},
+				{Lo: 0, Hi: (elems - 1) * stride, Step: stride},
+			}
+			img.SyncAll()
+			start := img.Clock().Now()
+			if isSrc {
+				for i := 0; i < cfg.Iters; i++ {
+					c.Put(target, sec, vals)
+				}
+			}
+			img.SyncAll()
+			if me == 1 {
+				elapsed := img.Clock().Now() - start
+				bytes := float64(elems*elems*4) * float64(cfg.Iters)
+				results[si] = bytes / (elapsed / 1e9) / 1e6
+			}
+			c.Deallocate()
+		}
+	})
+	if err != nil {
+		return Series{}, err
+	}
+	out := Series{Label: cfg.Label}
+	for si, stride := range strides {
+		out.Rows = append(out.Rows, Row{X: float64(stride), Value: results[si]})
+	}
+	return out, nil
+}

@@ -1,0 +1,258 @@
+package pgasbench
+
+import (
+	"strings"
+	"testing"
+
+	"cafshmem/internal/fabric"
+)
+
+func TestPutLatencyShape(t *testing.T) {
+	cfg := RawPutConfig{
+		Machine: fabric.Stampede(), Profile: fabric.ProfMV2XSHMEM,
+		Library: LibSHMEM, Pairs: 1, Sizes: []int{8, 1024, 65536}, Iters: 10,
+	}
+	s, err := PutLatency(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 3 {
+		t.Fatalf("rows: %d", len(s.Rows))
+	}
+	if !(s.Rows[0].Value < s.Rows[2].Value) {
+		t.Fatal("latency must grow with message size")
+	}
+	if s.Rows[0].Value < 0.5 || s.Rows[0].Value > 20 {
+		t.Fatalf("8-byte put latency %v µs implausible", s.Rows[0].Value)
+	}
+}
+
+func TestPutBandwidthSaturates(t *testing.T) {
+	cfg := RawPutConfig{
+		Machine: fabric.Stampede(), Profile: fabric.ProfMV2XSHMEM,
+		Library: LibSHMEM, Pairs: 1, Sizes: []int{4096, 4194304}, Iters: 10,
+	}
+	s, err := PutBandwidth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := s.Rows[1].Value
+	// The MV2X-SHMEM profile models ~6 GB/s: the 4 MiB point must approach it.
+	if big < 4500 || big > 6100 {
+		t.Fatalf("4 MiB bandwidth %v MB/s should approach the 6 GB/s model", big)
+	}
+	if s.Rows[0].Value >= big {
+		t.Fatal("bandwidth should improve with message size")
+	}
+}
+
+func TestContentionReducesPerPairBandwidth(t *testing.T) {
+	mk := func(pairs int) float64 {
+		cfg := RawPutConfig{
+			Machine: fabric.Stampede(), Profile: fabric.ProfMV2XSHMEM,
+			Library: LibSHMEM, Pairs: pairs, Sizes: []int{1048576}, Iters: 5,
+		}
+		s, err := PutBandwidth(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Rows[0].Value
+	}
+	one, sixteen := mk(1), mk(16)
+	if sixteen >= one/8 {
+		t.Fatalf("16 pairs (%v MB/s) should see far less per-pair bandwidth than 1 pair (%v)", sixteen, one)
+	}
+}
+
+func TestFig2Orderings(t *testing.T) {
+	f := Fig2()
+	if len(f.Panels) != 4 {
+		t.Fatalf("Fig2 has %d panels", len(f.Panels))
+	}
+	// Paper §III: at small sizes without contention, SHMEM and GASNet both
+	// beat MPI-3.0; at large sizes SHMEM stays ahead of both (GASNet loses
+	// its edge as its lower sustained bandwidth takes over).
+	small := f.Panels[0]
+	shm := small.FindSeries(fabric.ProfMV2XSHMEM)
+	mpi := small.FindSeries(fabric.ProfMV2XMPI3)
+	gas := small.FindSeries(fabric.ProfGASNetIBV)
+	for i := range shm.Rows {
+		if !(shm.Rows[i].Value < mpi.Rows[i].Value) || !(gas.Rows[i].Value < mpi.Rows[i].Value) {
+			t.Fatalf("small row %d: MPI-3 should have the worst small-message latency", i)
+		}
+	}
+	large := f.Panels[1]
+	shmL := large.FindSeries(fabric.ProfMV2XSHMEM)
+	mpiL := large.FindSeries(fabric.ProfMV2XMPI3)
+	gasL := large.FindSeries(fabric.ProfGASNetIBV)
+	for i := range shmL.Rows {
+		if !(shmL.Rows[i].Value < mpiL.Rows[i].Value) || !(shmL.Rows[i].Value < gasL.Rows[i].Value) {
+			t.Fatalf("large row %d: SHMEM should have the best large-message latency", i)
+		}
+	}
+	// Cray SHMEM beats GASNet on the Gemini platform at small sizes.
+	p := f.Panels[2]
+	cs := p.FindSeries(fabric.ProfCraySHMEM)
+	gg := p.FindSeries(fabric.ProfGASNetGemini)
+	for i := range cs.Rows {
+		if !(cs.Rows[i].Value < gg.Rows[i].Value) {
+			t.Fatalf("row %d: Cray SHMEM should beat GASNet at small sizes", i)
+		}
+	}
+}
+
+func TestFig3Orderings(t *testing.T) {
+	f := Fig3()
+	// Paper §III: "The bandwidth of SHMEM is better than GASNet and MPI-3.0
+	// on both the Stampede and Titan experimental setups."
+	checks := []struct {
+		panel         int
+		shm, mpi, gas string
+	}{
+		{0, fabric.ProfMV2XSHMEM, fabric.ProfMV2XMPI3, fabric.ProfGASNetIBV},
+		{1, fabric.ProfMV2XSHMEM, fabric.ProfMV2XMPI3, fabric.ProfGASNetIBV},
+		{2, fabric.ProfCraySHMEM, fabric.ProfCrayMPICH, fabric.ProfGASNetGemini},
+		{3, fabric.ProfCraySHMEM, fabric.ProfCrayMPICH, fabric.ProfGASNetGemini},
+	}
+	for _, c := range checks {
+		p := f.Panels[c.panel]
+		shm, mpi, gas := p.FindSeries(c.shm), p.FindSeries(c.mpi), p.FindSeries(c.gas)
+		last := len(shm.Rows) - 1
+		if !(shm.Rows[last].Value > mpi.Rows[last].Value) || !(shm.Rows[last].Value > gas.Rows[last].Value) {
+			t.Fatalf("panel %d: SHMEM should sustain the best large-message bandwidth", c.panel)
+		}
+	}
+}
+
+func TestFig6StridedOrderings(t *testing.T) {
+	f := Fig6()
+	// Panel (c): strided put, 1 pair. 2dim > Cray-CAF > naive (§V-B2).
+	p := f.Panels[2]
+	twoDim := p.FindSeries("UHCAF-Cray-SHMEM-2dim")
+	cray := p.FindSeries("Cray-CAF")
+	naive := p.FindSeries("UHCAF-Cray-SHMEM-naive")
+	if twoDim == nil || cray == nil || naive == nil {
+		t.Fatal("missing series")
+	}
+	for i := range twoDim.Rows {
+		if !(twoDim.Rows[i].Value > cray.Rows[i].Value && cray.Rows[i].Value > naive.Rows[i].Value) {
+			t.Fatalf("stride %v: want 2dim > Cray-CAF > naive, got %v / %v / %v",
+				twoDim.Rows[i].X, twoDim.Rows[i].Value, cray.Rows[i].Value, naive.Rows[i].Value)
+		}
+	}
+	// Headline factors: ~3x over Cray-CAF, ~9x over naive (allow wide bands).
+	rCray := GeoMeanRatio(*twoDim, *cray)
+	rNaive := GeoMeanRatio(*twoDim, *naive)
+	if rCray < 1.8 || rCray > 6 {
+		t.Fatalf("2dim/Cray-CAF bandwidth ratio %.2f outside the paper's ~3x band", rCray)
+	}
+	if rNaive < 4 || rNaive > 18 {
+		t.Fatalf("2dim/naive bandwidth ratio %.2f outside the paper's ~9x band", rNaive)
+	}
+	// Contiguous panels: UHCAF-Cray-SHMEM modestly above UHCAF-GASNet (~8%).
+	pc := f.Panels[0]
+	shm := pc.FindSeries("UHCAF-Cray-SHMEM")
+	gas := pc.FindSeries("UHCAF-GASNet")
+	r := GeoMeanRatio(*shm, *gas)
+	if r < 1.02 || r > 1.5 {
+		t.Fatalf("contiguous SHMEM/GASNet ratio %.3f outside the paper's ~8%% band", r)
+	}
+}
+
+func TestFig7NaiveEquals2dim(t *testing.T) {
+	f := Fig7()
+	p := f.Panels[2]
+	naive := p.FindSeries("UHCAF-MVAPICH2-X-SHMEM-naive")
+	twoDim := p.FindSeries("UHCAF-MVAPICH2-X-SHMEM-2dim")
+	r := GeoMeanRatio(*naive, *twoDim)
+	// §V-B2: on MVAPICH2-X, iput is a loop of putmem, so the two coincide.
+	if r < 0.9 || r > 1.1 {
+		t.Fatalf("naive/2dim ratio %.3f should be ~1 on MVAPICH2-X", r)
+	}
+}
+
+func TestFig8Orderings(t *testing.T) {
+	f := Fig8(64) // keep the test fast; the cmd sweeps to 1024
+	p := f.Panels[0]
+	shm := p.FindSeries("UHCAF-Cray-SHMEM")
+	cray := p.FindSeries("Cray-CAF")
+	gas := p.FindSeries("UHCAF-GASNet")
+	last := len(shm.Rows) - 1
+	if !(shm.Rows[last].Value < cray.Rows[last].Value) {
+		t.Fatalf("locks: SHMEM (%v ms) should beat Cray-CAF (%v ms)", shm.Rows[last].Value, cray.Rows[last].Value)
+	}
+	if !(shm.Rows[last].Value < gas.Rows[last].Value) {
+		t.Fatalf("locks: SHMEM (%v ms) should beat GASNet (%v ms)", shm.Rows[last].Value, gas.Rows[last].Value)
+	}
+	// Time grows with image count (the contention ring is longer).
+	if !(shm.Rows[0].Value < shm.Rows[last].Value) {
+		t.Fatal("lock time should grow with images")
+	}
+}
+
+func TestMatrixOrientedAblation(t *testing.T) {
+	f := MatrixOrientedAblation()
+	p := f.Panels[0]
+	naive := p.FindSeries("UHCAF-MVAPICH2-X-SHMEM-naive")
+	twoDim := p.FindSeries("UHCAF-MVAPICH2-X-SHMEM-2dim")
+	r := GeoMeanRatio(*naive, *twoDim)
+	if r <= 1.0 {
+		t.Fatalf("naive should beat 2dim for matrix-oriented sections, ratio %.3f", r)
+	}
+}
+
+func TestRenderContainsSeries(t *testing.T) {
+	f := Figure{
+		ID: "T", Title: "test",
+		Panels: []Panel{{
+			Title: "p", XLabel: "x", YLabel: "y",
+			Series: []Series{{Label: "s1", Rows: []Row{{X: 1, Value: 2.5}}}},
+		}},
+	}
+	out := f.Render()
+	for _, want := range []string{"T", "test", "s1", "2.500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeoMeanRatio(t *testing.T) {
+	a := Series{Rows: []Row{{1, 2}, {2, 8}}}
+	b := Series{Rows: []Row{{1, 1}, {2, 2}}}
+	// ratios 2 and 4 -> geomean sqrt(8) ~ 2.828
+	if r := GeoMeanRatio(a, b); r < 2.82 || r > 2.84 {
+		t.Fatalf("geomean = %v", r)
+	}
+	if r := GeoMeanRatio(Series{}, Series{}); r != 1 {
+		t.Fatalf("empty geomean = %v, want 1", r)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	f := Fig9(16, 64, 25)
+	p := f.Panels[0]
+	shm := p.FindSeries("UHCAF-Cray-SHMEM")
+	cray := p.FindSeries("Cray-CAF")
+	// Individual image counts carry scheduler noise (real lock collisions);
+	// the figure's claim is about the aggregate, like the paper's "28%
+	// faster" summary.
+	if r := GeoMeanRatio(*cray, *shm); r <= 1.0 {
+		t.Fatalf("DHT: SHMEM should beat Cray-CAF in aggregate, ratio %.3f", r)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	f := Fig10(32, DefaultHimenoParams())
+	p := f.Panels[0]
+	shm := p.FindSeries("UHCAF-MVAPICH2-X-SHMEM")
+	gas := p.FindSeries("UHCAF-GASNet")
+	last := len(shm.Rows) - 1
+	// §V-D: SHMEM ahead for >= 16 images; MFLOPS grows with images.
+	if !(shm.Rows[last].Value > gas.Rows[last].Value) {
+		t.Fatalf("Himeno: SHMEM (%v) should beat GASNet (%v) at scale", shm.Rows[last].Value, gas.Rows[last].Value)
+	}
+	if !(shm.Rows[last].Value > shm.Rows[0].Value) {
+		t.Fatal("Himeno: MFLOPS should scale up with images")
+	}
+}

@@ -1,0 +1,102 @@
+// Package pgasbench reimplements the PGAS Microbenchmark suite the paper
+// evaluates with ([20], HPCTools PGAS-Microbench): point-to-point put/get
+// latency and bandwidth between node pairs, multi-dimensional strided put
+// bandwidth, and a lock contention test. The harnesses regenerate the data
+// behind the paper's Figures 2, 3, 6, 7 and 8.
+//
+// All results derive from virtual time (see internal/fabric), so series are
+// deterministic and the paper's *shapes* — who wins, by what factor, where
+// crossovers fall — are reproducible on any host.
+package pgasbench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Row is one x/y point of a benchmark series.
+type Row struct {
+	X     float64 // message size in bytes, stride length, or image count
+	Value float64 // µs, MB/s, seconds, or MFLOPS depending on the panel
+}
+
+// Series is one labelled line of a panel.
+type Series struct {
+	Label string
+	Rows  []Row
+}
+
+// Panel is one subplot: several series over a shared axis.
+type Panel struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Figure groups the panels of one paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	Panels []Panel
+}
+
+// Render formats the figure as aligned text tables, one per panel, with the
+// series as columns — the form the cmd tools print and EXPERIMENTS.md embeds.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	for _, p := range f.Panels {
+		fmt.Fprintf(&b, "\n-- %s (%s vs %s) --\n", p.Title, p.YLabel, p.XLabel)
+		if len(p.Series) == 0 {
+			continue
+		}
+		// Header.
+		fmt.Fprintf(&b, "%14s", p.XLabel)
+		for _, s := range p.Series {
+			fmt.Fprintf(&b, " %26s", s.Label)
+		}
+		b.WriteByte('\n')
+		for i := range p.Series[0].Rows {
+			fmt.Fprintf(&b, "%14.0f", p.Series[0].Rows[i].X)
+			for _, s := range p.Series {
+				if i < len(s.Rows) {
+					fmt.Fprintf(&b, " %26.3f", s.Rows[i].Value)
+				} else {
+					fmt.Fprintf(&b, " %26s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// GeoMeanRatio returns the geometric-mean ratio a/b over paired rows —
+// the summary statistic EXPERIMENTS.md reports per figure.
+func GeoMeanRatio(a, b Series) float64 {
+	n := 0
+	logSum := 0.0
+	for i := range a.Rows {
+		if i >= len(b.Rows) || a.Rows[i].Value <= 0 || b.Rows[i].Value <= 0 {
+			continue
+		}
+		logSum += math.Log(a.Rows[i].Value / b.Rows[i].Value)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// FindSeries returns the series with the given label from a panel.
+func (p *Panel) FindSeries(label string) *Series {
+	for i := range p.Series {
+		if p.Series[i].Label == label {
+			return &p.Series[i]
+		}
+	}
+	return nil
+}

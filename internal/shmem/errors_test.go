@@ -1,0 +1,95 @@
+package shmem
+
+import (
+	"strings"
+	"testing"
+)
+
+// Negative-path coverage: misuse must fail loudly, not corrupt state.
+
+func TestBroadcastOverflowPanics(t *testing.T) {
+	err := Run(stampedeCfg(), 2, func(pe *PE) {
+		sym := pe.Malloc(8)
+		pe.Broadcast(0, sym, 16) // more bytes than the object holds
+	})
+	if err == nil || !strings.Contains(err.Error(), "broadcast") {
+		t.Fatalf("expected broadcast overflow, got %v", err)
+	}
+}
+
+func TestReductionOverflowPanics(t *testing.T) {
+	err := Run(stampedeCfg(), 2, func(pe *PE) {
+		src := pe.Malloc(8)
+		dst := pe.Malloc(8)
+		ToAll[int64](pe, OpSum, dst, src, 4) // 32 bytes into 8-byte objects
+	})
+	if err == nil || !strings.Contains(err.Error(), "reduction") {
+		t.Fatalf("expected reduction overflow, got %v", err)
+	}
+}
+
+func TestBitwiseReductionOnFloatPanics(t *testing.T) {
+	err := Run(stampedeCfg(), 2, func(pe *PE) {
+		src := pe.Malloc(8)
+		dst := pe.Malloc(8)
+		ToAll[float64](pe, OpBAnd, dst, src, 1)
+	})
+	if err == nil || !strings.Contains(err.Error(), "bitwise") {
+		t.Fatalf("expected bitwise-on-float panic, got %v", err)
+	}
+}
+
+func TestFreeUnallocatedPanics(t *testing.T) {
+	err := Run(stampedeCfg(), 2, func(pe *PE) {
+		pe.Free(Sym{Off: 12345, Size: 8})
+	})
+	if err == nil {
+		t.Fatal("free of unallocated symmetric object should panic")
+	}
+}
+
+func TestIPutStrideValidation(t *testing.T) {
+	for name, body := range map[string]func(pe *PE, sym Sym){
+		"zero stride": func(pe *PE, sym Sym) {
+			IPut(pe, 1, sym, 0, 0, []int64{1, 2}, 0, 1, 2)
+		},
+		"overflow": func(pe *PE, sym Sym) {
+			IPut(pe, 1, sym, 0, 100, []int64{1, 2, 3}, 0, 1, 3)
+		},
+		"iputmem partial element": func(pe *PE, sym Sym) {
+			pe.IPutMem(1, sym, 0, 16, 8, make([]byte, 12))
+		},
+		"iputmem tight stride": func(pe *PE, sym Sym) {
+			pe.IPutMem(1, sym, 0, 4, 8, make([]byte, 16))
+		},
+	} {
+		err := Run(stampedeCfg(), 2, func(pe *PE) {
+			sym := pe.Malloc(64)
+			if pe.MyPE() == 0 {
+				body(pe, sym)
+			}
+		})
+		if err == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}
+}
+
+func TestTargetRangeChecked(t *testing.T) {
+	err := Run(stampedeCfg(), 2, func(pe *PE) {
+		sym := pe.Malloc(8)
+		pe.PutMem(5, sym, 0, []byte{1}) // PE 5 of 2
+	})
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected target range panic, got %v", err)
+	}
+}
+
+func TestMallocSizeValidation(t *testing.T) {
+	err := Run(stampedeCfg(), 2, func(pe *PE) {
+		pe.Malloc(-4)
+	})
+	if err == nil {
+		t.Fatal("negative symmetric allocation should panic")
+	}
+}

@@ -1,0 +1,176 @@
+package shmem
+
+import (
+	"fmt"
+	"sync"
+
+	"cafshmem/internal/pgas"
+)
+
+// Sym is a handle to a symmetric allocation: the same offset within every
+// PE's partition, which is what makes one-sided addressing possible — a PE
+// can name remote memory using its own local layout (paper §IV-A).
+type Sym struct {
+	Off  int64
+	Size int64
+}
+
+// IsZero reports whether the handle is the zero (invalid) handle.
+func (s Sym) IsZero() bool { return s.Size == 0 && s.Off == 0 }
+
+// At returns the absolute partition offset of byte index i within the
+// allocation, bounds-checked.
+func (s Sym) At(i int64) int64 {
+	if i < 0 || i >= s.Size {
+		panic(fmt.Sprintf("shmem: offset %d out of range of %d-byte symmetric object", i, s.Size))
+	}
+	return s.Off + i
+}
+
+const (
+	heapAlign = 64
+	// heapBase reserves the low partition addresses so that offset 0 is never
+	// a valid allocation: packed remote pointers use offset 0 as nil.
+	heapBase = int64(heapAlign)
+)
+
+// heap is the symmetric-heap allocator. Because symmetric allocations have
+// identical offsets on every PE, there is exactly one allocator per world and
+// Malloc is collective: every PE must call it with the same size, and every
+// PE receives the same handle.
+type heap struct {
+	mu   sync.Mutex
+	free []span // sorted by offset, coalesced
+	live map[int64]int64
+	brk  int64 // high-water mark
+}
+
+type span struct{ off, size int64 }
+
+func newHeap() *heap {
+	return &heap{live: map[int64]int64{}, brk: heapBase}
+}
+
+func align(n int64) int64 {
+	return (n + heapAlign - 1) &^ (heapAlign - 1)
+}
+
+// alloc reserves size bytes and returns the offset (single-PE view).
+func (h *heap) alloc(size int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("shmem: allocation size must be positive, got %d", size)
+	}
+	sz := align(size)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, s := range h.free {
+		if s.size >= sz {
+			off := s.off
+			if s.size == sz {
+				h.free = append(h.free[:i], h.free[i+1:]...)
+			} else {
+				h.free[i] = span{s.off + sz, s.size - sz}
+			}
+			h.live[off] = sz
+			return off, nil
+		}
+	}
+	off := h.brk
+	if off+sz > pgas.MaxSegmentBytes {
+		return 0, fmt.Errorf("shmem: symmetric heap exhausted (%d bytes requested)", size)
+	}
+	h.brk += sz
+	h.live[off] = sz
+	return off, nil
+}
+
+// release returns an allocation to the free list, coalescing neighbours.
+func (h *heap) release(off int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sz, ok := h.live[off]
+	if !ok {
+		return fmt.Errorf("shmem: free of unallocated offset %d", off)
+	}
+	delete(h.live, off)
+	// Insert sorted.
+	i := 0
+	for i < len(h.free) && h.free[i].off < off {
+		i++
+	}
+	h.free = append(h.free, span{})
+	copy(h.free[i+1:], h.free[i:])
+	h.free[i] = span{off, sz}
+	// Coalesce with successor, then predecessor.
+	if i+1 < len(h.free) && h.free[i].off+h.free[i].size == h.free[i+1].off {
+		h.free[i].size += h.free[i+1].size
+		h.free = append(h.free[:i+1], h.free[i+2:]...)
+	}
+	if i > 0 && h.free[i-1].off+h.free[i-1].size == h.free[i].off {
+		h.free[i-1].size += h.free[i].size
+		h.free = append(h.free[:i], h.free[i+1:]...)
+	}
+	// Shrink the break if the top span touches it.
+	if n := len(h.free); n > 0 && h.free[n-1].off+h.free[n-1].size == h.brk {
+		h.brk = h.free[n-1].off
+		h.free = h.free[:n-1]
+	}
+	return nil
+}
+
+// liveBytes reports the total currently-allocated size (for tests).
+func (h *heap) liveBytes() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var t int64
+	for _, s := range h.live {
+		t += s
+	}
+	return t
+}
+
+// Malloc is the collective symmetric allocator (shmalloc): every PE calls it
+// with the same size and receives the identical handle. Like shmalloc it
+// implies a barrier, so the allocation is usable by all PEs on return.
+func (pe *PE) Malloc(size int64) Sym {
+	type slot struct {
+		sym Sym
+		err error
+	}
+	w := pe.world
+	// Rendezvous, then PE of lowest rank performs the allocation and shares
+	// the handle; a second rendezvous publishes it.
+	pe.Barrier()
+	var res *slot
+	shared := w.pw.Shared("shmem.malloc", func() interface{} { return &sync.Map{} }).(*sync.Map)
+	if pe.p.ID == 0 {
+		off, err := w.heap.alloc(size)
+		res = &slot{Sym{Off: off, Size: size}, err}
+		shared.Store("cur", res)
+	}
+	pe.Barrier()
+	v, _ := shared.Load("cur")
+	res = v.(*slot)
+	// Touch the region so the partition is backed — strictly before the
+	// closing barrier, after which other PEs may already be writing here.
+	if res.err == nil && res.sym.Size > 0 {
+		pe.world.pw.Write(pe.p.ID, res.sym.Off+res.sym.Size-1, []byte{0}, pe.p.Clock.Now())
+	}
+	pe.Barrier() // all PEs read (and back) the region before the slot is reused
+	if res.err != nil {
+		panic(res.err)
+	}
+	return res.sym
+}
+
+// Free is the collective symmetric deallocator (shfree).
+func (pe *PE) Free(sym Sym) {
+	w := pe.world
+	pe.Barrier()
+	if pe.p.ID == 0 {
+		if err := w.heap.release(sym.Off); err != nil {
+			panic(err)
+		}
+	}
+	pe.Barrier()
+}

@@ -1,0 +1,202 @@
+package shmem
+
+import (
+	"fmt"
+
+	"cafshmem/internal/pgas"
+)
+
+// PutMem copies data into the symmetric object sym (at byte offset off
+// within it) on the target PE — shmem_putmem. It returns after *local*
+// completion: the source buffer may be reused, but remote visibility requires
+// Quiet (or a synchronising operation). This is precisely the semantic gap
+// the paper's §IV-B discusses: CAF's ordering guarantees require the runtime
+// to insert quiet operations around OpenSHMEM puts.
+func (pe *PE) PutMem(target int, sym Sym, off int64, data []byte) {
+	pe.checkTarget(target)
+	if int64(len(data)) == 0 {
+		return
+	}
+	if off < 0 || off+int64(len(data)) > sym.Size {
+		panic(fmt.Sprintf("shmem: put of %d bytes at offset %d overflows %d-byte symmetric object", len(data), off, sym.Size))
+	}
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	pe.p.Clock.Advance(prof.PutInjectNs(len(data), intra, pairs))
+	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
+	pe.world.pw.Write(target, sym.Off+off, data, vis)
+	if vis > pe.pendingT {
+		pe.pendingT = vis
+	}
+}
+
+// GetMem copies len(dst) bytes from the symmetric object on the target PE
+// into dst — shmem_getmem. Blocking: returns once the data is locally usable.
+func (pe *PE) GetMem(target int, sym Sym, off int64, dst []byte) {
+	pe.checkTarget(target)
+	if len(dst) == 0 {
+		return
+	}
+	if off < 0 || off+int64(len(dst)) > sym.Size {
+		panic(fmt.Sprintf("shmem: get of %d bytes at offset %d overflows %d-byte symmetric object", len(dst), off, sym.Size))
+	}
+	intra, pairs := pe.intra(target), pe.pairs()
+	pe.p.Clock.Advance(pe.world.prof.GetNs(len(dst), intra, pairs))
+	pe.world.pw.Read(target, sym.Off+off, dst)
+}
+
+// Put writes typed elements at element index idx of the symmetric object —
+// the typed shmem_put family.
+func Put[T pgas.Elem](pe *PE, target int, sym Sym, idx int, vals []T) {
+	es := int64(pgas.SizeOf[T]())
+	pe.PutMem(target, sym, int64(idx)*es, pgas.EncodeSlice[T](nil, vals))
+}
+
+// Get reads n typed elements starting at element index idx of the symmetric
+// object — the typed shmem_get family.
+func Get[T pgas.Elem](pe *PE, target int, sym Sym, idx, n int) []T {
+	es := int64(pgas.SizeOf[T]())
+	raw := make([]byte, int64(n)*es)
+	pe.GetMem(target, sym, int64(idx)*es, raw)
+	out := make([]T, n)
+	pgas.DecodeSlice(out, raw)
+	return out
+}
+
+// P writes a single element (shmem_p).
+func P[T pgas.Elem](pe *PE, target int, sym Sym, idx int, v T) {
+	Put(pe, target, sym, idx, []T{v})
+}
+
+// G reads a single element (shmem_g).
+func G[T pgas.Elem](pe *PE, target int, sym Sym, idx int) T {
+	return Get[T](pe, target, sym, idx, 1)[0]
+}
+
+// IPut performs the 1-D strided put — shmem_iput. dstIdx/srcIdx are element
+// indices; dstStride/srcStride are element strides (>= 1); nelems elements of
+// src (itself a local Go slice) are transferred.
+//
+// The *cost* of IPut depends on the modelled library: with StridedHardware
+// (Cray SHMEM over DMAPP) one descriptor covers the whole vector; with
+// StridedLoop (MVAPICH2-X) the library issues one putmem per element —
+// paper §V-B2's central observation.
+func IPut[T pgas.Elem](pe *PE, target int, sym Sym, dstIdx, dstStride int, src []T, srcIdx, srcStride, nelems int) {
+	pe.checkTarget(target)
+	if nelems == 0 {
+		return
+	}
+	if dstStride < 1 || srcStride < 1 {
+		panic("shmem: iput strides must be >= 1")
+	}
+	es := int64(pgas.SizeOf[T]())
+	need := int64(dstIdx+(nelems-1)*dstStride)*es + es
+	if need > sym.Size {
+		panic(fmt.Sprintf("shmem: iput overflows symmetric object (need %d bytes, have %d)", need, sym.Size))
+	}
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, int(es), intra, pairs))
+	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
+	var buf [8]byte
+	for k := 0; k < nelems; k++ {
+		b := pgas.EncodeSlice[T](buf[:0], src[srcIdx+k*srcStride:srcIdx+k*srcStride+1])
+		pe.world.pw.Write(target, sym.Off+int64(dstIdx+k*dstStride)*es, b, vis)
+	}
+	if vis > pe.pendingT {
+		pe.pendingT = vis
+	}
+}
+
+// IGet performs the 1-D strided get — shmem_iget.
+func IGet[T pgas.Elem](pe *PE, target int, sym Sym, srcIdx, srcStride int, dst []T, dstIdx, dstStride, nelems int) {
+	pe.checkTarget(target)
+	if nelems == 0 {
+		return
+	}
+	if dstStride < 1 || srcStride < 1 {
+		panic("shmem: iget strides must be >= 1")
+	}
+	es := int64(pgas.SizeOf[T]())
+	need := int64(srcIdx+(nelems-1)*srcStride)*es + es
+	if need > sym.Size {
+		panic(fmt.Sprintf("shmem: iget overflows symmetric object (need %d bytes, have %d)", need, sym.Size))
+	}
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	// Symmetric cost model to IPut plus the request round trip of a get.
+	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, int(es), intra, pairs) + 2*prof.DeliveryNs(intra, pairs))
+	raw := make([]byte, es)
+	one := make([]T, 1)
+	for k := 0; k < nelems; k++ {
+		pe.world.pw.Read(target, sym.Off+int64(srcIdx+k*srcStride)*es, raw)
+		pgas.DecodeSlice(one, raw)
+		dst[dstIdx+k*dstStride] = one[0]
+	}
+}
+
+// IPutMem is the byte-level 1-D strided put used by layered runtimes: nelems
+// elements of elemSize bytes each are taken densely from src and scattered to
+// the target at byte stride dstStrideBytes starting at absolute byte offset
+// off within sym. Costs follow the library's strided mode exactly like IPut.
+func (pe *PE) IPutMem(target int, sym Sym, off, dstStrideBytes int64, elemSize int, src []byte) {
+	pe.checkTarget(target)
+	if elemSize <= 0 || len(src)%elemSize != 0 {
+		panic("shmem: iputmem source not a whole number of elements")
+	}
+	nelems := len(src) / elemSize
+	if nelems == 0 {
+		return
+	}
+	if dstStrideBytes < int64(elemSize) {
+		panic("shmem: iputmem stride smaller than element")
+	}
+	need := off + int64(nelems-1)*dstStrideBytes + int64(elemSize)
+	if off < 0 || need > sym.Size {
+		panic(fmt.Sprintf("shmem: iputmem overflows symmetric object (need %d bytes, have %d)", need, sym.Size))
+	}
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, elemSize, intra, pairs) +
+		prof.StridedLocalityNs(nelems, elemSize, dstStrideBytes))
+	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
+	for k := 0; k < nelems; k++ {
+		pe.world.pw.Write(target, sym.Off+off+int64(k)*dstStrideBytes, src[k*elemSize:(k+1)*elemSize], vis)
+	}
+	if vis > pe.pendingT {
+		pe.pendingT = vis
+	}
+}
+
+// IGetMem is the byte-level 1-D strided get: nelems elements are gathered
+// from the target at byte stride srcStrideBytes into dst densely.
+func (pe *PE) IGetMem(target int, sym Sym, off, srcStrideBytes int64, elemSize int, dst []byte) {
+	pe.checkTarget(target)
+	if elemSize <= 0 || len(dst)%elemSize != 0 {
+		panic("shmem: igetmem destination not a whole number of elements")
+	}
+	nelems := len(dst) / elemSize
+	if nelems == 0 {
+		return
+	}
+	if srcStrideBytes < int64(elemSize) {
+		panic("shmem: igetmem stride smaller than element")
+	}
+	need := off + int64(nelems-1)*srcStrideBytes + int64(elemSize)
+	if off < 0 || need > sym.Size {
+		panic(fmt.Sprintf("shmem: igetmem overflows symmetric object (need %d bytes, have %d)", need, sym.Size))
+	}
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, elemSize, intra, pairs) +
+		prof.StridedLocalityNs(nelems, elemSize, srcStrideBytes) + 2*prof.DeliveryNs(intra, pairs))
+	for k := 0; k < nelems; k++ {
+		pe.world.pw.Read(target, sym.Off+off+int64(k)*srcStrideBytes, dst[k*elemSize:(k+1)*elemSize])
+	}
+}
+
+func (pe *PE) checkTarget(target int) {
+	if target < 0 || target >= pe.NumPEs() {
+		panic(fmt.Sprintf("shmem: PE %d out of range [0,%d)", target, pe.NumPEs()))
+	}
+}

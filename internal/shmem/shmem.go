@@ -1,0 +1,128 @@
+// Package shmem implements an OpenSHMEM-1.x-style library on top of the pgas
+// execution substrate and the fabric cost model.
+//
+// It provides the facilities the paper's CAF runtime is mapped onto
+// (Table II): symmetric heap allocation (shmalloc/shfree), contiguous and
+// 1-D strided one-sided put/get, remote atomics (swap, compare-swap,
+// fetch-add, fetch-and/or/xor), point-to-point completion (fence/quiet) and
+// wait-until, barriers, broadcast and reduction collectives, global logical
+// locks, and shmem_ptr.
+//
+// A World is parameterised by a fabric.CostProfile, so the same code models
+// Cray SHMEM (hardware iput, native atomics) and MVAPICH2-X SHMEM (iput as a
+// loop of putmem) — the behavioural difference §V-B2 of the paper turns on.
+package shmem
+
+import (
+	"fmt"
+
+	"cafshmem/internal/fabric"
+	"cafshmem/internal/pgas"
+)
+
+// World is one OpenSHMEM job: a set of PEs over a machine+library model.
+type World struct {
+	pw      *pgas.World
+	prof    *fabric.CostProfile
+	machine *fabric.Machine
+	heap    *heap
+}
+
+// PE is the per-processing-element handle; all OpenSHMEM calls hang off it.
+// It is valid only within the goroutine that received it from Run.
+type PE struct {
+	world *World
+	p     *pgas.PE
+	// pendingT is the latest remote-visibility time of any put/atomic issued
+	// since the last Quiet: the virtual analogue of the NIC's outstanding
+	// operation queue.
+	pendingT float64
+	// collSeq numbers this PE's collective operations; all PEs agree on it
+	// because collectives are globally ordered.
+	collSeq int64
+}
+
+// Config selects the modelled platform and library implementation.
+type Config struct {
+	Machine *fabric.Machine
+	Profile string // a profile name registered on Machine
+}
+
+// Run launches an n-PE OpenSHMEM job and executes body once per PE
+// (the analogue of start_pes/shmem_init in an SPMD launch).
+func Run(cfg Config, n int, body func(*PE)) error {
+	w, err := NewWorld(cfg, n)
+	if err != nil {
+		return err
+	}
+	return w.pw.Run(func(p *pgas.PE) {
+		body(&PE{world: w, p: p})
+	})
+}
+
+// NewWorld builds the job state without launching PEs; used by layered
+// runtimes (the CAF transport) that manage the SPMD launch themselves.
+func NewWorld(cfg Config, n int) (*World, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("shmem: config needs a machine model")
+	}
+	prof, err := cfg.Machine.Profile(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	pw, err := pgas.NewWorld(cfg.Machine, n)
+	if err != nil {
+		return nil, err
+	}
+	return &World{pw: pw, prof: prof, machine: cfg.Machine, heap: newHeap()}, nil
+}
+
+// Attach creates the PE handle for a pgas PE in this world. Layered runtimes
+// use it; normal applications go through Run.
+func (w *World) Attach(p *pgas.PE) *PE { return &PE{world: w, p: p} }
+
+// PgasWorld exposes the underlying substrate (for layered runtimes).
+func (w *World) PgasWorld() *pgas.World { return w.pw }
+
+// Profile returns the library cost profile this world is modelling.
+func (w *World) Profile() *fabric.CostProfile { return w.prof }
+
+// MyPE returns the calling PE's rank (shmem_my_pe).
+func (pe *PE) MyPE() int { return pe.p.ID }
+
+// NumPEs returns the job size (shmem_n_pes).
+func (pe *PE) NumPEs() int { return pe.world.pw.NumPEs() }
+
+// Clock exposes the PE's virtual clock for harness measurement.
+func (pe *PE) Clock() *fabric.Clock { return &pe.p.Clock }
+
+// World returns the job this PE belongs to.
+func (pe *PE) World() *World { return pe.world }
+
+// Pgas returns the underlying substrate PE (for layered runtimes).
+func (pe *PE) Pgas() *pgas.PE { return pe.p }
+
+func (pe *PE) intra(target int) bool {
+	return pe.world.machine.SameNode(pe.p.ID, target)
+}
+
+func (pe *PE) pairs() int {
+	return pe.world.pw.ActivePairs(pe.p.ID)
+}
+
+// Ptr models shmem_ptr: it returns a directly-loadable snapshot of a remote
+// PE's symmetric object when (and only when) the remote PE is on the same
+// node, else nil. True shared-memory mapping is not possible across Go
+// partitions without aliasing hazards, so the returned slice is a copy that
+// costs only an intra-node cache transfer; callers that need to write must
+// use Put. The paper lists exploiting shmem_ptr for intra-node load/store as
+// future work (§VII).
+func (pe *PE) Ptr(sym Sym, target int) []byte {
+	if !pe.intra(target) {
+		return nil
+	}
+	dst := make([]byte, sym.Size)
+	pe.world.pw.Read(target, sym.Off, dst)
+	pe.p.Clock.Advance(pe.world.prof.IntraGapNsPerByte * float64(sym.Size))
+	return dst
+}

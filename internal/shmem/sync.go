@@ -1,0 +1,76 @@
+package shmem
+
+import "encoding/binary"
+
+// Quiet waits for remote completion of all puts and atomics this PE has
+// issued — shmem_quiet. In virtual time this merges the clock with the
+// latest outstanding visibility timestamp. The paper's translation inserts
+// Quiet after puts and before gets to restore CAF's ordering semantics
+// (§IV-B).
+func (pe *PE) Quiet() {
+	prof := pe.world.prof
+	pe.p.Clock.Advance(prof.OverheadNs)
+	if pe.pendingT > pe.p.Clock.Now() {
+		pe.p.Clock.MergeAtLeast(pe.pendingT)
+	}
+	pe.pendingT = 0
+}
+
+// Fence orders this PE's puts to each destination — shmem_fence. Weaker than
+// Quiet: ordering per target, not global completion. The substrate applies
+// writes in issue order per target already, so only the call overhead is
+// charged.
+func (pe *PE) Fence() {
+	pe.p.Clock.Advance(pe.world.prof.OverheadNs)
+}
+
+// Barrier synchronises all PEs and completes outstanding communication —
+// shmem_barrier_all.
+func (pe *PE) Barrier() {
+	pe.Quiet()
+	w := pe.world
+	n := w.pw.NumPEs()
+	pe.p.Barrier(w.prof.BarrierNs(n, w.machine.NodesFor(n)))
+}
+
+// Cmp is a wait-until comparison operator (shmem_wait_until).
+type Cmp int
+
+const (
+	CmpEQ Cmp = iota
+	CmpNE
+	CmpGT
+	CmpGE
+	CmpLT
+	CmpLE
+)
+
+func (c Cmp) holds(a, b int64) bool {
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	case CmpLT:
+		return a < b
+	default:
+		return a <= b
+	}
+}
+
+// WaitUntil64 blocks until the local 64-bit word at element index idx of sym
+// satisfies cmp against value — shmem_long_wait_until. It returns once the
+// write that satisfied the condition is (virtually) visible, merging its
+// timestamp into the PE's clock.
+func (pe *PE) WaitUntil64(sym Sym, idx int, cmp Cmp, value int64) {
+	off := sym.At(int64(idx) * 8)
+	ts := pe.p.WaitUntil(off, 8, func(b []byte) bool {
+		return cmp.holds(int64(binary.LittleEndian.Uint64(b)), value)
+	})
+	pe.p.Clock.MergeAtLeast(ts)
+	pe.p.Clock.Advance(pe.world.prof.OverheadNs) // poll loop exit cost
+}

@@ -1,0 +1,144 @@
+// Package transpose implements a distributed 2-D matrix transpose over the
+// CAF runtime — the communication pattern (all-to-all exchanges of
+// rectangular array sections) that multi-dimensional strided transfer
+// algorithms like the paper's 2dim_strided exist to serve. Each image owns a
+// block of columns; transposition makes every image exchange a sub-block
+// with every other image, writing rectangular coarray sections remotely.
+package transpose
+
+import (
+	"fmt"
+
+	"cafshmem/internal/caf"
+)
+
+// Plan describes one distributed transpose: an n x n matrix of float64,
+// block-column distributed over the images.
+type Plan struct {
+	N int
+}
+
+// colRange returns the half-open global column range owned by image
+// (1-based) under block distribution.
+func colRange(n, images, image int) (lo, hi int) {
+	base := n / images
+	rem := n % images
+	idx := image - 1
+	lo = idx*base + minInt(idx, rem)
+	hi = lo + base
+	if idx < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxCols(n, images int) int {
+	lo, hi := colRange(n, images, 1)
+	return hi - lo
+}
+
+// Result carries the outcome of a distributed transpose benchmark run.
+type Result struct {
+	Images int
+	N      int
+	TimeMs float64 // virtual time of the slowest image
+	MBps   float64 // matrix bytes moved per virtual second
+}
+
+// Run transposes a deterministic test matrix (A[r,c] = r*N + c) in place
+// across the images, verifies the result against the analytic transpose, and
+// returns timing. It is both a correctness harness and a strided-algorithm
+// benchmark (the Options select naive/1dim/2dim/vendor).
+func Run(opts caf.Options, images int, plan Plan) (Result, error) {
+	n := plan.N
+	if n < 1 {
+		return Result{}, fmt.Errorf("transpose: matrix size must be positive, got %d", n)
+	}
+	if images > n {
+		return Result{}, fmt.Errorf("transpose: %d images exceed %d columns", images, n)
+	}
+	res := Result{Images: images, N: n}
+	var worst float64
+	err := caf.Run(images, opts, func(img *caf.Image) {
+		me := img.ThisImage()
+		lo, hi := colRange(n, images, me)
+		mc := maxCols(n, images)
+
+		// A and B are (n rows, mc columns) coarrays, column-major: a column
+		// is contiguous. Image me uses columns [0, hi-lo).
+		a := caf.Allocate[float64](img, n, mc)
+		b := caf.Allocate[float64](img, n, mc)
+
+		// Initialise A[r, c] = r*n + c for owned global columns.
+		vals := make([]float64, n*(hi-lo))
+		for c := lo; c < hi; c++ {
+			for r := 0; r < n; r++ {
+				vals[(c-lo)*n+r] = float64(r*n + c)
+			}
+		}
+		a.Put(me, caf.Section{{Lo: 0, Hi: n - 1, Step: 1}, {Lo: 0, Hi: hi - lo - 1, Step: 1}}, vals)
+		img.SyncAll()
+		img.Clock().Reset()
+
+		// For each target image t: the sub-block of my A with rows in t's
+		// column range becomes (transposed) columns [lo, hi) rows [t.lo,t.hi)
+		// of B on image t.
+		myCols := hi - lo
+		for off := 0; off < images; off++ {
+			t := (me-1+off)%images + 1 // rotate targets to avoid hotspots
+			tlo, thi := colRange(n, images, t)
+			rows := thi - tlo
+			// Gather my sub-block transposed: buf[(c-lo) ... ] in the section
+			// order of the destination (rows fastest).
+			buf := make([]float64, rows*myCols)
+			src := a.Get(me, caf.Section{
+				{Lo: tlo, Hi: thi - 1, Step: 1},
+				{Lo: 0, Hi: myCols - 1, Step: 1},
+			}) // dense: r fastest (rows of A), then c
+			// Transpose locally: destination wants B[gcol, c'-tlo]? Dest
+			// section rows = my global columns (lo..hi), dest cols = t's
+			// columns (as local 0..rows-1). Element (gr, gc) of A lands at
+			// (gc, gr) of B: B row index = gc in [lo,hi), B col = gr-tlo.
+			for ri := 0; ri < rows; ri++ { // gr = tlo + ri
+				for ci := 0; ci < myCols; ci++ { // gc = lo + ci
+					buf[ci+ri*myCols] = src[ri+ci*rows]
+				}
+			}
+			b.Put(t, caf.Section{
+				{Lo: lo, Hi: hi - 1, Step: 1},
+				{Lo: 0, Hi: rows - 1, Step: 1},
+			}, buf)
+		}
+		img.SyncAll()
+		if me == 1 {
+			worst = img.Clock().Now()
+		}
+
+		// Verify: B[r, c_local] must equal A^T, i.e. value c_global*n + r.
+		got := b.Get(me, caf.Section{{Lo: 0, Hi: n - 1, Step: 1}, {Lo: 0, Hi: hi - lo - 1, Step: 1}})
+		for c := lo; c < hi; c++ {
+			for r := 0; r < n; r++ {
+				want := float64(c*n + r)
+				if got[(c-lo)*n+r] != want {
+					panic(fmt.Sprintf("transpose: image %d B[%d,%d] = %v, want %v",
+						me, r, c, got[(c-lo)*n+r], want))
+				}
+			}
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		return res, err
+	}
+	res.TimeMs = worst / 1e6
+	bytes := float64(n) * float64(n) * 8
+	res.MBps = bytes / (worst / 1e9) / 1e6
+	return res, nil
+}
