@@ -1,0 +1,15 @@
+#!/bin/sh
+# Extended tier-1 gate (see ROADMAP.md): build-and-test plus the repo's
+# correctness tooling. Run from the module root.
+set -eu
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> shmemvet (PGAS static analysis)"
+go run ./cmd/shmemvet ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,203 @@
+// Command shmemvet runs the PGAS correctness analyzers over this module's
+// packages. It is the static half of the repository's correctness tooling
+// (the runtime half is the sanitizer mode in internal/shmem): each analyzer
+// encodes one contract of the paper's CAF-over-OpenSHMEM mapping that the Go
+// compiler cannot check.
+//
+// Usage:
+//
+//	go run ./cmd/shmemvet ./...
+//	go run ./cmd/shmemvet -checks synccheck,lockcheck ./internal/dht
+//
+// Patterns are directories, optionally ending in /... to recurse. With no
+// arguments, ./... is assumed. The exit status is 1 if any diagnostic is
+// reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cafshmem/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("shmemvet", flag.ContinueOnError)
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	verbose := fs.Bool("v", false, "list analyzed packages and type-check noise")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shmemvet:", err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shmemvet:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shmemvet:", err)
+		return 2
+	}
+
+	dirs, err := expandPatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shmemvet:", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "shmemvet: no packages matched")
+		return 2
+	}
+
+	exit := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shmemvet: %s: %v\n", dir, err)
+			exit = 2
+			continue
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "shmemvet: analyzing %s\n", pkg.Path)
+			for _, e := range pkg.TypeErrs {
+				fmt.Fprintf(os.Stderr, "shmemvet: %s: type-check: %v\n", pkg.Path, e)
+			}
+		}
+		for _, d := range analysis.RunAnalyzers(pkg, analyzers) {
+			fmt.Println(relativize(cwd, d))
+			if exit == 0 {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+func selectAnalyzers(checks string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if checks == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, analyzerNames(all))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func analyzerNames(all []*analysis.Analyzer) string {
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// expandPatterns resolves package patterns to package directories. A pattern
+// is a directory path; a trailing "/..." recurses. Directories named testdata,
+// hidden directories, and directories without buildable Go files are skipped.
+func expandPatterns(cwd string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		if pat == "" {
+			pat = "."
+		}
+		root := pat
+		if !filepath.IsAbs(root) {
+			root = filepath.Join(cwd, root)
+		}
+		info, err := os.Stat(root)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("%s is not a directory", pat)
+		}
+		if !recursive {
+			add(root)
+			continue
+		}
+		err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func relativize(cwd string, d analysis.Diagnostic) string {
+	s := d.String()
+	if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		s = fmt.Sprintf("%s:%d:%d: %s: %s", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	return s
+}

@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CollectiveCheck flags collective operations issued under PE-dependent
+// control flow — the classic SPMD divergence bug ("if me == 0 {
+// Malloc(...) }"). Every collective in the OpenSHMEM layer (symmetric
+// allocation, barrier, broadcast, reductions) and the CAF layer (coarray
+// allocation, sync all, co_sum, lock creation) must be reached by every
+// PE/image with matching arguments, or the job deadlocks (or worse, the
+// paper's collective symmetric allocator hands out mismatched handles).
+//
+// Control flow counts as PE-dependent when its condition reads this PE's
+// identity: a MyPE()/ThisImage() call, the substrate PE's ID field, or a
+// variable assigned from one of those. Team-scoped collectives are exempt —
+// team membership is PE-dependent by design.
+var CollectiveCheck = &Analyzer{
+	Name: "collectivecheck",
+	Doc:  "collective calls under PE-dependent conditionals",
+	Run:  runCollectiveCheck,
+}
+
+// shmem.PE methods that are collective.
+var shmemCollectiveMethods = map[string]bool{
+	"Malloc": true, "Free": true, "Barrier": true, "Broadcast": true,
+}
+
+// caf.Image methods that are collective.
+var cafCollectiveMethods = map[string]bool{
+	"SyncAll": true, "FormTeam": true,
+}
+
+// Collective package-level functions, by package path.
+var collectiveFuncs = map[string]map[string]bool{
+	shmemPath: {"ToAll": true, "FCollect": true, "Collect": true},
+	cafPath: {
+		"CoSum": true, "CoMin": true, "CoMax": true, "CoReduce": true,
+		"CoBroadcast": true, "Allocate": true, "AllocateDyn": true,
+		"NewLock": true, "NewEvent": true, "NewCritical": true, "NewAtomicVar": true,
+	},
+}
+
+// Collective methods on other runtime types: receiver type name -> methods.
+var cafCollectiveTypeMethods = map[string]map[string]bool{
+	"Coarray": {"Deallocate": true},
+	"Lock":    {"Deallocate": true},
+}
+
+func runCollectiveCheck(pass *Pass) {
+	pass.funcBodies(func(name string, body *ast.BlockStmt) {
+		w := &collWalker{pass: pass, tainted: map[types.Object]bool{}}
+		w.computeTaint(body)
+		w.walkStmt(body, token.NoPos)
+	})
+}
+
+type collWalker struct {
+	pass    *Pass
+	tainted map[types.Object]bool
+}
+
+// computeTaint marks variables assigned (directly or transitively) from this
+// PE's identity, iterating to a fixpoint.
+func (w *collWalker) computeTaint(body *ast.BlockStmt) {
+	for {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range x.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					var rhs ast.Expr
+					if len(x.Rhs) == len(x.Lhs) {
+						rhs = x.Rhs[i]
+					} else if len(x.Rhs) == 1 {
+						rhs = x.Rhs[0]
+					}
+					if rhs == nil || !w.exprTainted(rhs) {
+						continue
+					}
+					obj := w.pass.Pkg.Info.ObjectOf(id)
+					if obj != nil && !w.tainted[obj] {
+						w.tainted[obj] = true
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range x.Names {
+					if i < len(x.Values) && w.exprTainted(x.Values[i]) {
+						obj := w.pass.Pkg.Info.ObjectOf(id)
+						if obj != nil && !w.tainted[obj] {
+							w.tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// exprTainted reports whether the expression reads this PE's identity.
+func (w *collWalker) exprTainted(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			fn := w.pass.callee(x)
+			if isMethodOf(fn, shmemPath, "PE", "MyPE") ||
+				isMethodOf(fn, cafPath, "Image", "ThisImage") ||
+				isMethodOf(fn, cafPath, "Team", "ThisImage") ||
+				isMethodOf(fn, cafPath, "Team", "TeamImage") {
+				found = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			if x.Sel.Name == "ID" {
+				if tv, ok := w.pass.Pkg.Info.Types[x.X]; ok {
+					t := tv.Type
+					if ptr, ok := t.(*types.Pointer); ok {
+						t = ptr.Elem()
+					}
+					if named, ok := t.(*types.Named); ok &&
+						named.Obj().Name() == "PE" && named.Obj().Pkg() != nil &&
+						named.Obj().Pkg().Path() == "cafshmem/internal/pgas" {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := w.pass.Pkg.Info.ObjectOf(x); obj != nil && w.tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// walkStmt descends the statement tree; div is the position of the innermost
+// enclosing PE-dependent condition (NoPos when none).
+func (w *collWalker) walkStmt(s ast.Stmt, div token.Pos) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range x.List {
+			w.walkStmt(sub, div)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, div)
+		}
+		w.checkCalls(x.Cond, div)
+		inner := div
+		if w.exprTainted(x.Cond) {
+			inner = x.Cond.Pos()
+		}
+		w.walkStmt(x.Body, inner)
+		if x.Else != nil {
+			w.walkStmt(x.Else, inner)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, div)
+		}
+		w.checkCalls(x.Cond, div)
+		inner := div
+		if w.exprTainted(x.Cond) {
+			inner = x.For
+		}
+		w.walkStmt(x.Body, inner)
+		if x.Post != nil {
+			w.walkStmt(x.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.checkCalls(x.X, div)
+		inner := div
+		if w.exprTainted(x.X) {
+			inner = x.For
+		}
+		w.walkStmt(x.Body, inner)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, div)
+		}
+		w.checkCalls(x.Tag, div)
+		inner := div
+		if x.Tag != nil && w.exprTainted(x.Tag) {
+			inner = x.Tag.Pos()
+		}
+		for _, c := range x.Body.List {
+			cl := c.(*ast.CaseClause)
+			caseDiv := inner
+			for _, e := range cl.List {
+				w.checkCalls(e, inner)
+				if caseDiv == div && w.exprTainted(e) {
+					caseDiv = e.Pos()
+				}
+			}
+			for _, sub := range cl.Body {
+				w.walkStmt(sub, caseDiv)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, div)
+		}
+		for _, c := range x.Body.List {
+			for _, sub := range c.(*ast.CaseClause).Body {
+				w.walkStmt(sub, div)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				w.walkStmt(cc.Comm, div)
+			}
+			for _, sub := range cc.Body {
+				w.walkStmt(sub, div)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(x.Stmt, div)
+	case nil:
+	default:
+		w.checkCalls(x, div)
+	}
+}
+
+// checkCalls reports collective calls inside n when executing under a
+// PE-dependent condition.
+func (w *collWalker) checkCalls(n ast.Node, div token.Pos) {
+	if n == nil || div == token.NoPos {
+		return
+	}
+	stmtCalls(n, func(call *ast.CallExpr) {
+		if name, ok := w.collectiveName(call); ok {
+			w.pass.Reportf(call.Pos(),
+				"collective %s under the PE-dependent condition at line %d: not every PE reaches it (SPMD divergence)",
+				name, w.pass.Pkg.Fset.Position(div).Line)
+		}
+	})
+}
+
+// collectiveName resolves a call to a known collective operation.
+func (w *collWalker) collectiveName(call *ast.CallExpr) (string, bool) {
+	fn := w.pass.callee(call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	if named := recvNamed(fn); named != nil {
+		switch {
+		case path == shmemPath && named.Obj().Name() == "PE" && shmemCollectiveMethods[name]:
+			return "PE." + name, true
+		case path == cafPath && named.Obj().Name() == "Image" && cafCollectiveMethods[name]:
+			return "Image." + name, true
+		case path == cafPath && cafCollectiveTypeMethods[named.Obj().Name()] != nil &&
+			cafCollectiveTypeMethods[named.Obj().Name()][name]:
+			return named.Obj().Name() + "." + name, true
+		}
+		return "", false
+	}
+	if m := collectiveFuncs[path]; m != nil && m[name] {
+		return name, true
+	}
+	return "", false
+}

@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockCheck verifies acquire/release pairing for both lock APIs in the
+// repository: OpenSHMEM global logical locks (shmem.PE.SetLock/ClearLock/
+// TestLock) and CAF coarray locks (caf.Lock.Acquire/Release/TryAcquire, the
+// paper's MCS adaptation of §IV-D). It reports, per function:
+//
+//   - a return path on which a lock acquired in this function is still held
+//     and has no deferred release (leaked lock: every other PE queueing on
+//     the MCS tail deadlocks);
+//   - a release of a lock that is not held on any path through the function
+//     (ClearLock by a non-holder panics at runtime; the static check moves
+//     that to analysis time);
+//   - acquiring a lock already held on every path (self-deadlock for the
+//     global lock, a standard-mandated error for coarray locks).
+//
+// Functions that contain releases but no acquires are treated as release
+// helpers and skipped. The analysis is intraprocedural and keyed by the
+// (lock expression, index/image expression) pair.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "unbalanced PGAS lock acquire/release paths",
+	Run:  runLockCheck,
+}
+
+type lockInfo struct {
+	must bool // held on every path reaching here (vs. only some)
+	pos  token.Pos
+}
+
+type lockState map[string]lockInfo
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// join merges two branch states: a lock is must-held only if held on both.
+func joinLocks(a, b lockState) lockState {
+	out := lockState{}
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			out[k] = lockInfo{must: va.must && vb.must, pos: va.pos}
+		} else {
+			out[k] = lockInfo{must: false, pos: va.pos}
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = lockInfo{must: false, pos: vb.pos}
+		}
+	}
+	return out
+}
+
+func runLockCheck(pass *Pass) {
+	pass.funcBodies(func(name string, body *ast.BlockStmt) {
+		w := &lockWalker{pass: pass, deferred: map[string]bool{}}
+		// Release-only functions are helpers operating on locks their callers
+		// hold; pairing is the caller's responsibility.
+		ast.Inspect(body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if kind, _ := w.classify(call); kind == lockAcquire || kind == lockTry {
+					w.hasAcquire = true
+				}
+			}
+			return true
+		})
+		if !w.hasAcquire {
+			return
+		}
+		out := w.walkStmt(body, lockState{})
+		if !terminates(body) {
+			w.reportHeld(out, body.Rbrace)
+		}
+	})
+}
+
+type lockOpKind int
+
+const (
+	lockNone lockOpKind = iota
+	lockAcquire
+	lockRelease
+	lockTry
+)
+
+type lockWalker struct {
+	pass       *Pass
+	hasAcquire bool
+	deferred   map[string]bool // lock keys released by defer statements
+}
+
+// classify resolves a call to a lock operation and its state key.
+func (w *lockWalker) classify(call *ast.CallExpr) (lockOpKind, string) {
+	fn := w.pass.callee(call)
+	if fn == nil {
+		return lockNone, ""
+	}
+	switch {
+	case isMethodOf(fn, shmemPath, "PE", "SetLock"):
+		return lockAcquire, w.shmemKey(call)
+	case isMethodOf(fn, shmemPath, "PE", "ClearLock"):
+		return lockRelease, w.shmemKey(call)
+	case isMethodOf(fn, shmemPath, "PE", "TestLock"):
+		return lockTry, w.shmemKey(call)
+	case isMethodOf(fn, cafPath, "Lock", "Acquire"):
+		return lockAcquire, w.cafKey(call)
+	case isMethodOf(fn, cafPath, "Lock", "Release"):
+		return lockRelease, w.cafKey(call)
+	case isMethodOf(fn, cafPath, "Lock", "TryAcquire"):
+		return lockTry, w.cafKey(call)
+	}
+	return lockNone, ""
+}
+
+func (w *lockWalker) shmemKey(call *ast.CallExpr) string {
+	if len(call.Args) < 2 {
+		return ""
+	}
+	return w.pass.exprKey(call.Args[0]) + "/" + w.pass.exprKey(call.Args[1])
+}
+
+func (w *lockWalker) cafKey(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) < 1 {
+		return ""
+	}
+	return w.pass.exprKey(sel.X) + "/" + w.pass.exprKey(call.Args[0])
+}
+
+// lockName renders the key's call for messages: "lck[j]"-style.
+func lockName(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if len(call.Args) >= 2 {
+			return types.ExprString(sel.X) + ".(" + types.ExprString(call.Args[0]) + "," + types.ExprString(call.Args[1]) + ")"
+		}
+		if len(call.Args) >= 1 {
+			return types.ExprString(sel.X) + "[" + types.ExprString(call.Args[0]) + "]"
+		}
+	}
+	return types.ExprString(call.Fun)
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, st lockState) lockState {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range x.List {
+			st = w.walkStmt(sub, st)
+		}
+		return st
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		// Conditional acquisition: "if pe.TestLock(...) { ... }" holds the
+		// lock in the then-branch only.
+		var tryKey string
+		var tryPos token.Pos
+		if call, ok := ast.Unparen(x.Cond).(*ast.CallExpr); ok {
+			if kind, key := w.classify(call); kind == lockTry {
+				tryKey, tryPos = key, call.Pos()
+			}
+		}
+		if tryKey == "" {
+			w.applyExprCalls(x.Cond, st)
+		}
+		thenSt := st.clone()
+		if tryKey != "" {
+			thenSt[tryKey] = lockInfo{must: true, pos: tryPos}
+		}
+		thenSt = w.walkStmt(x.Body, thenSt)
+		elseSt := st.clone()
+		if x.Else != nil {
+			elseSt = w.walkStmt(x.Else, elseSt)
+		}
+		switch {
+		case terminates(x.Body):
+			return elseSt
+		case x.Else != nil && terminates(x.Else):
+			return thenSt
+		default:
+			return joinLocks(thenSt, elseSt)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		w.applyExprCalls(x.Cond, st)
+		body := w.walkStmt(x.Body, st.clone())
+		if x.Post != nil {
+			body = w.walkStmt(x.Post, body)
+		}
+		return joinLocks(st, body)
+	case *ast.RangeStmt:
+		w.applyExprCalls(x.X, st)
+		body := w.walkStmt(x.Body, st.clone())
+		return joinLocks(st, body)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkCases(s, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(x.Stmt, st)
+	case *ast.ReturnStmt:
+		w.applyExprCalls(x, st)
+		w.reportHeld(st, x.Pos())
+		return st
+	case *ast.DeferStmt:
+		w.recordDefer(x)
+		return st
+	case *ast.GoStmt:
+		return st
+	case nil:
+		return st
+	default:
+		w.applyStmtCalls(x, st)
+		return st
+	}
+}
+
+func (w *lockWalker) walkCases(s ast.Stmt, st lockState) lockState {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		w.applyExprCalls(x.Tag, st)
+		body = x.Body
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		body = x.Body
+	case *ast.SelectStmt:
+		body = x.Body
+	}
+	var merged lockState
+	for _, c := range body.List {
+		caseSt := st.clone()
+		var stmts []ast.Stmt
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				w.applyExprCalls(e, caseSt)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				caseSt = w.walkStmt(cl.Comm, caseSt)
+			}
+			stmts = cl.Body
+		}
+		for _, sub := range stmts {
+			caseSt = w.walkStmt(sub, caseSt)
+		}
+		if merged == nil {
+			merged = caseSt
+		} else {
+			merged = joinLocks(merged, caseSt)
+		}
+	}
+	if merged == nil {
+		return st
+	}
+	if !hasDefault {
+		merged = joinLocks(merged, st)
+	}
+	return merged
+}
+
+// terminates reports whether a statement always transfers control out of the
+// enclosing flow (return, panic, or a terminating block).
+func terminates(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		if n := len(x.List); n > 0 {
+			return terminates(x.List[n-1])
+		}
+	}
+	return false
+}
+
+// applyStmtCalls applies lock effects of the calls in a non-control
+// statement.
+func (w *lockWalker) applyStmtCalls(s ast.Stmt, st lockState) {
+	w.applyExprCalls(s, st)
+}
+
+func (w *lockWalker) applyExprCalls(n ast.Node, st lockState) {
+	if n == nil {
+		return
+	}
+	stmtCalls(n, func(call *ast.CallExpr) { w.applyCall(call, st) })
+}
+
+func (w *lockWalker) applyCall(call *ast.CallExpr, st lockState) {
+	kind, key := w.classify(call)
+	if key == "" && kind != lockNone {
+		return // unresolvable key expression: stay silent
+	}
+	switch kind {
+	case lockAcquire:
+		if info, held := st[key]; held && info.must {
+			w.pass.Reportf(call.Pos(), "lock %s acquired at line %d is acquired again without an intervening release",
+				lockName(call), w.pass.Pkg.Fset.Position(info.pos).Line)
+		}
+		st[key] = lockInfo{must: true, pos: call.Pos()}
+	case lockRelease:
+		if _, held := st[key]; !held && !w.deferred[key] {
+			w.pass.Reportf(call.Pos(), "release of lock %s which is not acquired on this path", lockName(call))
+		}
+		delete(st, key)
+	case lockTry:
+		// Result not consumed as an if-condition: the lock is possibly held
+		// from here on; later releases are legitimate.
+		st[key] = lockInfo{must: false, pos: call.Pos()}
+	}
+}
+
+// recordDefer notes releases performed by defer statements (directly or
+// inside an immediately-deferred closure).
+func (w *lockWalker) recordDefer(d *ast.DeferStmt) {
+	note := func(call *ast.CallExpr) {
+		if kind, key := w.classify(call); kind == lockRelease && key != "" {
+			w.deferred[key] = true
+		}
+	}
+	note(d.Call)
+	if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				note(call)
+			}
+			return true
+		})
+	}
+}
+
+// reportHeld flags locks that are must-held at a function exit point and not
+// covered by a deferred release.
+func (w *lockWalker) reportHeld(st lockState, at token.Pos) {
+	for key, info := range st {
+		if !info.must || w.deferred[key] {
+			continue
+		}
+		w.pass.Reportf(at, "function can return while still holding the lock acquired at line %d",
+			w.pass.Pkg.Fset.Position(info.pos).Line)
+	}
+}

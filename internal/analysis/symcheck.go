@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SymCheck polices the lifecycle of symmetric-heap handles (shmem.Sym).
+// A Sym is only meaningful as the result of a collective Malloc in the world
+// that performed it: the same offset names the same object on every PE
+// precisely because every PE allocated it together (paper §IV-A). Therefore:
+//
+//   - constructing a Sym by hand ({Off: ..., Size: ...}) outside the shmem
+//     package forges an un-allocated handle; puts through it scribble over
+//     whatever the allocator placed there. Runtime layers that legitimately
+//     need a whole-partition view (the CAF transport) carry a
+//     "//shmemvet:allow symcheck" annotation;
+//   - mutating a handle's Off/Size fields retargets it in uncontrolled ways
+//     (Sym.At is the bounds-checked way to address within an object);
+//   - storing a Sym (or any value embedding one) in package-level state lets
+//     the handle outlive and escape its world — a later world's heap will
+//     assign the same offsets to different objects.
+var SymCheck = &Analyzer{
+	Name: "symcheck",
+	Doc:  "hand-forged, mutated, or world-escaping symmetric handles",
+	Run:  runSymCheck,
+}
+
+func runSymCheck(pass *Pass) {
+	if pass.Pkg.Types != nil && pass.Pkg.Types.Path() == shmemPath {
+		return // the defining package owns the representation
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				if isSymType(pass.typeOf(x)) {
+					pass.Reportf(x.Pos(),
+						"symmetric handle constructed by hand; Sym values must come from a collective Malloc in this world")
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if (sel.Sel.Name == "Off" || sel.Sel.Name == "Size") && isSymType(pass.typeOf(sel.X)) {
+						pass.Reportf(lhs.Pos(),
+							"mutation of symmetric handle field %s retargets the handle; address within an object via Sym.At",
+							sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+		// Package-level state holding a Sym outlives the world that allocated
+		// it.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.Pkg.Info.ObjectOf(name)
+					if v, ok := obj.(*types.Var); ok && typeEmbedsSym(v.Type(), 0) {
+						pass.Reportf(name.Pos(),
+							"package-level %s holds a symmetric handle, which escapes the world that allocated it", name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func isSymType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Sym" && obj.Pkg() != nil && obj.Pkg().Path() == shmemPath
+}
+
+// typeEmbedsSym reports whether t is, or structurally contains, a shmem.Sym.
+func typeEmbedsSym(t types.Type, depth int) bool {
+	if t == nil || depth > 6 {
+		return false
+	}
+	if isSymType(t) {
+		return true
+	}
+	switch x := t.(type) {
+	case *types.Pointer:
+		return typeEmbedsSym(x.Elem(), depth+1)
+	case *types.Slice:
+		return typeEmbedsSym(x.Elem(), depth+1)
+	case *types.Array:
+		return typeEmbedsSym(x.Elem(), depth+1)
+	case *types.Map:
+		return typeEmbedsSym(x.Elem(), depth+1) || typeEmbedsSym(x.Key(), depth+1)
+	case *types.Chan:
+		return typeEmbedsSym(x.Elem(), depth+1)
+	case *types.Named:
+		return typeEmbedsSym(x.Underlying(), depth+1)
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			if typeEmbedsSym(x.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SyncCheck flags reads of a symmetric object that can observe an incomplete
+// one-sided write: a shmem Put/IPut/atomic update followed on some path by a
+// Get (or other read) of the same symmetric object with no intervening
+// Quiet/Fence/Barrier or collective. This is the contract of paper §IV-B —
+// OpenSHMEM puts complete locally; remote visibility requires an explicit
+// completion operation, which the CAF translation inserts and hand-written
+// hybrid code must not forget.
+//
+// The analysis is intraprocedural and keyed by the symmetric-handle
+// expression. Calls the analyzer cannot see through (module-local helpers,
+// function values) conservatively count as completion points, so findings
+// are high-confidence straight-line bugs.
+var SyncCheck = &Analyzer{
+	Name: "synccheck",
+	Doc:  "reads of symmetric data racing un-quieted one-sided writes",
+	Run:  runSyncCheck,
+}
+
+// pendingWrites maps a symmetric-object key to the position of the oldest
+// outstanding (un-quieted) write to it on the current path.
+type pendingWrites map[string]token.Pos
+
+func (s pendingWrites) clone() pendingWrites {
+	out := make(pendingWrites, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s pendingWrites) union(o pendingWrites) {
+	for k, v := range o {
+		if old, ok := s[k]; !ok || v < old {
+			s[k] = v
+		}
+	}
+}
+
+func runSyncCheck(pass *Pass) {
+	pass.funcBodies(func(name string, body *ast.BlockStmt) {
+		w := &syncWalker{pass: pass}
+		w.walkStmt(body, pendingWrites{})
+	})
+}
+
+type syncWalker struct {
+	pass *Pass
+}
+
+// shmem.PE methods that issue one-sided writes needing Quiet for remote
+// completion (or whose update bypasses the ordered put stream, for AMOs),
+// with the index of their Sym argument.
+var shmemWriteMethods = map[string]int{
+	"PutMem": 1, "IPutMem": 1,
+	"Swap": 1, "CompareSwap": 1, "FetchAdd": 1, "FetchInc": 1, "Add": 1,
+	"FetchAnd": 1, "FetchOr": 1, "FetchXor": 1, "AtomicSet": 1,
+}
+
+// Package-level generic write functions, with the index of their Sym argument.
+var shmemWriteFuncs = map[string]int{"Put": 2, "P": 2, "IPut": 2}
+
+// shmem.PE methods that read symmetric data, with their Sym argument index.
+var shmemReadMethods = map[string]int{
+	"GetMem": 1, "IGetMem": 1, "AtomicFetch": 1, "Ptr": 0,
+}
+
+var shmemReadFuncs = map[string]int{"Get": 2, "G": 2, "IGet": 2}
+
+// shmem.PE methods that complete all outstanding writes.
+var shmemSyncMethods = map[string]bool{
+	"Quiet": true, "Fence": true, "Barrier": true,
+	"Malloc": true, "Free": true, "Broadcast": true,
+}
+
+var shmemSyncFuncs = map[string]bool{"ToAll": true, "FCollect": true, "Collect": true}
+
+// shmem.PE (and related) methods with no effect on outstanding writes.
+var shmemBenignMethods = map[string]bool{
+	"MyPE": true, "NumPEs": true, "Clock": true, "World": true, "Pgas": true,
+	"WaitUntil64": true, "SetLock": true, "ClearLock": true, "TestLock": true,
+	"At": true, "IsZero": true,
+}
+
+func (w *syncWalker) walkStmt(s ast.Stmt, st pendingWrites) pendingWrites {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		for _, sub := range x.List {
+			st = w.walkStmt(sub, st)
+		}
+		return st
+	case *ast.IfStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		w.applyExpr(x.Cond, st)
+		thenSt := w.walkStmt(x.Body, st.clone())
+		if x.Else != nil {
+			elseSt := w.walkStmt(x.Else, st.clone())
+			thenSt.union(elseSt)
+			return thenSt
+		}
+		st.union(thenSt)
+		return st
+	case *ast.ForStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		w.applyExpr(x.Cond, st)
+		// Two passes propagate loop-carried pending writes (a put at the
+		// bottom of the body racing a read at the top of the next iteration).
+		once := w.walkStmt(x.Body, st.clone())
+		if x.Post != nil {
+			once = w.walkStmt(x.Post, once)
+		}
+		once.union(st)
+		twice := w.walkStmt(x.Body, once.clone())
+		if x.Post != nil {
+			twice = w.walkStmt(x.Post, twice)
+		}
+		twice.union(once)
+		return twice
+	case *ast.RangeStmt:
+		w.applyExpr(x.X, st)
+		once := w.walkStmt(x.Body, st.clone())
+		once.union(st)
+		twice := w.walkStmt(x.Body, once.clone())
+		twice.union(once)
+		return twice
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		w.applyExpr(x.Tag, st)
+		return w.walkCases(x.Body, st)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			st = w.walkStmt(x.Init, st)
+		}
+		return w.walkCases(x.Body, st)
+	case *ast.SelectStmt:
+		return w.walkCases(x.Body, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(x.Stmt, st)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred calls run at return, goroutines concurrently: neither
+		// completes writes at this program point. Argument evaluation happens
+		// now, though.
+		if d, ok := x.(*ast.DeferStmt); ok {
+			for _, a := range d.Call.Args {
+				w.applyExpr(a, st)
+			}
+		} else if g, ok := x.(*ast.GoStmt); ok {
+			for _, a := range g.Call.Args {
+				w.applyExpr(a, st)
+			}
+		}
+		return st
+	case nil:
+		return st
+	default:
+		w.applyExpr(x, st)
+		return st
+	}
+}
+
+func (w *syncWalker) walkCases(body *ast.BlockStmt, st pendingWrites) pendingWrites {
+	merged := st.clone() // the no-case-taken path
+	for _, c := range body.List {
+		caseSt := st.clone()
+		switch cl := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				w.applyExpr(e, caseSt)
+			}
+			for _, sub := range cl.Body {
+				caseSt = w.walkStmt(sub, caseSt)
+			}
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				caseSt = w.walkStmt(cl.Comm, caseSt)
+			}
+			for _, sub := range cl.Body {
+				caseSt = w.walkStmt(sub, caseSt)
+			}
+		}
+		merged.union(caseSt)
+	}
+	return merged
+}
+
+// applyExpr applies the effects of every call inside n to st, in order.
+func (w *syncWalker) applyExpr(n ast.Node, st pendingWrites) {
+	stmtCalls(n, func(call *ast.CallExpr) { w.applyCall(call, st) })
+}
+
+func (w *syncWalker) applyCall(call *ast.CallExpr, st pendingWrites) {
+	pass := w.pass
+	fn := pass.callee(call)
+	if fn == nil {
+		// Type conversion or builtin: no effect. Anything else unresolved is
+		// an indirect call that could complete writes — assume it does.
+		if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return
+			}
+		}
+		clear(st)
+		return
+	}
+
+	onPE := isMethodOf(fn, shmemPath, "PE", fn.Name()) || isMethodOf(fn, shmemPath, "Sym", fn.Name())
+	pkgFunc := fn.Pkg() != nil && fn.Pkg().Path() == shmemPath && recvNamed(fn) == nil
+
+	switch {
+	case onPE && shmemWriteMethods[fn.Name()] > 0:
+		w.recordWrite(call, shmemWriteMethods[fn.Name()], st)
+	case pkgFunc && shmemWriteFuncs[fn.Name()] > 0:
+		w.recordWrite(call, shmemWriteFuncs[fn.Name()], st)
+	case onPE && fn.Name() == "Ptr":
+		w.checkRead(call, 0, st)
+	case onPE && shmemReadMethods[fn.Name()] > 0:
+		w.checkRead(call, shmemReadMethods[fn.Name()], st)
+	case pkgFunc && shmemReadFuncs[fn.Name()] > 0:
+		w.checkRead(call, shmemReadFuncs[fn.Name()], st)
+	case onPE && shmemSyncMethods[fn.Name()]:
+		clear(st)
+	case pkgFunc && shmemSyncFuncs[fn.Name()]:
+		clear(st)
+	case onPE || pkgFunc || shmemBenignMethods[fn.Name()] && fn.Pkg() != nil && fn.Pkg().Path() == shmemPath:
+		// Other shmem API (WaitUntil64, locks, accessors): no effect on the
+		// caller's outstanding writes.
+	case fn.Pkg() == nil:
+		// Universe-scope methods (error.Error): no effect.
+	case pass.Pkg.Types != nil && fn.Pkg() == pass.Pkg.Types:
+		// A helper in the package under analysis may quiet internally.
+		clear(st)
+	case isModulePath(fn.Pkg().Path()):
+		// Other module packages (caf runtime, pgas substrate) may complete
+		// communication internally.
+		clear(st)
+	default:
+		// Standard library: cannot touch the communication layer.
+	}
+}
+
+func isModulePath(path string) bool {
+	return path == "cafshmem" || len(path) > len("cafshmem/") && path[:len("cafshmem/")] == "cafshmem/"
+}
+
+func (w *syncWalker) recordWrite(call *ast.CallExpr, symArg int, st pendingWrites) {
+	if symArg >= len(call.Args) {
+		return
+	}
+	key := w.pass.exprKey(call.Args[symArg])
+	if _, ok := st[key]; !ok {
+		st[key] = call.Pos()
+	}
+}
+
+func (w *syncWalker) checkRead(call *ast.CallExpr, symArg int, st pendingWrites) {
+	if symArg >= len(call.Args) {
+		return
+	}
+	sym := call.Args[symArg]
+	key := w.pass.exprKey(sym)
+	if putPos, ok := st[key]; ok {
+		w.pass.Reportf(call.Pos(), "read of %s before completing the one-sided write at line %d (missing Quiet/Fence/Barrier)",
+			types.ExprString(sym), w.pass.Pkg.Fset.Position(putPos).Line)
+	}
+}

@@ -1,0 +1,49 @@
+// Package collbad seeds collectivecheck violations: collectives reached only
+// by a PE-dependent subset of the job (SPMD divergence).
+package collbad
+
+import (
+	"cafshmem/internal/caf"
+	"cafshmem/internal/shmem"
+)
+
+func rootOnlyMalloc(pe *shmem.PE) {
+	if pe.MyPE() == 0 {
+		pe.Malloc(64) // want "collective PE.Malloc under the PE-dependent condition at line 11"
+	}
+}
+
+func taintedVariable(img *caf.Image) {
+	me := img.ThisImage()
+	if me == 1 {
+		img.SyncAll() // want "collective Image.SyncAll under the PE-dependent condition"
+	}
+}
+
+func taintedLoopBound(pe *shmem.PE) {
+	for i := 0; i < pe.MyPE(); i++ {
+		pe.Barrier() // want "collective PE.Barrier under the PE-dependent condition"
+	}
+}
+
+func divergentAllocate(img *caf.Image) {
+	if img.ThisImage() == 1 {
+		caf.Allocate[int64](img, 4) // want "collective Allocate under the PE-dependent condition"
+	}
+}
+
+func divergentSwitch(pe *shmem.PE, data shmem.Sym) {
+	switch pe.MyPE() {
+	case 0:
+		pe.Broadcast(0, data, 8) // want "collective PE.Broadcast under the PE-dependent condition"
+	default:
+	}
+}
+
+func freeInElse(pe *shmem.PE, data shmem.Sym) {
+	if pe.MyPE() == 0 {
+		pe.PutMem(1, data, 0, []byte{1})
+	} else {
+		pe.Free(data) // want "collective PE.Free under the PE-dependent condition"
+	}
+}

@@ -1,0 +1,45 @@
+// Package collclean exercises collectivecheck with correct SPMD code: every
+// collective is reached by all PEs, and PE-dependent branches contain only
+// local or point-to-point work.
+package collclean
+
+import (
+	"cafshmem/internal/caf"
+	"cafshmem/internal/shmem"
+)
+
+func everyoneAllocates(pe *shmem.PE) shmem.Sym {
+	data := pe.Malloc(64)
+	pe.Barrier()
+	return data
+}
+
+func rootDoesLocalWork(pe *shmem.PE, data shmem.Sym) {
+	if pe.MyPE() == 0 {
+		pe.PutMem(1, data, 0, []byte{1, 2, 3})
+		pe.Quiet()
+	}
+	pe.Barrier()
+}
+
+func sizeDependentIsFine(pe *shmem.PE) {
+	if pe.NumPEs() > 2 {
+		pe.Barrier()
+	}
+}
+
+func collectiveAfterDivergence(img *caf.Image) int {
+	me := img.ThisImage()
+	n := 0
+	if me == 1 {
+		n = 10
+	}
+	img.SyncAll()
+	return n
+}
+
+func loopOverAllImages(img *caf.Image) {
+	for i := 0; i < img.NumImages(); i++ {
+		img.SyncAll()
+	}
+}

@@ -1,0 +1,42 @@
+// Package lockbad seeds lockcheck violations: leaked, double-acquired, and
+// wrongly-released PGAS locks.
+package lockbad
+
+import (
+	"cafshmem/internal/caf"
+	"cafshmem/internal/shmem"
+)
+
+func leakOnEarlyReturn(pe *shmem.PE, lck shmem.Sym, fail bool) {
+	pe.SetLock(lck, 0)
+	if fail {
+		return // want "still holding the lock acquired at line 11"
+	}
+	pe.ClearLock(lck, 0)
+}
+
+func releaseWrongIndex(pe *shmem.PE, lck shmem.Sym) {
+	pe.SetLock(lck, 0)
+	pe.ClearLock(lck, 1) // want "not acquired on this path"
+	pe.ClearLock(lck, 0)
+}
+
+func doubleAcquire(l *caf.Lock, j int) {
+	l.Acquire(j)
+	l.Acquire(j) // want "acquired again without an intervening release"
+	l.Release(j)
+}
+
+func leakAtEnd(l *caf.Lock, j int) {
+	l.Acquire(j)
+} // want "still holding the lock acquired at line 31"
+
+func leakInSwitch(l *caf.Lock, j, mode int) {
+	l.Acquire(j)
+	switch mode {
+	case 0:
+		l.Release(j)
+	default:
+		return // want "still holding the lock acquired at line 35"
+	}
+}

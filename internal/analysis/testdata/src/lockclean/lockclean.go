@@ -1,0 +1,66 @@
+// Package lockclean exercises lockcheck with correct lock discipline.
+package lockclean
+
+import (
+	"cafshmem/internal/caf"
+	"cafshmem/internal/shmem"
+)
+
+func balanced(pe *shmem.PE, lck shmem.Sym) {
+	pe.SetLock(lck, 0)
+	pe.ClearLock(lck, 0)
+}
+
+func twoLocks(pe *shmem.PE, lck shmem.Sym) {
+	pe.SetLock(lck, 0)
+	pe.SetLock(lck, 1)
+	pe.ClearLock(lck, 1)
+	pe.ClearLock(lck, 0)
+}
+
+func deferRelease(l *caf.Lock, j int, abort bool) int {
+	l.Acquire(j)
+	defer l.Release(j)
+	if abort {
+		return 0
+	}
+	return 1
+}
+
+func deferClosureRelease(l *caf.Lock, j int) {
+	l.Acquire(j)
+	defer func() {
+		l.Release(j)
+	}()
+}
+
+func tryThenRelease(l *caf.Lock, j int) bool {
+	if l.TryAcquire(j) {
+		l.Release(j)
+		return true
+	}
+	return false
+}
+
+func testLockLoop(pe *shmem.PE, lck shmem.Sym) {
+	for !pe.TestLock(lck, 0) {
+	}
+	pe.ClearLock(lck, 0)
+}
+
+func releaseAfterBranches(l *caf.Lock, j int, lucky bool) {
+	l.Acquire(j)
+	if lucky {
+		l.Release(j)
+		return
+	}
+	l.Release(j)
+}
+
+func earlyReturnBeforeAcquire(l *caf.Lock, j int, skip bool) {
+	if skip {
+		return
+	}
+	l.Acquire(j)
+	l.Release(j)
+}

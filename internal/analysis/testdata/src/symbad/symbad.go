@@ -1,0 +1,28 @@
+// Package symbad seeds symcheck violations: forged, mutated, and
+// world-escaping symmetric handles.
+package symbad
+
+import (
+	"cafshmem/internal/shmem"
+)
+
+var Leaked shmem.Sym // want "package-level Leaked holds a symmetric handle"
+
+type registry struct {
+	handles []shmem.Sym
+}
+
+var global registry // want "package-level global holds a symmetric handle"
+
+func forge() shmem.Sym {
+	return shmem.Sym{Off: 128, Size: 64} // want "symmetric handle constructed by hand"
+}
+
+func retargetOff(s shmem.Sym) shmem.Sym {
+	s.Off += 8 // want "mutation of symmetric handle field Off"
+	return s
+}
+
+func retargetSize(s *shmem.Sym) {
+	s.Size = 4096 // want "mutation of symmetric handle field Size"
+}

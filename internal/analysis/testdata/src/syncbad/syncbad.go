@@ -1,0 +1,55 @@
+// Package syncbad seeds synccheck violations: reads of symmetric objects that
+// can observe an incomplete one-sided write.
+package syncbad
+
+import (
+	"cafshmem/internal/shmem"
+)
+
+func readAfterPut(pe *shmem.PE, data shmem.Sym) []byte {
+	pe.PutMem(1, data, 0, []byte{1, 2, 3})
+	out := make([]byte, 3)
+	pe.GetMem(1, data, 0, out) // want "read of data before completing the one-sided write"
+	return out
+}
+
+func typedReadAfterPut(pe *shmem.PE, data shmem.Sym) int64 {
+	shmem.Put(pe, 1, data, 0, []int64{42})
+	return shmem.G[int64](pe, 1, data, 0) // want "read of data before completing"
+}
+
+func branchPut(pe *shmem.PE, data shmem.Sym) []int64 {
+	if pe.MyPE() == 0 {
+		shmem.P(pe, 1, data, 0, int64(7))
+	}
+	return shmem.Get[int64](pe, 1, data, 0, 1) // want "one-sided write at line 23"
+}
+
+func loopCarried(pe *shmem.PE, data shmem.Sym) int64 {
+	var sum int64
+	for i := 0; i < 4; i++ {
+		sum += shmem.G[int64](pe, 1, data, 0) // want "read of data before completing"
+		shmem.P(pe, 1, data, 0, int64(i))
+	}
+	return sum
+}
+
+func atomicThenRead(pe *shmem.PE, flag shmem.Sym) int64 {
+	pe.FetchAdd(1, flag, 0, 1)
+	return shmem.G[int64](pe, 1, flag, 0) // want "read of flag before completing"
+}
+
+func deferredQuietTooLate(pe *shmem.PE, data shmem.Sym) []byte {
+	pe.PutMem(1, data, 0, []byte{9})
+	defer pe.Quiet() // runs at return, not here
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out) // want "read of data before completing"
+	return out
+}
+
+func stridedPutThenGather(pe *shmem.PE, data shmem.Sym) []int64 {
+	shmem.IPut(pe, 1, data, 0, 2, []int64{1, 2, 3}, 0, 1, 3)
+	dst := make([]int64, 3)
+	shmem.IGet(pe, 1, data, 0, 2, dst, 0, 1, 3) // want "read of data before completing"
+	return dst
+}

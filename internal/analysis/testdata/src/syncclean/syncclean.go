@@ -1,0 +1,67 @@
+// Package syncclean exercises the synccheck analyzer with correct code: every
+// read of a symmetric object is separated from prior writes by an explicit
+// completion point.
+package syncclean
+
+import (
+	"cafshmem/internal/shmem"
+)
+
+func putQuietGet(pe *shmem.PE, data shmem.Sym) []byte {
+	pe.PutMem(1, data, 0, []byte{1, 2, 3})
+	pe.Quiet()
+	out := make([]byte, 3)
+	pe.GetMem(1, data, 0, out)
+	return out
+}
+
+func putBarrierGet(pe *shmem.PE, data shmem.Sym) int64 {
+	shmem.Put(pe, 1, data, 0, []int64{42})
+	pe.Barrier()
+	return shmem.G[int64](pe, 1, data, 0)
+}
+
+func putFenceGet(pe *shmem.PE, data shmem.Sym) int64 {
+	shmem.P(pe, 1, data, 0, int64(7))
+	pe.Fence()
+	return shmem.G[int64](pe, 1, data, 0)
+}
+
+func distinctObjects(pe *shmem.PE, a, b shmem.Sym) int64 {
+	shmem.P(pe, 1, a, 0, int64(1))
+	return shmem.G[int64](pe, 1, b, 0)
+}
+
+func quietInHelper(pe *shmem.PE, data shmem.Sym) int64 {
+	shmem.P(pe, 1, data, 0, int64(5))
+	flush(pe)
+	return shmem.G[int64](pe, 1, data, 0)
+}
+
+func flush(pe *shmem.PE) {
+	pe.Quiet()
+}
+
+func branchesBothQuiet(pe *shmem.PE, data shmem.Sym, wide bool) []byte {
+	if wide {
+		pe.PutMem(1, data, 0, []byte{1, 2})
+		pe.Quiet()
+	} else {
+		pe.PutMem(1, data, 0, []byte{1})
+		pe.Barrier()
+	}
+	out := make([]byte, 2)
+	pe.GetMem(1, data, 0, out)
+	return out
+}
+
+func collectiveCompletes(pe *shmem.PE, data shmem.Sym) int64 {
+	shmem.P(pe, 0, data, 0, int64(3))
+	pe.Broadcast(0, data, 8)
+	return shmem.G[int64](pe, 0, data, 0)
+}
+
+func writeOnly(pe *shmem.PE, data shmem.Sym) {
+	pe.PutMem(1, data, 0, []byte{1})
+	pe.FetchAdd(1, data, 1, 1)
+}

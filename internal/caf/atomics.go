@@ -16,6 +16,7 @@ type AtomicVar struct {
 // zero-initialised.
 func NewAtomicVar(img *Image) *AtomicVar {
 	off := img.tr.Malloc(8)
+	markRuntimeAlloc(img.tr, off, 8) // no deallocator exists; not a leak
 	img.tr.(localMem).pgasPE().StoreLocal(off, pgas.EncodeOne(uint64(0)))
 	img.tr.Barrier()
 	return &AtomicVar{img: img, off: off}

@@ -18,6 +18,7 @@ type Event struct {
 // image), zero-initialised.
 func NewEvent(img *Image) *Event {
 	off := img.tr.Malloc(8)
+	markRuntimeAlloc(img.tr, off, 8) // no deallocator exists; not a leak
 	img.tr.(localMem).pgasPE().StoreLocal(off, pgas.EncodeOne(uint64(0)))
 	img.tr.Barrier()
 	return &Event{img: img, off: off}

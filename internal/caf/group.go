@@ -81,6 +81,7 @@ func (g *group) ensureScratch(bytes int64) int64 {
 	}
 	g.scratchOff = img.tr.Malloc(sz)
 	g.scratchSize = sz
+	markRuntimeAlloc(img.tr, g.scratchOff, sz)
 	return g.scratchOff
 }
 

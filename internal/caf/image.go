@@ -73,15 +73,18 @@ func Run(images int, opts Options, body func(*Image)) error {
 	}
 	switch o.Transport {
 	case TransportSHMEM:
-		w, err := shmem.NewWorld(shmem.Config{Machine: o.Machine, Profile: o.Profile}, images)
+		w, err := shmem.NewWorld(shmem.Config{Machine: o.Machine, Profile: o.Profile, Sanitize: o.Sanitize}, images)
 		if err != nil {
 			return err
 		}
 		w.PgasWorld().SetActivePairsPerNode(o.ActivePairsPerNode)
-		return w.PgasWorld().Run(func(p *pgas.PE) {
+		if err := w.PgasWorld().Run(func(p *pgas.PE) {
 			img := newImage(newShmemTransport(w.Attach(p)), o)
 			body(img)
-		})
+		}); err != nil {
+			return err
+		}
+		return w.FinalizeErr()
 	case TransportGASNet:
 		w, err := gasnet.NewWorld(gasnet.Config{Machine: o.Machine, Profile: o.Profile}, images)
 		if err != nil {
@@ -111,9 +114,12 @@ func newImage(tr Transport, opts Options) *Image {
 	// performed in the same order everywhere.
 	nsBase := tr.Malloc(opts.NonSymBytes)
 	img.nonsym = newNSAlloc(nsBase, opts.NonSymBytes)
+	markRuntimeAlloc(tr, nsBase, opts.NonSymBytes)
 	img.syncOff = tr.Malloc(int64(tr.NPEs()) * 8)
 	img.syncSeen = make([]int64, tr.NPEs())
+	markRuntimeAlloc(tr, img.syncOff, int64(tr.NPEs())*8)
 	img.ctlOff = tr.Malloc(2 * collMaxRounds * 8)
+	markRuntimeAlloc(tr, img.ctlOff, 2*collMaxRounds*8)
 	tr.Barrier()
 	return img
 }

@@ -140,6 +140,12 @@ type Options struct {
 	// the memory copy. Only meaningful on the OpenSHMEM transport (shmem_ptr
 	// has no GASNet equivalent).
 	IntraNodeDirect bool
+	// Sanitize enables the OpenSHMEM layer's runtime sanitizer underneath
+	// the CAF runtime: races between gets and un-quieted puts (which
+	// DeferredQuiet makes possible), symmetric-heap leaks at job end, and
+	// collective call-sequence divergence are reported as an error from Run.
+	// Requires the OpenSHMEM transport; off by default and free when off.
+	Sanitize bool
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -155,6 +161,9 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if out.NonSymBytes <= 0 {
 		out.NonSymBytes = 1 << 20
+	}
+	if out.Sanitize && out.Transport != TransportSHMEM {
+		return out, fmt.Errorf("caf: Sanitize requires the OpenSHMEM transport")
 	}
 	return out, nil
 }

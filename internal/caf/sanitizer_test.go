@@ -1,0 +1,117 @@
+package caf
+
+import (
+	"strings"
+	"testing"
+)
+
+// The DeferredQuiet ablation removes the conservative quiet-after-put rule of
+// §IV-B, which is exactly the weakened semantics the OpenSHMEM sanitizer can
+// observe: a co-indexed get racing the image's own un-quieted put.
+func TestSanitizerFlagsDeferredQuietRace(t *testing.T) {
+	opts := shmemOpts()
+	opts.DeferredQuiet = true
+	opts.Sanitize = true
+	err := Run(2, opts, func(img *Image) {
+		x := Allocate[int64](img, 4)
+		if img.ThisImage() == 1 {
+			x.PutElem(2, 7, 0)  // x(1)[2] = 7, quiet deferred
+			_ = x.GetElem(2, 0) // reads x(1)[2] before the put completed
+		}
+		img.SyncAll()
+		x.Deallocate()
+	})
+	if err == nil {
+		t.Fatal("sanitizer missed the deferred-quiet race")
+	}
+	for _, want := range []string{"race", "un-quieted put"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// Under the default conservative rule the identical program is correctly
+// synchronised: every put is quieted before the get, so a sanitized run is
+// clean. This is the dynamic counterpart of §IV-B's translation argument.
+func TestSanitizerCleanWithConservativeQuiet(t *testing.T) {
+	opts := shmemOpts()
+	opts.Sanitize = true
+	err := Run(2, opts, func(img *Image) {
+		x := Allocate[int64](img, 4)
+		if img.ThisImage() == 1 {
+			x.PutElem(2, 7, 0)
+			if got := x.GetElem(2, 0); got != 7 {
+				panic("conservative quiet lost the put")
+			}
+		}
+		img.SyncAll()
+		x.Deallocate()
+	})
+	if err != nil {
+		t.Fatalf("conservatively-quieted run flagged: %v", err)
+	}
+}
+
+// A coarray that is allocated but never deallocated surfaces as a
+// symmetric-heap leak at job end (runtime-internal allocations do not).
+func TestSanitizerFlagsCoarrayLeak(t *testing.T) {
+	opts := shmemOpts()
+	opts.Sanitize = true
+	err := Run(2, opts, func(img *Image) {
+		Allocate[int64](img, 8) // never deallocated
+		img.SyncAll()
+	})
+	if err == nil {
+		t.Fatal("sanitizer missed the leaked coarray")
+	}
+	if !strings.Contains(err.Error(), "never freed") {
+		t.Fatalf("error %q does not mention the leak", err)
+	}
+}
+
+// The sanitizer lives in the OpenSHMEM layer, so requesting it on the GASNet
+// transport is a configuration error, reported before any image runs.
+func TestSanitizerRequiresShmemTransport(t *testing.T) {
+	opts := gasnetOpts()
+	opts.Sanitize = true
+	err := Run(2, opts, func(*Image) {
+		t.Error("body must not run with an invalid configuration")
+	})
+	if err == nil || !strings.Contains(err.Error(), "requires the OpenSHMEM transport") {
+		t.Fatalf("expected transport error, got %v", err)
+	}
+}
+
+// Locks, events, atomics, teams and collectives all allocate symmetric memory
+// inside the runtime; a sanitized run of the full feature surface must be
+// clean — runtime-lifetime allocations are exempt from leak reporting.
+func TestSanitizerCleanAcrossRuntimeFeatures(t *testing.T) {
+	opts := shmemOpts()
+	opts.Sanitize = true
+	err := Run(4, opts, func(img *Image) {
+		lck := NewLock(img)
+		ev := NewEvent(img)
+		av := NewAtomicVar(img)
+		lck.Acquire(1)
+		av.Add(1, 1)
+		lck.Release(1)
+		if img.ThisImage() == 2 {
+			ev.Post(1)
+		}
+		if img.ThisImage() == 1 {
+			ev.Wait(1)
+		}
+		sum := CoSum(img, []int64{int64(img.ThisImage())}, 0)
+		if sum[0] != 1+2+3+4 {
+			panic("co_sum wrong under sanitizer")
+		}
+		team := img.FormTeam(int64(img.ThisImage() % 2))
+		team.Sync()
+		img.SyncAll()
+		lck.Deallocate()
+	})
+	if err != nil {
+		t.Fatalf("sanitized feature sweep flagged: %v", err)
+	}
+}

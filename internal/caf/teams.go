@@ -67,6 +67,8 @@ func (img *Image) FormTeam(teamNumber int64, scratchBytes ...int64) *Team {
 	// image-local slots, so disjoint teams never interfere.
 	ctlOff := img.tr.Malloc(2 * collMaxRounds * 8)
 	scratchOff := img.tr.Malloc(scratch)
+	markRuntimeAlloc(img.tr, ctlOff, 2*collMaxRounds*8)
+	markRuntimeAlloc(img.tr, scratchOff, scratch)
 	img.tr.Barrier()
 	img.tr.Free(numOff, 8)
 

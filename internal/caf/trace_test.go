@@ -1,7 +1,9 @@
 package caf
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -88,6 +90,61 @@ func TestTracerSummaryAndCSV(t *testing.T) {
 	trc.Reset()
 	if len(trc.Events()) != 0 {
 		t.Fatal("Reset did not clear events")
+	}
+}
+
+// The tracer is shared by every image's goroutine while an observer may be
+// snapshotting, summarising, or resetting it — all four entry points must be
+// safe together. Run under -race this is the proof; without -race it still
+// exercises snapshot consistency (a snapshot never contains a torn event).
+func TestTracerConcurrentRecordAndSnapshot(t *testing.T) {
+	trc := NewTracer()
+	o := shmemOpts()
+	o.Tracer = trc
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			for _, ev := range trc.Events() {
+				if ev.Image < 1 || ev.End < ev.Start {
+					panic(fmt.Sprintf("torn event in snapshot: %+v", ev))
+				}
+			}
+			trc.Summary()
+			if i%8 == 7 {
+				trc.Reset()
+			}
+		}
+	}()
+
+	err := Run(4, o, func(img *Image) {
+		c := Allocate[int64](img, 4)
+		right := img.ThisImage()%img.NumImages() + 1
+		for i := 0; i < 50; i++ {
+			c.PutElem(right, int64(i), 0)
+			_ = c.GetElem(right, 0)
+		}
+		img.SyncAll()
+		c.Deallocate()
+	})
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The tracer remains usable after the concurrent churn.
+	trc.Reset()
+	if len(trc.Events()) != 0 || len(trc.Summary()) != 0 {
+		t.Fatal("Reset after concurrent use did not clear the tracer")
 	}
 }
 

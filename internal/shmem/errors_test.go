@@ -92,4 +92,39 @@ func TestMallocSizeValidation(t *testing.T) {
 	if err == nil {
 		t.Fatal("negative symmetric allocation should panic")
 	}
+	err = Run(stampedeCfg(), 2, func(pe *PE) {
+		pe.Malloc(0)
+	})
+	if err == nil || !strings.Contains(err.Error(), "must be positive") {
+		t.Fatalf("zero-size symmetric allocation should panic, got %v", err)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	// The second collective Free of the same handle must fail on every PE —
+	// shfree semantics, and the PE-level counterpart of TestHeapDoubleFree.
+	err := Run(stampedeCfg(), 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Free(sym)
+		pe.Free(sym)
+	})
+	if err == nil || !strings.Contains(err.Error(), "free of unallocated offset") {
+		t.Fatalf("expected double-free panic, got %v", err)
+	}
+}
+
+func TestSymAtPanicMessage(t *testing.T) {
+	// The bounds panic names the offending offset and the object size, so a
+	// user can tell which access overran without a debugger.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-range At should panic")
+		}
+		msg, ok := r.(string)
+		if !ok || msg != "shmem: offset 9 out of range of 8-byte symmetric object" {
+			t.Fatalf("panic message = %v", r)
+		}
+	}()
+	Sym{Off: 64, Size: 8}.At(9)
 }

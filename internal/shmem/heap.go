@@ -138,6 +138,9 @@ func (pe *PE) Malloc(size int64) Sym {
 		err error
 	}
 	w := pe.world
+	if w.san != nil {
+		w.san.recordCollective(pe.p.ID, "Malloc", size)
+	}
 	// Rendezvous, then PE of lowest rank performs the allocation and shares
 	// the handle; a second rendezvous publishes it.
 	pe.Barrier()
@@ -166,6 +169,9 @@ func (pe *PE) Malloc(size int64) Sym {
 // Free is the collective symmetric deallocator (shfree).
 func (pe *PE) Free(sym Sym) {
 	w := pe.world
+	if w.san != nil {
+		w.san.recordCollective(pe.p.ID, "Free", sym.Off)
+	}
 	pe.Barrier()
 	if pe.p.ID == 0 {
 		if err := w.heap.release(sym.Off); err != nil {

@@ -20,6 +20,9 @@ func (pe *PE) PutMem(target int, sym Sym, off int64, data []byte) {
 	if off < 0 || off+int64(len(data)) > sym.Size {
 		panic(fmt.Sprintf("shmem: put of %d bytes at offset %d overflows %d-byte symmetric object", len(data), off, sym.Size))
 	}
+	if san := pe.world.san; san != nil {
+		san.recordPut(pe.p.ID, target, sym.Off+off, int64(len(data)))
+	}
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.PutInjectNs(len(data), intra, pairs))
@@ -39,6 +42,9 @@ func (pe *PE) GetMem(target int, sym Sym, off int64, dst []byte) {
 	}
 	if off < 0 || off+int64(len(dst)) > sym.Size {
 		panic(fmt.Sprintf("shmem: get of %d bytes at offset %d overflows %d-byte symmetric object", len(dst), off, sym.Size))
+	}
+	if san := pe.world.san; san != nil {
+		san.checkRead(pe.p.ID, target, sym.Off+off, int64(len(dst)))
 	}
 	intra, pairs := pe.intra(target), pe.pairs()
 	pe.p.Clock.Advance(pe.world.prof.GetNs(len(dst), intra, pairs))
@@ -94,6 +100,9 @@ func IPut[T pgas.Elem](pe *PE, target int, sym Sym, dstIdx, dstStride int, src [
 	if need > sym.Size {
 		panic(fmt.Sprintf("shmem: iput overflows symmetric object (need %d bytes, have %d)", need, sym.Size))
 	}
+	if san := pe.world.san; san != nil {
+		san.recordPut(pe.p.ID, target, sym.Off+int64(dstIdx)*es, need-int64(dstIdx)*es)
+	}
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, int(es), intra, pairs))
@@ -121,6 +130,9 @@ func IGet[T pgas.Elem](pe *PE, target int, sym Sym, srcIdx, srcStride int, dst [
 	need := int64(srcIdx+(nelems-1)*srcStride)*es + es
 	if need > sym.Size {
 		panic(fmt.Sprintf("shmem: iget overflows symmetric object (need %d bytes, have %d)", need, sym.Size))
+	}
+	if san := pe.world.san; san != nil {
+		san.checkRead(pe.p.ID, target, sym.Off+int64(srcIdx)*es, need-int64(srcIdx)*es)
 	}
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
@@ -155,6 +167,9 @@ func (pe *PE) IPutMem(target int, sym Sym, off, dstStrideBytes int64, elemSize i
 	if off < 0 || need > sym.Size {
 		panic(fmt.Sprintf("shmem: iputmem overflows symmetric object (need %d bytes, have %d)", need, sym.Size))
 	}
+	if san := pe.world.san; san != nil {
+		san.recordPut(pe.p.ID, target, sym.Off+off, need-off)
+	}
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, elemSize, intra, pairs) +
@@ -185,6 +200,9 @@ func (pe *PE) IGetMem(target int, sym Sym, off, srcStrideBytes int64, elemSize i
 	need := off + int64(nelems-1)*srcStrideBytes + int64(elemSize)
 	if off < 0 || need > sym.Size {
 		panic(fmt.Sprintf("shmem: igetmem overflows symmetric object (need %d bytes, have %d)", need, sym.Size))
+	}
+	if san := pe.world.san; san != nil {
+		san.checkRead(pe.p.ID, target, sym.Off+off, need-off)
 	}
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof

@@ -1,0 +1,217 @@
+package shmem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The runtime sanitizer is the dynamic half of the repository's correctness
+// tooling (cmd/shmemvet is the static half). When Config.Sanitize is set, the
+// world tracks the PGAS contracts that static analysis can only approximate:
+//
+//   - every outstanding (un-quieted) put is recorded; a get that overlaps one
+//     is a race, because §IV-B remote visibility requires Quiet first;
+//   - symmetric allocations still live at Finalize are leaks — shfree is
+//     collective, so a forgotten Free wedges the same offsets on every PE for
+//     the rest of the job;
+//   - the sequence of collective call sites is hashed per PE and compared at
+//     Finalize, catching SPMD divergence that completes without deadlocking
+//     (e.g. PEs calling Malloc with different sizes).
+//
+// Sanitizing is off by default and every hook is behind a single nil check on
+// the World, so the disabled mode costs one predictable branch per operation.
+
+// Violation is one sanitizer finding.
+type Violation struct {
+	Kind string // "race", "leak", or "collective-mismatch"
+	PE   int    // the PE the finding is attributed to (-1 for world-level)
+	Msg  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("shmem-sanitizer: %s (PE %d): %s", v.Kind, v.PE, v.Msg)
+}
+
+// sanPut is one outstanding one-sided write interval.
+type sanPut struct {
+	origin    int   // PE that issued the put
+	target    int   // PE whose partition it lands in
+	off, size int64 // absolute partition offsets
+}
+
+type sanitizer struct {
+	mu         sync.Mutex
+	pending    map[int][]sanPut // origin PE -> outstanding puts
+	internal   map[int64]bool   // heap offsets owned by the runtime, not leaks
+	collHash   map[int]uint64   // per-PE FNV-1a chain over collective calls
+	collCount  map[int]int
+	violations []Violation
+}
+
+func newSanitizer() *sanitizer {
+	return &sanitizer{
+		pending:   map[int][]sanPut{},
+		internal:  map[int64]bool{},
+		collHash:  map[int]uint64{},
+		collCount: map[int]int{},
+	}
+}
+
+// Sanitizing reports whether this world runs with the sanitizer enabled.
+func (w *World) Sanitizing() bool { return w.san != nil }
+
+// MarkInternal exempts a symmetric allocation from leak reporting. Layered
+// runtimes (the CAF transport) call it for allocations that live for the whole
+// job by design. No-op when the sanitizer is disabled.
+func (w *World) MarkInternal(sym Sym) {
+	if w.san == nil {
+		return
+	}
+	w.san.mu.Lock()
+	w.san.internal[sym.Off] = true
+	w.san.mu.Unlock()
+}
+
+// recordPut notes an outstanding one-sided write. Called with san != nil.
+func (s *sanitizer) recordPut(origin, target int, off, size int64) {
+	if size <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.pending[origin] = append(s.pending[origin], sanPut{origin: origin, target: target, off: off, size: size})
+	s.mu.Unlock()
+}
+
+// checkRead flags reads overlapping any outstanding put — including the
+// reader's own: a PE reading back its un-quieted put is exactly the bug
+// synccheck reports statically.
+func (s *sanitizer) checkRead(reader, target int, off, size int64) {
+	if size <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, puts := range s.pending {
+		for _, p := range puts {
+			if p.target == target && off < p.off+p.size && p.off < off+size {
+				s.violations = append(s.violations, Violation{
+					Kind: "race",
+					PE:   reader,
+					Msg: fmt.Sprintf("get of [%d,%d) on PE %d races the un-quieted put of [%d,%d) issued by PE %d; complete it with Quiet/Fence/Barrier first",
+						off, off+size, target, p.off, p.off+p.size, p.origin),
+				})
+			}
+		}
+	}
+}
+
+// quiesce completes all outstanding puts of the origin PE (Quiet semantics).
+func (s *sanitizer) quiesce(origin int) {
+	s.mu.Lock()
+	delete(s.pending, origin)
+	s.mu.Unlock()
+}
+
+// recordCollective folds one collective call site into the PE's FNV-1a chain.
+// All PEs must execute the same sequence with matching arguments.
+func (s *sanitizer) recordCollective(pe int, op string, args ...int64) {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	s.mu.Lock()
+	h, ok := s.collHash[pe]
+	if !ok {
+		h = fnvOffset
+	}
+	mix := func(b byte) { h = (h ^ uint64(b)) * fnvPrime }
+	for i := 0; i < len(op); i++ {
+		mix(op[i])
+	}
+	mix(0)
+	for _, a := range args {
+		for i := 0; i < 64; i += 8 {
+			mix(byte(uint64(a) >> i))
+		}
+	}
+	s.collHash[pe] = h
+	s.collCount[pe]++
+	s.mu.Unlock()
+}
+
+// Violations returns a copy of the findings recorded so far (races appear as
+// they happen; leak and divergence findings appear after Finalize).
+func (w *World) Violations() []Violation {
+	if w.san == nil {
+		return nil
+	}
+	w.san.mu.Lock()
+	defer w.san.mu.Unlock()
+	return append([]Violation(nil), w.san.violations...)
+}
+
+// Finalize runs the end-of-job checks (heap leaks, collective divergence) and
+// returns every violation observed during the job. It is called by Run after
+// the SPMD body completes; layered runtimes driving the world themselves call
+// it once all PEs have exited. Returns nil when the sanitizer is disabled.
+func (w *World) Finalize() []Violation {
+	s := w.san
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Heap leaks: live allocations that nobody marked as runtime-internal.
+	w.heap.mu.Lock()
+	var leaked []span
+	for off, size := range w.heap.live {
+		if !s.internal[off] {
+			leaked = append(leaked, span{off, size})
+		}
+	}
+	w.heap.mu.Unlock()
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i].off < leaked[j].off })
+	for _, l := range leaked {
+		s.violations = append(s.violations, Violation{
+			Kind: "leak",
+			PE:   -1,
+			Msg:  fmt.Sprintf("symmetric allocation of %d bytes at offset %d was never freed", l.size, l.off),
+		})
+	}
+
+	// Collective divergence: every PE must have folded the same call sequence.
+	n := w.pw.NumPEs()
+	for pe := 1; pe < n; pe++ {
+		if s.collCount[pe] != s.collCount[0] || s.collHash[pe] != s.collHash[0] {
+			s.violations = append(s.violations, Violation{
+				Kind: "collective-mismatch",
+				PE:   pe,
+				Msg: fmt.Sprintf("collective call sequence diverges from PE 0: %d calls (chain %#x) vs %d calls (chain %#x); all PEs must reach the same collectives with the same arguments",
+					s.collCount[pe], s.collHash[pe], s.collCount[0], s.collHash[0]),
+			})
+		}
+	}
+	return append([]Violation(nil), s.violations...)
+}
+
+// FinalizeErr runs Finalize and folds any violations into a single error —
+// the form layered runtimes (and Run itself) report. Nil when the sanitizer
+// is disabled or the job is clean.
+func (w *World) FinalizeErr() error { return sanError(w.Finalize()) }
+
+// sanError converts violations into the error Run reports.
+func sanError(vs []Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "shmem: sanitizer found %d violation(s):", len(vs))
+	for _, v := range vs {
+		b.WriteString("\n\t")
+		b.WriteString(v.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}

@@ -26,6 +26,7 @@ type World struct {
 	prof    *fabric.CostProfile
 	machine *fabric.Machine
 	heap    *heap
+	san     *sanitizer // nil unless Config.Sanitize (see sanitizer.go)
 }
 
 // PE is the per-processing-element handle; all OpenSHMEM calls hang off it.
@@ -46,18 +47,28 @@ type PE struct {
 type Config struct {
 	Machine *fabric.Machine
 	Profile string // a profile name registered on Machine
+	// Sanitize enables the runtime sanitizer: outstanding-put race
+	// detection, symmetric-heap leak reporting at Finalize, and collective
+	// call-sequence agreement checking. See sanitizer.go. Off by default;
+	// when off, no sanitizer state exists and the hooks cost one nil check.
+	Sanitize bool
 }
 
 // Run launches an n-PE OpenSHMEM job and executes body once per PE
-// (the analogue of start_pes/shmem_init in an SPMD launch).
+// (the analogue of start_pes/shmem_init in an SPMD launch). With
+// Config.Sanitize set, sanitizer violations surface as the returned error
+// after all PEs complete.
 func Run(cfg Config, n int, body func(*PE)) error {
 	w, err := NewWorld(cfg, n)
 	if err != nil {
 		return err
 	}
-	return w.pw.Run(func(p *pgas.PE) {
+	if err := w.pw.Run(func(p *pgas.PE) {
 		body(&PE{world: w, p: p})
-	})
+	}); err != nil {
+		return err
+	}
+	return w.FinalizeErr()
 }
 
 // NewWorld builds the job state without launching PEs; used by layered
@@ -74,7 +85,11 @@ func NewWorld(cfg Config, n int) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &World{pw: pw, prof: prof, machine: cfg.Machine, heap: newHeap()}, nil
+	w := &World{pw: pw, prof: prof, machine: cfg.Machine, heap: newHeap()}
+	if cfg.Sanitize {
+		w.san = newSanitizer()
+	}
+	return w, nil
 }
 
 // Attach creates the PE handle for a pgas PE in this world. Layered runtimes
@@ -120,6 +135,9 @@ func (pe *PE) pairs() int {
 func (pe *PE) Ptr(sym Sym, target int) []byte {
 	if !pe.intra(target) {
 		return nil
+	}
+	if san := pe.world.san; san != nil {
+		san.checkRead(pe.p.ID, target, sym.Off, sym.Size)
 	}
 	dst := make([]byte, sym.Size)
 	pe.world.pw.Read(target, sym.Off, dst)

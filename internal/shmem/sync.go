@@ -14,6 +14,9 @@ func (pe *PE) Quiet() {
 		pe.p.Clock.MergeAtLeast(pe.pendingT)
 	}
 	pe.pendingT = 0
+	if san := pe.world.san; san != nil {
+		san.quiesce(pe.p.ID)
+	}
 }
 
 // Fence orders this PE's puts to each destination — shmem_fence. Weaker than
@@ -29,6 +32,9 @@ func (pe *PE) Fence() {
 func (pe *PE) Barrier() {
 	pe.Quiet()
 	w := pe.world
+	if w.san != nil {
+		w.san.recordCollective(pe.p.ID, "Barrier")
+	}
 	n := w.pw.NumPEs()
 	pe.p.Barrier(w.prof.BarrierNs(n, w.machine.NodesFor(n)))
 }
