@@ -3,13 +3,16 @@
 # correctness tooling. Run from the module root.
 set -eu
 
+echo "==> go build ./..."
+go build ./...
+
 echo "==> go vet ./..."
 go vet ./...
 
 echo "==> shmemvet (PGAS static analysis)"
 go run ./cmd/shmemvet ./...
 
-echo "==> go test -race ./..."
-go test -race ./...
+echo "==> go test -race -count=1 ./..."
+go test -race -count=1 ./...
 
 echo "check.sh: all gates passed"

@@ -20,9 +20,19 @@ import (
 //   - acquiring a lock already held on every path (self-deadlock for the
 //     global lock, a standard-mandated error for coarray locks).
 //
+// The STAT-bearing variants (caf.Lock.AcquireStat/ReleaseStat, the Fortran
+// 2018 failed-image forms) are lock operations too, with one twist: after
+// AcquireStat the lock is held only on the paths where the returned Stat is
+// StatOK. The walker tracks the comparison — a branch taken on
+// "stat != StatOK" does not hold the lock (so an error-path early return
+// without ReleaseStat is correct), while the success path does (so an early
+// return that skips ReleaseStat there is still flagged).
+//
 // Functions that contain releases but no acquires are treated as release
-// helpers and skipped. The analysis is intraprocedural and keyed by the
-// (lock expression, index/image expression) pair.
+// helpers and skipped, as are the caf.Lock methods themselves (the
+// implementation delegates between its own variants). The analysis is
+// intraprocedural and keyed by the (lock expression, index/image expression)
+// pair.
 var LockCheck = &Analyzer{
 	Name: "lockcheck",
 	Doc:  "unbalanced PGAS lock acquire/release paths",
@@ -63,13 +73,19 @@ func joinLocks(a, b lockState) lockState {
 }
 
 func runLockCheck(pass *Pass) {
+	ownPkg := pass.Pkg.Types != nil && pass.Pkg.Types.Path() == cafPath
 	pass.funcBodies(func(name string, body *ast.BlockStmt) {
-		w := &lockWalker{pass: pass, deferred: map[string]bool{}}
+		if ownPkg && lockImplMethods[name] {
+			// The lock implementation itself: Acquire and AcquireStat
+			// intentionally return to their caller holding the lock.
+			return
+		}
+		w := &lockWalker{pass: pass, deferred: map[string]bool{}, statVars: map[string]statBind{}}
 		// Release-only functions are helpers operating on locks their callers
 		// hold; pairing is the caller's responsibility.
 		ast.Inspect(body, func(n ast.Node) bool {
 			if call, ok := n.(*ast.CallExpr); ok {
-				if kind, _ := w.classify(call); kind == lockAcquire || kind == lockTry {
+				if kind, _ := w.classify(call); kind == lockAcquire || kind == lockTry || kind == lockAcquireStat {
 					w.hasAcquire = true
 				}
 			}
@@ -79,10 +95,18 @@ func runLockCheck(pass *Pass) {
 			return
 		}
 		out := w.walkStmt(body, lockState{})
-		if !terminates(body) {
+		if !w.terminates(body) {
 			w.reportHeld(out, body.Rbrace)
 		}
 	})
+}
+
+// lockImplMethods names the caf.Lock methods (and their helpers) whose bodies
+// are the lock protocol itself rather than lock *usage*.
+var lockImplMethods = map[string]bool{
+	"Acquire": true, "Release": true, "TryAcquire": true,
+	"AcquireStat": true, "ReleaseStat": true,
+	"mcsAcquireAny": true, "mcsReleaseAny": true,
 }
 
 type lockOpKind int
@@ -92,12 +116,23 @@ const (
 	lockAcquire
 	lockRelease
 	lockTry
+	lockAcquireStat // acquire whose returned Stat gates whether the lock is held
 )
 
 type lockWalker struct {
 	pass       *Pass
 	hasAcquire bool
 	deferred   map[string]bool // lock keys released by defer statements
+	// statVars maps a variable name bound to an AcquireStat result to the
+	// lock it conditionally holds, so "if stat != StatOK" branches refine the
+	// held-state.
+	statVars map[string]statBind
+}
+
+// statBind records which lock acquisition a Stat-typed variable witnesses.
+type statBind struct {
+	key string
+	pos token.Pos
 }
 
 // classify resolves a call to a lock operation and its state key.
@@ -119,6 +154,11 @@ func (w *lockWalker) classify(call *ast.CallExpr) (lockOpKind, string) {
 		return lockRelease, w.cafKey(call)
 	case isMethodOf(fn, cafPath, "Lock", "TryAcquire"):
 		return lockTry, w.cafKey(call)
+	case isMethodOf(fn, cafPath, "Lock", "AcquireStat"):
+		return lockAcquireStat, w.cafKey(call)
+	case isMethodOf(fn, cafPath, "Lock", "ReleaseStat"):
+		// Whatever Stat it returns, the lock is no longer held afterwards.
+		return lockRelease, w.cafKey(call)
 	}
 	return lockNone, ""
 }
@@ -171,22 +211,35 @@ func (w *lockWalker) walkStmt(s ast.Stmt, st lockState) lockState {
 				tryKey, tryPos = key, call.Pos()
 			}
 		}
-		if tryKey == "" {
+		// Stat-gated acquisition: a comparison of an AcquireStat result (or a
+		// variable bound to one) against StatOK splits the held-state — the
+		// lock is held exactly on the success side of the branch.
+		statInfo, statEq, statOK := w.statCond(x.Cond)
+		if tryKey == "" && !statOK {
 			w.applyExprCalls(x.Cond, st)
 		}
 		thenSt := st.clone()
+		elseSt := st.clone()
 		if tryKey != "" {
 			thenSt[tryKey] = lockInfo{must: true, pos: tryPos}
 		}
+		if statOK {
+			if statEq { // stat == StatOK: held in then, not in else
+				thenSt[statInfo.key] = lockInfo{must: true, pos: statInfo.pos}
+				delete(elseSt, statInfo.key)
+			} else { // stat != StatOK: not held in then, held in else
+				delete(thenSt, statInfo.key)
+				elseSt[statInfo.key] = lockInfo{must: true, pos: statInfo.pos}
+			}
+		}
 		thenSt = w.walkStmt(x.Body, thenSt)
-		elseSt := st.clone()
 		if x.Else != nil {
 			elseSt = w.walkStmt(x.Else, elseSt)
 		}
 		switch {
-		case terminates(x.Body):
+		case w.terminates(x.Body):
 			return elseSt
-		case x.Else != nil && terminates(x.Else):
+		case x.Else != nil && w.terminates(x.Else):
 			return thenSt
 		default:
 			return joinLocks(thenSt, elseSt)
@@ -212,6 +265,22 @@ func (w *lockWalker) walkStmt(s ast.Stmt, st lockState) lockState {
 	case *ast.ReturnStmt:
 		w.applyExprCalls(x, st)
 		w.reportHeld(st, x.Pos())
+		return st
+	case *ast.AssignStmt:
+		// "stat := lck.AcquireStat(j)": bind the variable to the acquisition
+		// so later StatOK comparisons can refine the held-state. Until (and
+		// unless) such a comparison happens, the lock counts as held — an
+		// unchecked Stat must not hide a leak.
+		if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+			if call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr); ok {
+				if kind, key := w.classify(call); kind == lockAcquireStat && key != "" {
+					if id, ok := x.Lhs[0].(*ast.Ident); ok {
+						w.statVars[id.Name] = statBind{key: key, pos: call.Pos()}
+					}
+				}
+			}
+		}
+		w.applyStmtCalls(x, st)
 		return st
 	case *ast.DeferStmt:
 		w.recordDefer(x)
@@ -284,8 +353,10 @@ func (w *lockWalker) walkCases(s ast.Stmt, st lockState) lockState {
 }
 
 // terminates reports whether a statement always transfers control out of the
-// enclosing flow (return, panic, or a terminating block).
-func terminates(s ast.Stmt) bool {
+// enclosing flow: return, panic, a terminating block, or caf.Image.FailImage
+// — FAIL IMAGE never returns, and a lock held at that point is the runtime's
+// takeover path to recover, not a leak.
+func (w *lockWalker) terminates(s ast.Stmt) bool {
 	switch x := s.(type) {
 	case *ast.ReturnStmt, *ast.BranchStmt:
 		return true
@@ -294,10 +365,13 @@ func terminates(s ast.Stmt) bool {
 			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
 				return true
 			}
+			if fn := w.pass.callee(call); fn != nil && isMethodOf(fn, cafPath, "Image", "FailImage") {
+				return true
+			}
 		}
 	case *ast.BlockStmt:
 		if n := len(x.List); n > 0 {
-			return terminates(x.List[n-1])
+			return w.terminates(x.List[n-1])
 		}
 	}
 	return false
@@ -333,11 +407,65 @@ func (w *lockWalker) applyCall(call *ast.CallExpr, st lockState) {
 			w.pass.Reportf(call.Pos(), "release of lock %s which is not acquired on this path", lockName(call))
 		}
 		delete(st, key)
+	case lockAcquireStat:
+		// Held unless a StatOK comparison later proves otherwise; the branch
+		// refinement in walkStmt removes it from the failure path.
+		if info, held := st[key]; held && info.must {
+			w.pass.Reportf(call.Pos(), "lock %s acquired at line %d is acquired again without an intervening release",
+				lockName(call), w.pass.Pkg.Fset.Position(info.pos).Line)
+		}
+		st[key] = lockInfo{must: true, pos: call.Pos()}
 	case lockTry:
 		// Result not consumed as an if-condition: the lock is possibly held
 		// from here on; later releases are legitimate.
 		st[key] = lockInfo{must: false, pos: call.Pos()}
 	}
+}
+
+// statCond recognises a StatOK comparison gating an AcquireStat result:
+// either the call itself ("if l.AcquireStat(j) == StatOK") or a variable
+// bound to one ("stat := l.AcquireStat(j); if stat != StatOK"). It returns
+// the acquisition it refines and whether the operator was == (true) or !=.
+func (w *lockWalker) statCond(cond ast.Expr) (statBind, bool, bool) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return statBind{}, false, false
+	}
+	operand := bin.X
+	switch {
+	case w.isStatOK(bin.X):
+		operand = bin.Y
+	case w.isStatOK(bin.Y):
+	default:
+		return statBind{}, false, false
+	}
+	switch x := ast.Unparen(operand).(type) {
+	case *ast.CallExpr:
+		if kind, key := w.classify(x); kind == lockAcquireStat && key != "" {
+			return statBind{key: key, pos: x.Pos()}, bin.Op == token.EQL, true
+		}
+	case *ast.Ident:
+		if b, bound := w.statVars[x.Name]; bound {
+			return b, bin.Op == token.EQL, true
+		}
+	}
+	return statBind{}, false, false
+}
+
+// isStatOK reports whether e denotes the caf.StatOK constant.
+func (w *lockWalker) isStatOK(e ast.Expr) bool {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return false
+	}
+	obj := w.pass.Pkg.Info.Uses[id]
+	c, ok := obj.(*types.Const)
+	return ok && c.Name() == "StatOK" && c.Pkg() != nil && c.Pkg().Path() == cafPath
 }
 
 // recordDefer notes releases performed by defer statements (directly or

@@ -40,3 +40,31 @@ func leakInSwitch(l *caf.Lock, j, mode int) {
 		return // want "still holding the lock acquired at line 35"
 	}
 }
+
+// The success path of a Stat-bearing acquire holds the lock; an early return
+// there (here: on an unrelated condition) skips ReleaseStat and leaks it.
+func statLeakOnSuccessPath(l *caf.Lock, j int, abort bool) caf.Stat {
+	stat := l.AcquireStat(j)
+	if stat != caf.StatOK {
+		return stat
+	}
+	if abort {
+		return caf.StatOK // want "still holding the lock acquired at line 47"
+	}
+	l.ReleaseStat(j)
+	return caf.StatOK
+}
+
+// Ignoring the returned Stat altogether does not hide the leak.
+func statUncheckedLeak(l *caf.Lock, j int) {
+	_ = l.AcquireStat(j)
+} // want "still holding the lock acquired at line 60"
+
+// Releasing on the failure branch releases a lock that was never acquired.
+func statReleaseOnErrorPath(l *caf.Lock, j int) {
+	if l.AcquireStat(j) != caf.StatOK {
+		l.ReleaseStat(j) // want "not acquired on this path"
+		return
+	}
+	l.ReleaseStat(j)
+}

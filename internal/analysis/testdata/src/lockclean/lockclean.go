@@ -64,3 +64,51 @@ func earlyReturnBeforeAcquire(l *caf.Lock, j int, skip bool) {
 	l.Acquire(j)
 	l.Release(j)
 }
+
+// Stat-bearing acquire: the error path does not hold the lock, so returning
+// without ReleaseStat there is correct discipline.
+func statEarlyReturnOnError(l *caf.Lock, j int) caf.Stat {
+	stat := l.AcquireStat(j)
+	if stat != caf.StatOK {
+		return stat
+	}
+	l.ReleaseStat(j)
+	return caf.StatOK
+}
+
+func statDirectCondition(l *caf.Lock, j int) bool {
+	if l.AcquireStat(j) == caf.StatOK {
+		l.ReleaseStat(j)
+		return true
+	}
+	return false
+}
+
+func statInitCondition(l *caf.Lock, j int) caf.Stat {
+	if stat := l.AcquireStat(j); stat != caf.StatOK {
+		return stat
+	}
+	defer l.ReleaseStat(j)
+	return caf.StatOK
+}
+
+// Mixed variants pair up: ReleaseStat releases what Acquire acquired.
+func statMixedRelease(l *caf.Lock, j int) {
+	l.Acquire(j)
+	l.ReleaseStat(j)
+}
+
+// FAIL IMAGE never returns: dying while holding a lock is the runtime lock's
+// takeover path to recover, not a leak the program must fix.
+func failImageWhileHolding(img *caf.Image, l *caf.Lock, j int) {
+	if l.AcquireStat(j) == caf.StatOK {
+		img.FailImage()
+	}
+}
+
+// Same, with the Stat unchecked (the conservative must-held case): the only
+// way out of the function still goes through FAIL IMAGE.
+func failImageUnchecked(img *caf.Image, l *caf.Lock, j int) {
+	_ = l.AcquireStat(j)
+	img.FailImage()
+}

@@ -28,6 +28,48 @@ type Coarray[T pgas.Elem] struct {
 // runtime form of "allocate(x(shape)[*])". Every image must call it in the
 // same order. The cobounds default to [*] (flat image indexing).
 func Allocate[T pgas.Elem](img *Image, shape ...int) *Coarray[T] {
+	shape, strides, n := coarrayGeometry(shape)
+	es := pgas.SizeOf[T]()
+	off := img.tr.Malloc(int64(n) * int64(es))
+	return &Coarray[T]{
+		img:     img,
+		shape:   shape,
+		strides: strides,
+		codims:  []int{0}, // [*]
+		off:     off,
+		n:       n,
+		es:      es,
+	}
+}
+
+// AllocateStat is Allocate with Fortran 2018 failed-image semantics:
+// "allocate(x(shape)[*], stat=...)". When images have failed, the collective
+// allocation still completes identically on every survivor (so their heaps
+// stay symmetric) and the condition is reported as StatFailedImage; the
+// returned coarray is usable by the survivors. Without fault support it is
+// exactly Allocate.
+func AllocateStat[T pgas.Elem](img *Image, shape ...int) (*Coarray[T], Stat) {
+	if img.fault == nil {
+		return Allocate[T](img, shape...), StatOK
+	}
+	img.pollFault()
+	shape, strides, n := coarrayGeometry(shape)
+	es := pgas.SizeOf[T]()
+	off, err := img.fault.MallocStat(int64(n) * int64(es))
+	return &Coarray[T]{
+		img:     img,
+		shape:   shape,
+		strides: strides,
+		codims:  []int{0}, // [*]
+		off:     off,
+		n:       n,
+		es:      es,
+	}, statFromErr(err)
+}
+
+// coarrayGeometry validates a local shape and derives the column-major
+// strides and total element count.
+func coarrayGeometry(shape []int) ([]int, []int64, int) {
 	if len(shape) == 0 {
 		shape = []int{1}
 	}
@@ -40,17 +82,7 @@ func Allocate[T pgas.Elem](img *Image, shape ...int) *Coarray[T] {
 		strides[i] = int64(n)
 		n *= d
 	}
-	es := pgas.SizeOf[T]()
-	off := img.tr.Malloc(int64(n) * int64(es))
-	return &Coarray[T]{
-		img:     img,
-		shape:   append([]int(nil), shape...),
-		strides: strides,
-		codims:  []int{0}, // [*]
-		off:     off,
-		n:       n,
-		es:      es,
-	}
+	return append([]int(nil), shape...), strides, n
 }
 
 // WithCodims declares the cobounds, e.g. x[2,*] -> WithCodims(2, 0). The last

@@ -45,6 +45,15 @@ type Image struct {
 	// image currently holds — the hash table of §IV-D.
 	held map[lockKey]int64
 
+	// Failed-image support (fail.go). fault is the transport's fault-ops
+	// surface (nil when unsupported); ftMode selects the repairable lock
+	// protocol; hasKill/killAt carry this image's scheduled fault-injection
+	// time from the Options.FaultPlan.
+	fault   faultOps
+	ftMode  bool
+	hasKill bool
+	killAt  float64
+
 	// Stats counts runtime-issued communication operations (observability
 	// and ablation tests).
 	Stats Stats
@@ -58,6 +67,9 @@ type Stats struct {
 	Atomics       int64
 	LocksAcquired int64
 	LocksReleased int64
+	// LockTakeovers counts MCS lock acquisitions completed by queue repair
+	// after the previous holder's image failed (fail.go / lock.go).
+	LockTakeovers int64
 	// DirectOps counts intra-node accesses served by direct load/store
 	// (Options.IntraNodeDirect, the §VII future-work path).
 	DirectOps int64
@@ -73,7 +85,7 @@ func Run(images int, opts Options, body func(*Image)) error {
 	}
 	switch o.Transport {
 	case TransportSHMEM:
-		w, err := shmem.NewWorld(shmem.Config{Machine: o.Machine, Profile: o.Profile, Sanitize: o.Sanitize}, images)
+		w, err := shmem.NewWorld(shmem.Config{Machine: o.Machine, Profile: o.Profile, Sanitize: o.Sanitize, FaultPlan: o.FaultPlan}, images)
 		if err != nil {
 			return err
 		}
@@ -109,6 +121,13 @@ func newImage(tr Transport, opts Options) *Image {
 		tr:   tr,
 		opts: opts,
 		held: map[lockKey]int64{},
+	}
+	if opts.FaultTolerant || !opts.FaultPlan.Empty() {
+		img.fault = asFaultOps(tr)
+		img.ftMode = img.fault != nil
+	}
+	if at, ok := opts.FaultPlan.KillTime(tr.PE()); ok {
+		img.hasKill, img.killAt = true, at
 	}
 	// Collective start-up allocations, identical on all images and therefore
 	// performed in the same order everywhere.
@@ -161,8 +180,11 @@ func (img *Image) SHMEM() *shmem.PE {
 func (img *Image) Options() Options { return img.opts }
 
 // SyncAll executes "sync all": completes this image's outstanding
-// communication and rendezvouses with every other image.
+// communication and rendezvouses with every other image. Without a STAT
+// specifier, involvement of a failed or stopped image is error termination
+// (a panic that poisons the job); SyncAllStat returns it instead.
 func (img *Image) SyncAll() {
+	img.pollFault()
 	img.quiet()
 	img.tr.Barrier()
 }
@@ -172,6 +194,7 @@ func (img *Image) SyncAll() {
 // repeated sync images statements match up one-to-one, as the standard
 // requires.
 func (img *Image) SyncImages(list ...int) {
+	img.pollFault()
 	img.quiet()
 	me := img.ThisImage()
 	for _, j := range list {

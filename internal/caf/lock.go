@@ -73,6 +73,7 @@ func (l *Lock) Holds(j int) bool {
 // condition in the standard and panics here.
 func (l *Lock) Acquire(j int) {
 	img := l.img
+	img.pollFault()
 	img.checkImage(j)
 	key := lockKey{l.off, j}
 	if _, held := img.held[key]; held {
@@ -87,17 +88,19 @@ func (l *Lock) Acquire(j int) {
 		// queueing discipline plus per-acquisition software bookkeeping,
 		// calibrated against the paper's Fig 8/9 gaps (~22%/28%).
 		img.Clock().Advance(vendorLockOverheadNs)
-		img.held[key] = l.mcsAcquire(j)
+		img.held[key] = l.mcsAcquireAny(j)
 	default:
-		img.held[key] = l.mcsAcquire(j)
+		img.held[key] = l.mcsAcquireAny(j)
 	}
 	img.Stats.LocksAcquired++
+	img.noteLockSan(true, j)
 }
 
 // TryAcquire executes "lock(lck[j], acquired_lock=ok)": it attempts the lock
 // once without queueing and reports success.
 func (l *Lock) TryAcquire(j int) bool {
 	img := l.img
+	img.pollFault()
 	img.checkImage(j)
 	key := lockKey{l.off, j}
 	if _, held := img.held[key]; held {
@@ -108,22 +111,41 @@ func (l *Lock) TryAcquire(j int) bool {
 		if l.spinTry(j) {
 			img.held[key] = -1
 			img.Stats.LocksAcquired++
+			img.noteLockSan(true, j)
 			return true
 		}
 		return false
 	default:
-		qOff := img.AllocNonSymmetric(qnodeBytes)
+		nBytes := int64(qnodeBytes)
+		if img.ftMode {
+			nBytes = ftQnodeBytes
+		}
+		qOff := img.AllocNonSymmetric(nBytes)
 		p := img.tr.(localMem).pgasPE()
-		p.StoreLocal(qOff, pgas.EncodeSlice[uint64](nil, []uint64{0, 0}))
+		// locked := 0 (an uncontended try-acquire holds the lock at once, so
+		// the node is born a holder), next/prev := nil.
+		p.StoreLocal(qOff, make([]byte, nBytes))
 		myRef := PackRef(img.ThisImage(), qOff, 1)
-		old := img.tr.CompareSwap64(j-1, l.off, 0, int64(myRef))
+		var old int64
+		if img.ftMode {
+			var ok bool
+			old, ok = img.fault.CompareSwap64Stat(j-1, l.off, 0, int64(myRef))
+			if !ok {
+				img.Stats.Atomics++
+				img.FreeNonSymmetric(qOff, nBytes)
+				panic(fmt.Sprintf("caf: lock(lck[%d]) involving failed image %d without stat=", j, j))
+			}
+		} else {
+			old = img.tr.CompareSwap64(j-1, l.off, 0, int64(myRef))
+		}
 		img.Stats.Atomics++
 		if old != 0 {
-			img.FreeNonSymmetric(qOff, qnodeBytes)
+			img.FreeNonSymmetric(qOff, nBytes)
 			return false
 		}
 		img.held[key] = qOff
 		img.Stats.LocksAcquired++
+		img.noteLockSan(true, j)
 		return true
 	}
 }
@@ -142,12 +164,38 @@ func (l *Lock) Release(j int) {
 	case LockNaiveSpin, LockGlobalArray:
 		l.spinRelease(j)
 	case LockVendor:
-		l.mcsRelease(j, qOff)
+		l.mcsReleaseAny(j, qOff)
 	default:
-		l.mcsRelease(j, qOff)
+		l.mcsReleaseAny(j, qOff)
 	}
 	delete(img.held, key)
 	img.Stats.LocksReleased++
+	img.noteLockSan(false, j)
+}
+
+// mcsAcquireAny dispatches between the classic two-word MCS protocol and the
+// repairable ftMode protocol. Without a STAT specifier, involvement of a
+// failed image in a LOCK statement is error termination, as the standard
+// requires — rendered here as a world-poisoning panic instead of a hang.
+func (l *Lock) mcsAcquireAny(j int) int64 {
+	if l.img.ftMode {
+		qOff, stat := l.ftAcquire(j)
+		if stat != StatOK {
+			panic(fmt.Sprintf("caf: lock(lck[%d]) involving failed image without stat=: %v", j, stat))
+		}
+		return qOff
+	}
+	return l.mcsAcquire(j)
+}
+
+func (l *Lock) mcsReleaseAny(j int, qOff int64) {
+	if l.img.ftMode {
+		if stat := l.ftRelease(j, qOff); stat != StatOK {
+			panic(fmt.Sprintf("caf: unlock(lck[%d]) involving failed image without stat=: %v", j, stat))
+		}
+		return
+	}
+	l.mcsRelease(j, qOff)
 }
 
 // --- MCS queue lock (§IV-D) ---

@@ -146,6 +146,18 @@ type Options struct {
 	// collective call-sequence divergence are reported as an error from Run.
 	// Requires the OpenSHMEM transport; off by default and free when off.
 	Sanitize bool
+	// FaultPlan schedules deterministic fault injection (see fabric.FaultPlan
+	// and fail.go): images die at planned virtual times as if they executed
+	// FAIL IMAGE, and links may degrade. A non-empty plan implies
+	// FaultTolerant. Requires the OpenSHMEM transport; nil (the default)
+	// leaves every virtual time and byte identical to a build without fault
+	// support.
+	FaultPlan *fabric.FaultPlan
+	// FaultTolerant switches the runtime's failed-image machinery on without
+	// scheduling any faults: the MCS lock uses repairable 3-word qnodes and
+	// the STAT-bearing APIs detect real FAIL IMAGE calls. Implied by a
+	// non-empty FaultPlan. Requires the OpenSHMEM transport.
+	FaultTolerant bool
 }
 
 func (o *Options) withDefaults() (Options, error) {
@@ -164,6 +176,12 @@ func (o *Options) withDefaults() (Options, error) {
 	}
 	if out.Sanitize && out.Transport != TransportSHMEM {
 		return out, fmt.Errorf("caf: Sanitize requires the OpenSHMEM transport")
+	}
+	if !out.FaultPlan.Empty() {
+		out.FaultTolerant = true
+	}
+	if (out.FaultTolerant || out.FaultPlan != nil) && out.Transport != TransportSHMEM {
+		return out, fmt.Errorf("caf: fault injection and fault tolerance require the OpenSHMEM transport")
 	}
 	return out, nil
 }

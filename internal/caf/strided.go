@@ -26,6 +26,7 @@ import (
 // Put writes vals (dense, column-major section order) into section sec of
 // the coarray on image j (1-based).
 func (c *Coarray[T]) Put(j int, sec Section, vals []T) {
+	c.img.pollFault()
 	c.img.checkImage(j)
 	if err := sec.validate(c.shape); err != nil {
 		panic(err)
@@ -40,6 +41,7 @@ func (c *Coarray[T]) Put(j int, sec Section, vals []T) {
 // Get reads section sec of the coarray on image j (1-based), returning the
 // elements dense in column-major section order.
 func (c *Coarray[T]) Get(j int, sec Section) []T {
+	c.img.pollFault()
 	c.img.checkImage(j)
 	if err := sec.validate(c.shape); err != nil {
 		panic(err)
@@ -52,6 +54,7 @@ func (c *Coarray[T]) Get(j int, sec Section) []T {
 
 // PutElem writes a single element: x(idx)[j] = v.
 func (c *Coarray[T]) PutElem(j int, v T, idx ...int) {
+	c.img.pollFault()
 	c.img.checkImage(j)
 	if c.img.opts.IntraNodeDirect && c.img.tr.DirectWrite(j-1, c.byteOff(idx), pgas.EncodeOne(v)) {
 		c.img.Stats.DirectOps++
@@ -64,6 +67,7 @@ func (c *Coarray[T]) PutElem(j int, v T, idx ...int) {
 
 // GetElem reads a single element: v = x(idx)[j].
 func (c *Coarray[T]) GetElem(j int, idx ...int) T {
+	c.img.pollFault()
 	c.img.checkImage(j)
 	var buf [8]byte
 	b := buf[:c.es]

@@ -204,6 +204,70 @@ func (t *shmemTransport) WaitLocal64(off int64, pred func(int64) bool) {
 
 func (t *shmemTransport) Barrier() { t.pe.Barrier() }
 
+// --- fault-tolerance extension (fail.go) ---
+
+// faultOps is the extension surface the failed-image runtime needs beyond
+// Transport. Only the OpenSHMEM transport provides it (Fortran 2018 failed
+// images are this repository's beyond-paper extension, built on the SHMEM
+// mapping); asFaultOps returns nil elsewhere and the runtime degrades to the
+// fail-stop behaviour (hangs become watchdog errors, never wrong answers).
+type faultOps interface {
+	BarrierStat() error
+	MallocStat(size int64) (int64, error)
+	Swap64Stat(target int, off int64, v int64) (int64, bool)
+	CompareSwap64Stat(target int, off int64, expected, desired int64) (int64, bool)
+	ReadWord64(target int, off int64) uint64
+	WaitLocal64Stat(off int64, pred func(int64) bool, onEvent func() error) error
+	PgasWorld() *pgas.World
+}
+
+// asFaultOps unwraps decorators until it finds a transport with fault support.
+func asFaultOps(tr Transport) faultOps {
+	for {
+		if f, ok := tr.(faultOps); ok {
+			return f
+		}
+		u, ok := tr.(interface{ unwrap() Transport })
+		if !ok {
+			return nil
+		}
+		tr = u.unwrap()
+	}
+}
+
+func (t *shmemTransport) BarrierStat() error { return t.pe.BarrierStat() }
+
+func (t *shmemTransport) MallocStat(size int64) (int64, error) {
+	sym, err := t.pe.MallocStat(size)
+	return sym.Off, err
+}
+
+func (t *shmemTransport) Swap64Stat(target int, off int64, v int64) (int64, bool) {
+	return t.pe.SwapStat(target, t.all, t.wordIdx(off), v)
+}
+
+func (t *shmemTransport) CompareSwap64Stat(target int, off int64, expected, desired int64) (int64, bool) {
+	return t.pe.CompareSwapStat(target, t.all, t.wordIdx(off), expected, desired)
+}
+
+func (t *shmemTransport) ReadWord64(target int, off int64) uint64 {
+	return t.pe.ReadWord64(target, t.all, t.wordIdx(off))
+}
+
+func (t *shmemTransport) WaitLocal64Stat(off int64, pred func(int64) bool, onEvent func() error) error {
+	ts, err := t.pe.Pgas().WaitUntilStat(off, 8, func(b []byte) bool {
+		return pred(int64(leUint64(b)))
+	}, onEvent)
+	if err != nil {
+		return err
+	}
+	t.pe.Clock().MergeAtLeast(ts)
+	t.pe.Clock().Advance(t.pe.World().Profile().OverheadNs)
+	return nil
+}
+
+func (t *shmemTransport) PgasWorld() *pgas.World { return t.pe.World().PgasWorld() }
+
 func (t *shmemTransport) Clock() *fabric.Clock     { return t.pe.Clock() }
 func (t *shmemTransport) Machine() *fabric.Machine { return t.pe.World().PgasWorld().Machine() }
 func (t *shmemTransport) SameNode(a, b int) bool   { return t.Machine().SameNode(a, b) }

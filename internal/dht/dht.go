@@ -39,7 +39,9 @@ func New(img *caf.Image, bucketsPerImage int) *Table {
 		lock:    caf.NewLock(img),
 		buckets: bucketsPerImage,
 	}
-	img.SyncAll()
+	// Stat form so a table can still be built by the survivors when an image
+	// has already failed; identical to SyncAll without fault support.
+	img.SyncAllStat()
 	return t
 }
 
@@ -78,6 +80,41 @@ func (t *Table) Update(key uint64, delta int64) error {
 	}
 	return fmt.Errorf("dht: image %d full while inserting key %d", image, key)
 }
+
+// UpdateStat is Update with Fortran 2018 failed-image semantics: when the
+// owning image has failed (before or while holding its lock), the update is
+// abandoned and the condition is reported as the returned Stat instead of
+// error termination. A StatOK return means the update was applied; a failed
+// previous lock holder is recovered from transparently by the runtime's lock
+// repair, which still yields StatOK here.
+func (t *Table) UpdateStat(key uint64, delta int64) (caf.Stat, error) {
+	image, slot := t.home(key)
+	stat := t.lock.AcquireStat(image)
+	if stat != caf.StatOK {
+		return stat, nil
+	}
+	defer t.lock.ReleaseStat(image)
+	for probe := 0; probe < t.buckets; probe++ {
+		s := (slot + probe) % t.buckets
+		sec := caf.Idx(s)
+		if t.used.Get(image, sec)[0] == 0 {
+			t.keys.Put(image, sec, []int64{int64(key)})
+			t.vals.Put(image, sec, []int64{delta})
+			t.used.Put(image, sec, []int64{1})
+			return caf.StatOK, nil
+		}
+		if t.keys.Get(image, sec)[0] == int64(key) {
+			v := t.vals.Get(image, sec)[0]
+			t.vals.Put(image, sec, []int64{v + delta})
+			return caf.StatOK, nil
+		}
+	}
+	return caf.StatOK, fmt.Errorf("dht: image %d full while inserting key %d", image, key)
+}
+
+// Lock exposes the table's coarray lock, so fault-injection tests and the
+// worked fail-image example can die while holding it.
+func (t *Table) Lock() *caf.Lock { return t.lock }
 
 // Lookup returns the value stored under key (0 if absent) without locking —
 // the benchmark only measures updates; lookups are for verification.

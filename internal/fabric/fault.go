@@ -1,0 +1,146 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FaultPlan is a deterministic fault-injection schedule: which PEs fail, at
+// which virtual times, and which links degrade. The plan is data, not
+// behaviour — the runtime layers consult it at operation boundaries (a PE can
+// only die while executing an operation of its own, mirroring a process that
+// crashes inside its program). Because both the schedule and the simulation
+// are deterministic, a run with the same plan replays identically: the same
+// survivors observe the same STATs at the same virtual times.
+type FaultPlan struct {
+	// Seed identifies the plan when it was drawn by RandomPlan; zero for
+	// hand-written plans. Recorded so failures in randomized chaos tests can
+	// be reproduced exactly.
+	Seed uint64
+
+	// Kills schedules image failures (Fortran's FAIL IMAGE).
+	Kills []FaultEvent
+
+	// Links schedules link degradations: from AtNs onward, remote operations
+	// issued by PE acquire extra per-operation latency.
+	Links []LinkDegrade
+}
+
+// FaultEvent schedules one PE's failure at a virtual time. The PE executes
+// normally until its clock first reaches AtNs at an operation boundary, then
+// fails there.
+type FaultEvent struct {
+	PE   int
+	AtNs float64
+}
+
+// LinkDegrade schedules a latency penalty on every remote operation a PE
+// issues once its clock reaches AtNs. It models a flaky or congested link
+// rather than a dead one: traffic still flows, only slower.
+type LinkDegrade struct {
+	PE        int
+	AtNs      float64
+	PenaltyNs float64
+}
+
+// Empty reports whether the plan schedules nothing (nil plans are empty).
+func (fp *FaultPlan) Empty() bool {
+	return fp == nil || (len(fp.Kills) == 0 && len(fp.Links) == 0)
+}
+
+// KillTime returns the scheduled failure time for pe, or (0, false) when the
+// plan never kills it. With multiple events for one PE the earliest wins.
+func (fp *FaultPlan) KillTime(pe int) (float64, bool) {
+	if fp == nil {
+		return 0, false
+	}
+	at, found := 0.0, false
+	for _, k := range fp.Kills {
+		if k.PE == pe && (!found || k.AtNs < at) {
+			at, found = k.AtNs, true
+		}
+	}
+	return at, found
+}
+
+// LinkPenaltyNs returns the extra latency, in virtual nanoseconds, a remote
+// operation issued by pe at time nowNs suffers. Multiple active degradations
+// on one PE accumulate.
+func (fp *FaultPlan) LinkPenaltyNs(pe int, nowNs float64) float64 {
+	if fp == nil {
+		return 0
+	}
+	pen := 0.0
+	for _, l := range fp.Links {
+		if l.PE == pe && nowNs >= l.AtNs {
+			pen += l.PenaltyNs
+		}
+	}
+	return pen
+}
+
+// Victims returns the distinct PEs the plan kills, in ascending order.
+func (fp *FaultPlan) Victims() []int {
+	if fp == nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, k := range fp.Kills {
+		if !seen[k.PE] {
+			seen[k.PE] = true
+			out = append(out, k.PE)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (fp *FaultPlan) String() string {
+	if fp.Empty() {
+		return "FaultPlan{}"
+	}
+	return fmt.Sprintf("FaultPlan{seed=%#x kills=%v links=%v}", fp.Seed, fp.Kills, fp.Links)
+}
+
+// splitmix64 is the PRNG behind RandomPlan: tiny, seedable, and with
+// well-distributed output — the same generator the DHT uses for key homes.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d4a6045f4947f5
+	return x ^ (x >> 31)
+}
+
+// RandomPlan draws a reproducible plan from seed: kills distinct victims
+// chosen among PEs 1..npes-1 (PE 0 is spared so a survivor with stable rank
+// can always report results), each at a virtual time uniform in
+// [minNs, maxNs). The same (seed, npes, kills, minNs, maxNs) always yields
+// the same plan.
+func RandomPlan(seed uint64, npes, kills int, minNs, maxNs float64) *FaultPlan {
+	if npes < 2 || kills <= 0 {
+		return &FaultPlan{Seed: seed}
+	}
+	if kills > npes-1 {
+		kills = npes - 1
+	}
+	if maxNs < minNs {
+		maxNs = minNs
+	}
+	fp := &FaultPlan{Seed: seed}
+	s := seed
+	chosen := map[int]bool{}
+	for len(fp.Kills) < kills {
+		s = splitmix64(s)
+		pe := 1 + int(s%uint64(npes-1))
+		if chosen[pe] {
+			continue
+		}
+		chosen[pe] = true
+		s = splitmix64(s)
+		frac := float64(s>>11) / float64(1<<53)
+		fp.Kills = append(fp.Kills, FaultEvent{PE: pe, AtNs: minNs + frac*(maxNs-minNs)})
+	}
+	sort.Slice(fp.Kills, func(i, j int) bool { return fp.Kills[i].AtNs < fp.Kills[j].AtNs })
+	return fp
+}

@@ -33,6 +33,14 @@ type Params struct {
 	// Gather reassembles the global field on image 1 after the run
 	// (validation only; not part of the timed region).
 	Gather bool
+	// FaultAware runs the solver with Fortran 2018 failed-image semantics:
+	// synchronisation uses SyncAllStat, and when an image fails the survivors
+	// abandon the iteration loop (their partial results and timings are still
+	// reported, with Result.Stat recording the condition) instead of error
+	// termination. The reduction between two successful barriers is safe:
+	// images have no fault points inside collectives, so an image that passed
+	// the pre-reduction barrier always completes the reduction.
+	FaultAware bool
 }
 
 // Result is the outcome of a distributed run.
@@ -44,6 +52,12 @@ type Result struct {
 	// Field is the reassembled global pressure field (nil unless
 	// Params.Gather), indexed i + NX*(j + NY*k).
 	Field []float32
+	// Stat is image 1's final synchronisation status under Params.FaultAware
+	// (caf.StatOK on a fault-free run); Iters is how many iterations it
+	// completed before a failure cut the run short (equal to Params.Iters when
+	// none did).
+	Stat  caf.Stat
+	Iters int
 }
 
 func (p Params) validate(images int) error {
@@ -97,6 +111,8 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 	var worst float64
 	var gosaOut float64
 	var gathered []float32
+	var statOut caf.Stat
+	var itersOut int
 	err := caf.Run(images, opts, func(img *caf.Image) {
 		nx, ny, nz := prm.NX, prm.NY, prm.NZ
 		me := img.ThisImage()
@@ -118,13 +134,32 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 				}
 			}
 		}
+		// sync is SyncAll with, under FaultAware, the STAT-bearing form; a
+		// non-OK status aborts the caller's loop instead of terminating.
+		stat := caf.StatOK
+		sync := func() bool {
+			if !prm.FaultAware {
+				img.SyncAll()
+				return true
+			}
+			if s := img.SyncAllStat(); s != caf.StatOK {
+				stat = s
+				return false
+			}
+			return true
+		}
+
 		p.SetSlice(cur)
-		img.SyncAll()
+		done := prm.Iters
+		ok := sync()
+		if !ok {
+			done = 0
+		}
 
 		img.Clock().Reset()
 		var gosa float64
 		next := make([]float32, len(cur))
-		for it := 0; it < prm.Iters; it++ {
+		for it := 0; ok && it < prm.Iters; it++ {
 			copy(next, cur)
 			gosa = 0
 			// Jacobi sweep over this image's interior points. Global
@@ -154,7 +189,10 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 			p.SetSlice(cur)
 			// Everyone's local store must land before neighbours write into
 			// our ghost planes (and vice versa).
-			img.SyncAll()
+			if !sync() {
+				done = it
+				break
+			}
 
 			// Halo exchange: matrix-oriented planes (contiguous in i,
 			// strided across k).
@@ -169,20 +207,28 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 				p2 := sectionPlane(nx, nz, 0)
 				putPlane(img, p, me+1, p2, plane)
 			}
-			img.SyncAll()
+			if !sync() {
+				done = it
+				break
+			}
 			// Refresh ghosts into the working copy.
 			refresh := p.Slice()
 			copy(cur, refresh)
 
 			// Residual reduction, as the reference code does every iteration.
+			// Safe even while a fault is pending: the barrier just above
+			// succeeded, and there is no fault point between it and the end of
+			// the reduction, so every participant completes it.
 			gosa = caf.CoSum(img, []float64{gosa}, 0)[0]
 		}
-		img.SyncAll()
+		sync()
 		if me == 1 {
 			worst = img.Clock().Now()
 			gosaOut = gosa
+			statOut = stat
+			itersOut = done
 		}
-		if prm.Gather {
+		if prm.Gather && stat == caf.StatOK {
 			if me == 1 {
 				field := make([]float32, nx*ny*nz)
 				for m := 1; m <= images; m++ {
@@ -205,7 +251,7 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 				}
 				gathered = field
 			}
-			img.SyncAll()
+			sync()
 		}
 	})
 	if err != nil {
@@ -214,7 +260,13 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 	interior := float64((prm.NX - 2) * (prm.NY - 2) * (prm.NZ - 2))
 	res.TimeMs = worst / 1e6
 	res.Gosa = gosaOut
-	res.MFLOPS = flopsPerPt * interior * float64(prm.Iters) / (worst / 1e9) / 1e6
+	res.Stat = statOut
+	res.Iters = itersOut
+	iters := itersOut
+	if iters == 0 {
+		iters = 1 // avoid a zero MFLOPS numerator on an immediately-cut run
+	}
+	res.MFLOPS = flopsPerPt * interior * float64(iters) / (worst / 1e9) / 1e6
 	res.Field = gathered
 	return res, nil
 }

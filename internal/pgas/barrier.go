@@ -6,14 +6,23 @@ import "sync"
 // the maximum virtual arrival time of the participants, so that the release
 // time respects causality (no PE may leave a barrier "before" the last PE
 // arrived).
+//
+// The participant count tracks the world's alive PEs: when a PE fails or
+// stops it departs the barrier, and a rendezvous of all remaining PEs — or a
+// departure that makes the current arrivals complete — releases the group.
+// Each release carries the fault status at release time, so callers can
+// surface Fortran 2018's STAT_FAILED_IMAGE/STAT_STOPPED_IMAGE instead of
+// hanging on a peer that will never arrive.
 type barrier struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	n        int
+	w        *World
+	n        int // alive participants
 	count    int
 	gen      uint64
 	maxT     float64
 	outT     float64
+	outErr   error
 	poisoned bool
 }
 
@@ -23,10 +32,22 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
-// await blocks until all n participants have called it, then returns the
-// maximum arriveT across the group. The last arriver computes the max and
-// wakes the rest.
-func (b *barrier) await(arriveT float64) float64 {
+// release completes the current generation. Must be called with b.mu held and
+// b.count == b.n.
+func (b *barrier) release() {
+	b.count = 0
+	b.outT = b.maxT
+	b.maxT = 0
+	b.outErr = b.w.imageFaultErr()
+	b.gen++
+	b.w.bumpEvent()
+	b.cond.Broadcast()
+}
+
+// await blocks until every alive participant has called it, then returns the
+// maximum arriveT across the group and the fault status at release time (nil
+// when every PE was alive).
+func (b *barrier) await(arriveT float64) (float64, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
@@ -36,22 +57,34 @@ func (b *barrier) await(arriveT float64) float64 {
 		b.maxT = arriveT
 	}
 	b.count++
+	b.w.bumpEvent()
 	if b.count == b.n {
-		b.count = 0
-		b.outT = b.maxT
-		b.maxT = 0
-		b.gen++
-		b.cond.Broadcast()
-		return b.outT
+		b.release()
+		return b.outT, b.outErr
 	}
 	gen := b.gen
 	for b.gen == gen && !b.poisoned {
+		b.w.beginBlock()
 		b.cond.Wait()
+		b.w.endBlock()
 	}
 	if b.poisoned {
 		panic("pgas: barrier poisoned (another PE failed)")
 	}
-	return b.outT
+	return b.outT, b.outErr
+}
+
+// depart removes a participant (PE failure or stop). If the remaining
+// arrivals now form the complete alive group, the barrier releases — with a
+// non-nil status, since a departure mid-rendezvous is exactly the condition
+// the status exists to report.
+func (b *barrier) depart() {
+	b.mu.Lock()
+	b.n--
+	if b.n > 0 && b.count == b.n {
+		b.release()
+	}
+	b.mu.Unlock()
 }
 
 func (b *barrier) poison() {
@@ -61,18 +94,44 @@ func (b *barrier) poison() {
 	b.mu.Unlock()
 }
 
-// BarrierSync performs a world-wide rendezvous: it blocks until every PE in
-// the world has called it and returns the maximum virtual arrival time.
+// BarrierSync performs a world-wide rendezvous: it blocks until every alive
+// PE in the world has called it and returns the maximum virtual arrival time.
 // Library layers add their own modelled barrier cost on top (the returned
-// value is the causality floor, not the release time).
+// value is the causality floor, not the release time). If any PE failed or
+// stopped, the rendezvous still completes among survivors and this panics
+// with the *ImageFault — the non-STAT Fortran semantics (error termination).
 func (w *World) BarrierSync(arriveT float64) float64 {
+	rel, err := w.barrier.await(arriveT)
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}
+
+// BarrierSyncStat is BarrierSync for STAT-bearing callers: the fault status
+// is returned instead of panicking, and survivors remain synchronised.
+func (w *World) BarrierSyncStat(arriveT float64) (float64, error) {
 	return w.barrier.await(arriveT)
 }
 
 // Barrier is the common composed operation: rendezvous at the PE's current
-// clock, then advance the clock to the release time plus costNs.
+// clock, then advance the clock to the release time plus costNs. Panics with
+// *ImageFault if the rendezvous involved failed or stopped images.
 func (p *PE) Barrier(costNs float64) {
-	rel := p.world.BarrierSync(p.Clock.Now())
+	rel, err := p.world.barrier.await(p.Clock.Now())
 	p.Clock.MergeAtLeast(rel)
 	p.Clock.Advance(costNs)
+	if err != nil {
+		panic(err)
+	}
+}
+
+// BarrierTolerant is Barrier with STAT semantics: identical virtual-time
+// behaviour, but fault conditions are returned rather than panicking, so
+// survivors can continue (Fortran's SYNC ALL with a STAT= specifier).
+func (p *PE) BarrierTolerant(costNs float64) error {
+	rel, err := p.world.barrier.await(p.Clock.Now())
+	p.Clock.MergeAtLeast(rel)
+	p.Clock.Advance(costNs)
+	return err
 }

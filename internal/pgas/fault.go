@@ -1,0 +1,318 @@
+package pgas
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// PE life-cycle states. A PE is alive while its goroutine runs the SPMD body;
+// it becomes stopped when the body returns normally, or failed when the body
+// executes a fail-image operation. Failed and stopped are terminal: the
+// partition's contents freeze (one-sided writes are dropped), the clock stops
+// advancing (its goroutine is gone), and the PE no longer participates in
+// barriers.
+type peState = int32
+
+const (
+	stateAlive peState = iota
+	stateStopped
+	stateFailed
+)
+
+// ImageFault reports that a blocking operation involved PEs that have failed
+// or stopped — the substrate form of Fortran 2018's STAT_FAILED_IMAGE /
+// STAT_STOPPED_IMAGE conditions. Layers above translate it into their own
+// status codes instead of hanging.
+type ImageFault struct {
+	Failed  []int // PE ranks that executed a fail-image operation
+	Stopped []int // PE ranks whose body returned while others still wait
+}
+
+func (e *ImageFault) Error() string {
+	switch {
+	case len(e.Failed) > 0 && len(e.Stopped) > 0:
+		return fmt.Sprintf("pgas: image fault (failed PEs %v, stopped PEs %v)", e.Failed, e.Stopped)
+	case len(e.Failed) > 0:
+		return fmt.Sprintf("pgas: image fault (failed PEs %v)", e.Failed)
+	default:
+		return fmt.Sprintf("pgas: image fault (stopped PEs %v)", e.Stopped)
+	}
+}
+
+// peFailed is the panic sentinel a failing PE's goroutine unwinds with; Run
+// treats it as a clean (non-poisoning) exit.
+type peFailed struct{ id int }
+
+// Fail marks the calling PE as failed and unwinds its goroutine — the
+// substrate operation behind Fortran's FAIL IMAGE. The partition freezes in
+// its current state (remaining readable for fault-recovery protocols), every
+// blocked PE in the world is woken so waits on the dead PE can be detected,
+// and the barrier loses a participant. Must be called from the PE's own
+// goroutine.
+func (p *PE) Fail() {
+	p.world.depart(p, stateFailed)
+	panic(peFailed{p.ID})
+}
+
+// World returns the world this PE belongs to (for layered runtimes that need
+// world-level fault state from a PE handle).
+func (p *PE) World() *World { return p.world }
+
+// depart transitions a PE out of the alive state, releases any barrier that
+// now has all remaining participants, and wakes every waiter so blocked PEs
+// re-evaluate who they are waiting on. Safe to call at most once per PE; the
+// second and later calls are no-ops.
+func (w *World) depart(p *PE, to peState) {
+	w.stateMu.Lock()
+	if w.states[p.ID] != stateAlive {
+		w.stateMu.Unlock()
+		return
+	}
+	atomic.StoreInt32(&w.states[p.ID], to)
+	if to == stateFailed {
+		w.nFailed.Add(1)
+	} else {
+		w.nStopped.Add(1)
+	}
+	w.stateMu.Unlock()
+	w.aliveN.Add(-1)
+	w.departEpoch.Add(1)
+	w.bumpEvent()
+	w.barrier.depart()
+	for _, q := range w.pes {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+}
+
+// markStopped records a normal body return (used by Run).
+func (w *World) markStopped(p *PE) { w.depart(p, stateStopped) }
+
+// StateOf reports a PE's life-cycle state without blocking.
+func (w *World) stateOf(pe int) peState { return atomic.LoadInt32(&w.states[pe]) }
+
+// Alive reports whether the PE is still executing its body.
+func (w *World) Alive(pe int) bool { return w.stateOf(pe) == stateAlive }
+
+// Failed reports whether the PE executed a fail-image operation.
+func (w *World) Failed(pe int) bool { return w.stateOf(pe) == stateFailed }
+
+// Stopped reports whether the PE's body returned normally.
+func (w *World) Stopped(pe int) bool { return w.stateOf(pe) == stateStopped }
+
+// AnyFailed reports whether any PE has failed — one atomic load, so callers
+// can gate fault-recovery work on it without cost in the fault-free case.
+func (w *World) AnyFailed() bool { return w.nFailed.Load() > 0 }
+
+// FailedCount returns how many PEs have failed so far. The count is monotonic,
+// which makes it usable as a recheck watermark: a blocked protocol waiter
+// re-runs its recovery walk exactly when the count exceeds what its last walk
+// observed, regardless of whether the failure happened before or after it
+// started waiting.
+func (w *World) FailedCount() int { return int(w.nFailed.Load()) }
+
+// FailedPEs returns the failed PE ranks in ascending order.
+func (w *World) FailedPEs() []int { return w.ranksIn(stateFailed) }
+
+// StoppedPEs returns the normally-stopped PE ranks in ascending order.
+func (w *World) StoppedPEs() []int { return w.ranksIn(stateStopped) }
+
+func (w *World) ranksIn(s peState) []int {
+	var out []int
+	for i := range w.states {
+		if w.stateOf(i) == s {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LowestAlive returns the lowest-ranked alive PE (-1 when none remain). The
+// symmetric-heap allocator uses it for leader election so collective
+// allocation keeps working among survivors; in a fault-free world it is
+// always 0, preserving the original behaviour.
+func (w *World) LowestAlive() int {
+	for i := range w.states {
+		if w.stateOf(i) == stateAlive {
+			return i
+		}
+	}
+	return -1
+}
+
+// DepartEpoch counts PE departures (failures and stops). Waiters snapshot it
+// before blocking; a change while blocked means "who you might be waiting on
+// changed" and is the trigger to re-run fault-recovery checks.
+func (w *World) DepartEpoch() uint64 { return w.departEpoch.Load() }
+
+// imageFaultErr builds the current fault report, or nil when every PE is
+// alive.
+func (w *World) imageFaultErr() error {
+	if w.nFailed.Load() == 0 && w.nStopped.Load() == 0 {
+		return nil
+	}
+	return &ImageFault{Failed: w.ranksIn(stateFailed), Stopped: w.ranksIn(stateStopped)}
+}
+
+// failedErr returns the world poison error, if any, without panicking.
+func (w *World) failedErr() error {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failed
+}
+
+// --- virtual-time hang watchdog ---
+
+// The watchdog is the backstop guarantee that no run hangs: if every alive PE
+// is blocked in a condition wait and no wake-relevant event (write, barrier
+// arrival or release, departure) occurs for stallRealDelay of real time, the
+// world is virtually deadlocked — all wake sources are PE goroutines, and all
+// of them are asleep — so the world is poisoned with a diagnostic instead of
+// hanging the process. Event counting is purely atomic; the fault-free hot
+// path pays two atomic adds per block/unblock and nothing in virtual time.
+
+const stallRealDelay = 75 * time.Millisecond
+
+// bumpEvent records a wake-relevant event. Called before the corresponding
+// broadcast so an armed detector always observes the epoch change.
+func (w *World) bumpEvent() { w.eventEpoch.Add(1) }
+
+// beginBlock notes that the calling PE is about to block in a condition wait.
+// If it is the last alive PE to block, a detector is armed.
+func (w *World) beginBlock() {
+	if w.blockedN.Add(1) >= w.aliveN.Load() {
+		e := w.eventEpoch.Load()
+		go w.stallDetect(e)
+	}
+}
+
+// endBlock undoes beginBlock after the wait returns.
+func (w *World) endBlock() { w.blockedN.Add(-1) }
+
+func (w *World) stallDetect(epoch uint64) {
+	time.Sleep(stallRealDelay)
+	if w.eventEpoch.Load() != epoch {
+		return // progress happened; a later blocker re-arms if needed
+	}
+	alive := w.aliveN.Load()
+	if alive <= 0 || w.blockedN.Load() < alive {
+		return
+	}
+	if w.failedErr() != nil {
+		return // already unwinding
+	}
+	msg := fmt.Sprintf("pgas: deadlock detected by hang watchdog: all %d alive PEs blocked with no pending events", alive)
+	if fe := w.imageFaultErr(); fe != nil {
+		msg += " (" + fe.Error() + ")"
+	}
+	w.poison(fmt.Errorf("%s", msg))
+}
+
+// --- fault-aware one-sided access ---
+
+// RepairWrite is the privileged store used by fault-recovery protocols (the
+// CAF MCS-lock repair): unlike Write it lands even in a failed PE's frozen
+// partition — dead protocol nodes act as relay cells that survivors inspect —
+// and it wakes waiters on every PE, because a repair step can change protocol
+// state that another survivor is watching through a dead intermediary.
+// Callers charge virtual time exactly as for the equivalent ordinary write.
+func (w *World) RepairWrite(target int, off int64, data []byte, visibleAt float64) {
+	if len(data) == 0 {
+		return
+	}
+	p := w.pes[target]
+	p.mu.Lock()
+	p.ensureLen(off + int64(len(data)))
+	copy(p.seg[off:], data)
+	p.noteWrite(off, int64(len(data)), visibleAt)
+	p.mu.Unlock()
+	w.bumpEvent()
+	for _, q := range w.pes {
+		if q == p {
+			continue
+		}
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+}
+
+// ReadUint64Ts reads the 64-bit word at (target, off) together with its
+// recorded visibility timestamp, including from failed partitions — the
+// forensic read fault-recovery walks rely on. The caller merges the timestamp
+// to preserve virtual-time causality across a takeover.
+func (w *World) ReadUint64Ts(target int, off int64) (uint64, float64) {
+	p := w.pes[target]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureLen(off + 8)
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(p.seg[off+int64(i)]) << (8 * i)
+	}
+	return v, p.rangeTs(off, 8)
+}
+
+// RMW64Stat is RMW64 with a fault status: when the target PE has failed the
+// word is left untouched and ok is false (the frozen value is still
+// returned). Virtual-time cost is the caller's concern, as for RMW64.
+func (w *World) RMW64Stat(target int, off int64, op AtomicOp, operand uint64, visibleAt float64) (old uint64, ok bool) {
+	if w.stateOf(target) == stateFailed {
+		v, _ := w.ReadUint64Ts(target, off)
+		return v, false
+	}
+	return w.RMW64(target, off, op, operand, visibleAt), true
+}
+
+// CompareSwap64Stat is CompareSwap64 with a fault status, like RMW64Stat.
+func (w *World) CompareSwap64Stat(target int, off int64, expected, desired uint64, visibleAt float64) (old uint64, ok bool) {
+	if w.stateOf(target) == stateFailed {
+		v, _ := w.ReadUint64Ts(target, off)
+		return v, false
+	}
+	return w.CompareSwap64(target, off, expected, desired, visibleAt), true
+}
+
+// ErrWaitRecheck is the sentinel a WaitUntilStat onEvent callback returns to
+// interrupt the wait without failing it: the caller re-examines protocol
+// state (e.g. runs a lock-queue repair walk) and usually re-enters the wait.
+var ErrWaitRecheck = fmt.Errorf("pgas: wait interrupted for fault recheck")
+
+// WaitUntilStat is WaitUntil with fault awareness: instead of panicking when
+// the world is poisoned it returns the error, and the optional onEvent hook
+// runs on every wake-up (under the partition lock — it must not block or
+// initiate communication). onEvent returning a non-nil error aborts the wait
+// with that error; returning ErrWaitRecheck is the conventional way to hand
+// control back to the caller for recovery work that needs communication.
+func (p *PE) WaitUntilStat(off, n int64, pred func([]byte) bool, onEvent func() error) (float64, error) {
+	wt := &watch{off: off, n: n}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ensureLen(off + n)
+	p.watches[wt] = struct{}{}
+	defer delete(p.watches, wt)
+	for {
+		if err := p.world.failedErr(); err != nil {
+			return 0, err
+		}
+		if pred(p.seg[off : off+n]) {
+			ts := p.rangeTs(off, n)
+			if wt.ts > ts {
+				ts = wt.ts
+			}
+			return ts, nil
+		}
+		if onEvent != nil {
+			if err := onEvent(); err != nil {
+				return 0, err
+			}
+		}
+		p.world.beginBlock()
+		p.cond.Wait()
+		p.world.endBlock()
+	}
+}

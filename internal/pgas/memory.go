@@ -44,6 +44,9 @@ func (w *World) Write(target int, off int64, data []byte, visibleAt float64) {
 	if len(data) == 0 {
 		return
 	}
+	if w.stateOf(target) == stateFailed {
+		return // a failed PE's partition is frozen: one-sided writes are dropped
+	}
 	p := w.pes[target]
 	p.mu.Lock()
 	p.ensureLen(off + int64(len(data)))
@@ -97,6 +100,9 @@ func (w *World) RMW64(target int, off int64, op AtomicOp, operand uint64, visibl
 	defer p.mu.Unlock()
 	p.ensureLen(off + 8)
 	old := binary.LittleEndian.Uint64(p.seg[off:])
+	if w.stateOf(target) == stateFailed {
+		return old // frozen partition: observe, never mutate
+	}
 	var nw uint64
 	switch op {
 	case OpAdd:
@@ -126,7 +132,7 @@ func (w *World) CompareSwap64(target int, off int64, expected, desired uint64, v
 	defer p.mu.Unlock()
 	p.ensureLen(off + 8)
 	old := binary.LittleEndian.Uint64(p.seg[off:])
-	if old == expected {
+	if old == expected && w.stateOf(target) != stateFailed {
 		binary.LittleEndian.PutUint64(p.seg[off:], desired)
 		p.noteWrite(off, 8, visibleAt)
 	}
@@ -155,6 +161,7 @@ func (p *PE) noteWrite(off, n int64, visibleAt float64) {
 			}
 		}
 	}
+	p.world.bumpEvent()
 	p.cond.Broadcast()
 }
 
@@ -196,7 +203,9 @@ func (p *PE) WaitUntil(off, n int64, pred func([]byte) bool) float64 {
 			}
 			return ts
 		}
+		p.world.beginBlock()
 		p.cond.Wait()
+		p.world.endBlock()
 	}
 }
 

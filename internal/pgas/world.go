@@ -13,6 +13,7 @@ package pgas
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cafshmem/internal/fabric"
 )
@@ -37,6 +38,18 @@ type World struct {
 	failed error
 
 	pairsOverride int // 0 = derive from placement
+
+	// PE life-cycle state (see fault.go). states is read with atomic loads on
+	// hot paths; transitions take stateMu. The counters back the hang
+	// watchdog and the fault-status queries.
+	stateMu     sync.Mutex
+	states      []int32
+	aliveN      atomic.Int32
+	nFailed     atomic.Int32
+	nStopped    atomic.Int32
+	blockedN    atomic.Int32
+	eventEpoch  atomic.Uint64
+	departEpoch atomic.Uint64
 }
 
 // PE is one processing element. The goroutine running the PE's body is the
@@ -81,7 +94,10 @@ func NewWorld(machine *fabric.Machine, n int) (*World, error) {
 		pes:     make([]*PE, n),
 		barrier: newBarrier(n),
 		shared:  map[string]interface{}{},
+		states:  make([]int32, n),
 	}
+	w.barrier.w = w
+	w.aliveN.Store(int32(n))
 	for i := range w.pes {
 		p := &PE{ID: i, world: w, watches: map[*watch]struct{}{}, wordTs: map[int64]float64{}}
 		p.cond = sync.NewCond(&p.mu)
@@ -110,8 +126,13 @@ func (w *World) Run(body func(*PE)) error {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
+					if _, ok := r.(peFailed); ok {
+						return // fail-image: a clean, modelled departure
+					}
 					w.poison(fmt.Errorf("pgas: PE %d panicked: %v", p.ID, r))
+					return
 				}
+				w.markStopped(p)
 			}()
 			body(p)
 		}(p)
@@ -187,6 +208,7 @@ func (w *World) poison(err error) {
 		w.failed = err
 	}
 	w.failMu.Unlock()
+	w.bumpEvent()
 	// Wake everything that might be blocked so the process can unwind.
 	w.barrier.poison()
 	for _, p := range w.pes {

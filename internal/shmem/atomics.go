@@ -12,6 +12,7 @@ import "cafshmem/internal/pgas"
 // AMO semantics), so nothing is added to the pending (Quiet) set.
 
 func (pe *PE) amoClock(target int) float64 {
+	pe.linkPenalty()
 	intra, pairs := pe.intra(target), pe.pairs()
 	pe.p.Clock.Advance(pe.world.prof.AtomicRTTNs(intra, pairs))
 	return pe.p.Clock.Now()

@@ -131,8 +131,27 @@ func (h *heap) liveBytes() int64 {
 
 // Malloc is the collective symmetric allocator (shmalloc): every PE calls it
 // with the same size and receives the identical handle. Like shmalloc it
-// implies a barrier, so the allocation is usable by all PEs on return.
+// implies a barrier, so the allocation is usable by all PEs on return. If
+// images failed or stopped during the rendezvous the fault panics (the
+// non-STAT semantics); MallocStat returns it instead.
 func (pe *PE) Malloc(size int64) Sym {
+	sym, allocErr, faultErr := pe.mallocInner(size)
+	if allocErr != nil {
+		panic(allocErr)
+	}
+	if faultErr != nil {
+		panic(faultErr)
+	}
+	return sym
+}
+
+// mallocInner is the shared allocation protocol behind Malloc and MallocStat:
+// rendezvous, the lowest-ranked alive PE (PE 0 in a fault-free world) claims
+// the offsets and shares the handle, a second rendezvous publishes it, each
+// PE backs its local region, and a closing rendezvous makes it usable. Fault
+// conditions observed during the rendezvous are collected, not raised, so
+// survivors complete the allocation together either way.
+func (pe *PE) mallocInner(size int64) (sym Sym, allocErr, faultErr error) {
 	type slot struct {
 		sym Sym
 		err error
@@ -141,17 +160,17 @@ func (pe *PE) Malloc(size int64) Sym {
 	if w.san != nil {
 		w.san.recordCollective(pe.p.ID, "Malloc", size)
 	}
-	// Rendezvous, then PE of lowest rank performs the allocation and shares
-	// the handle; a second rendezvous publishes it.
-	pe.Barrier()
+	faultErr = pe.BarrierStat()
 	var res *slot
 	shared := w.pw.Shared("shmem.malloc", func() interface{} { return &sync.Map{} }).(*sync.Map)
-	if pe.p.ID == 0 {
+	if pe.p.ID == w.pw.LowestAlive() {
 		off, err := w.heap.alloc(size)
 		res = &slot{Sym{Off: off, Size: size}, err}
 		shared.Store("cur", res)
 	}
-	pe.Barrier()
+	if err := pe.BarrierStat(); err != nil {
+		faultErr = err
+	}
 	v, _ := shared.Load("cur")
 	res = v.(*slot)
 	// Touch the region so the partition is backed — strictly before the
@@ -159,24 +178,34 @@ func (pe *PE) Malloc(size int64) Sym {
 	if res.err == nil && res.sym.Size > 0 {
 		pe.world.pw.Write(pe.p.ID, res.sym.Off+res.sym.Size-1, []byte{0}, pe.p.Clock.Now())
 	}
-	pe.Barrier() // all PEs read (and back) the region before the slot is reused
-	if res.err != nil {
-		panic(res.err)
+	// All PEs read (and back) the region before the slot is reused.
+	if err := pe.BarrierStat(); err != nil {
+		faultErr = err
 	}
-	return res.sym
+	return res.sym, res.err, faultErr
 }
 
 // Free is the collective symmetric deallocator (shfree).
 func (pe *PE) Free(sym Sym) {
+	if err := pe.FreeStat(sym); err != nil {
+		panic(err)
+	}
+}
+
+// FreeStat is Free with fault status, mirroring MallocStat.
+func (pe *PE) FreeStat(sym Sym) error {
 	w := pe.world
 	if w.san != nil {
 		w.san.recordCollective(pe.p.ID, "Free", sym.Off)
 	}
-	pe.Barrier()
-	if pe.p.ID == 0 {
+	faultErr := pe.BarrierStat()
+	if pe.p.ID == w.pw.LowestAlive() {
 		if err := w.heap.release(sym.Off); err != nil {
 			panic(err)
 		}
 	}
-	pe.Barrier()
+	if err := pe.BarrierStat(); err != nil {
+		faultErr = err
+	}
+	return faultErr
 }

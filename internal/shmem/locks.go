@@ -1,6 +1,9 @@
 package shmem
 
-import "runtime"
+import (
+	"fmt"
+	"runtime"
+)
 
 // OpenSHMEM global logical locks (shmem_set_lock / shmem_clear_lock /
 // shmem_test_lock). A lock variable is a symmetric 64-bit word, but the lock
@@ -18,6 +21,11 @@ func lockHome(sym Sym, idx, npes int) int {
 	return int((sym.Off/8 + int64(idx)) % int64(npes))
 }
 
+// lockName labels a lock for the sanitizer's held-at-exit report.
+func lockName(sym Sym, idx int) string {
+	return fmt.Sprintf("shmem.lock@%d[%d]", sym.Off, idx)
+}
+
 // SetLock acquires the global lock named by the symmetric word (blocking).
 func (pe *PE) SetLock(sym Sym, idx int) {
 	home := lockHome(sym, idx, pe.NumPEs())
@@ -25,6 +33,7 @@ func (pe *PE) SetLock(sym Sym, idx int) {
 	backoff := 1.0
 	for {
 		if old := pe.CompareSwap(home, sym, idx, 0, me); old == 0 {
+			pe.world.NoteLockAcquired(pe.p.ID, lockName(sym, idx))
 			return
 		}
 		// Remote spinning with backoff: each failed probe is a real AMO round
@@ -41,7 +50,11 @@ func (pe *PE) SetLock(sym Sym, idx int) {
 func (pe *PE) TestLock(sym Sym, idx int) bool {
 	home := lockHome(sym, idx, pe.NumPEs())
 	me := int64(pe.MyPE()) + 1
-	return pe.CompareSwap(home, sym, idx, 0, me) == 0
+	if pe.CompareSwap(home, sym, idx, 0, me) == 0 {
+		pe.world.NoteLockAcquired(pe.p.ID, lockName(sym, idx))
+		return true
+	}
+	return false
 }
 
 // ClearLock releases the global lock. The caller must hold it.
@@ -51,4 +64,5 @@ func (pe *PE) ClearLock(sym Sym, idx int) {
 	if old := pe.CompareSwap(home, sym, idx, me, 0); old != me {
 		panic("shmem: ClearLock by non-holder")
 	}
+	pe.world.NoteLockReleased(pe.p.ID, lockName(sym, idx))
 }

@@ -23,6 +23,7 @@ func (pe *PE) PutMem(target int, sym Sym, off int64, data []byte) {
 	if san := pe.world.san; san != nil {
 		san.recordPut(pe.p.ID, target, sym.Off+off, int64(len(data)))
 	}
+	pe.linkPenalty()
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.PutInjectNs(len(data), intra, pairs))
@@ -46,6 +47,7 @@ func (pe *PE) GetMem(target int, sym Sym, off int64, dst []byte) {
 	if san := pe.world.san; san != nil {
 		san.checkRead(pe.p.ID, target, sym.Off+off, int64(len(dst)))
 	}
+	pe.linkPenalty()
 	intra, pairs := pe.intra(target), pe.pairs()
 	pe.p.Clock.Advance(pe.world.prof.GetNs(len(dst), intra, pairs))
 	pe.world.pw.Read(target, sym.Off+off, dst)

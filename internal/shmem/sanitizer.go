@@ -18,14 +18,24 @@ import (
 //     the rest of the job;
 //   - the sequence of collective call sites is hashed per PE and compared at
 //     Finalize, catching SPMD divergence that completes without deadlocking
-//     (e.g. PEs calling Malloc with different sizes).
+//     (e.g. PEs calling Malloc with different sizes);
+//   - lock acquisitions are balanced against releases; a lock still held when
+//     its owner's image exits is reported, because nobody else can ever take
+//     it again (the distributed analogue of returning with a mutex held).
 //
 // Sanitizing is off by default and every hook is behind a single nil check on
 // the World, so the disabled mode costs one predictable branch per operation.
+//
+// When images have failed (fault injection or FAIL IMAGE), the leak and
+// divergence checks are skipped: survivors legitimately diverge from the
+// victims' call sequence, and allocations owned by recovery paths may
+// intentionally outlive the job. Held-lock reporting also exempts failed
+// images — dying while holding a lock is the scenario the fault-tolerant lock
+// recovers from, not a bug in the program.
 
 // Violation is one sanitizer finding.
 type Violation struct {
-	Kind string // "race", "leak", or "collective-mismatch"
+	Kind string // "race", "leak", "collective-mismatch", or "lock-held"
 	PE   int    // the PE the finding is attributed to (-1 for world-level)
 	Msg  string
 }
@@ -43,10 +53,11 @@ type sanPut struct {
 
 type sanitizer struct {
 	mu         sync.Mutex
-	pending    map[int][]sanPut // origin PE -> outstanding puts
-	internal   map[int64]bool   // heap offsets owned by the runtime, not leaks
-	collHash   map[int]uint64   // per-PE FNV-1a chain over collective calls
+	pending    map[int][]sanPut       // origin PE -> outstanding puts
+	internal   map[int64]bool         // heap offsets owned by the runtime, not leaks
+	collHash   map[int]uint64         // per-PE FNV-1a chain over collective calls
 	collCount  map[int]int
+	held       map[int]map[string]int // PE -> lock name -> acquire depth
 	violations []Violation
 }
 
@@ -56,6 +67,7 @@ func newSanitizer() *sanitizer {
 		internal:  map[int64]bool{},
 		collHash:  map[int]uint64{},
 		collCount: map[int]int{},
+		held:      map[int]map[string]int{},
 	}
 }
 
@@ -114,6 +126,46 @@ func (s *sanitizer) quiesce(origin int) {
 	s.mu.Unlock()
 }
 
+// noteAcquire records that the PE now holds the named lock.
+func (s *sanitizer) noteAcquire(pe int, name string) {
+	s.mu.Lock()
+	m := s.held[pe]
+	if m == nil {
+		m = map[string]int{}
+		s.held[pe] = m
+	}
+	m[name]++
+	s.mu.Unlock()
+}
+
+// noteRelease balances a noteAcquire.
+func (s *sanitizer) noteRelease(pe int, name string) {
+	s.mu.Lock()
+	if m := s.held[pe]; m != nil {
+		if m[name]--; m[name] <= 0 {
+			delete(m, name)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// NoteLockAcquired records lock ownership for the held-at-exit check. The
+// shmem locks call it themselves; layered runtimes with their own lock
+// implementations (the CAF MCS lock) call it so their locks get the same
+// end-of-job reporting. No-op when the sanitizer is disabled.
+func (w *World) NoteLockAcquired(pe int, name string) {
+	if w.san != nil {
+		w.san.noteAcquire(pe, name)
+	}
+}
+
+// NoteLockReleased balances NoteLockAcquired.
+func (w *World) NoteLockReleased(pe int, name string) {
+	if w.san != nil {
+		w.san.noteRelease(pe, name)
+	}
+}
+
 // recordCollective folds one collective call site into the PE's FNV-1a chain.
 // All PEs must execute the same sequence with matching arguments.
 func (s *sanitizer) recordCollective(pe int, op string, args ...int64) {
@@ -164,33 +216,64 @@ func (w *World) Finalize() []Violation {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	// Heap leaks: live allocations that nobody marked as runtime-internal.
-	w.heap.mu.Lock()
-	var leaked []span
-	for off, size := range w.heap.live {
-		if !s.internal[off] {
-			leaked = append(leaked, span{off, size})
+	// With failed images, leaks and divergence are expected consequences of
+	// the failure, not program bugs — see the package comment.
+	anyFailed := w.pw.AnyFailed()
+
+	if !anyFailed {
+		// Heap leaks: live allocations nobody marked as runtime-internal.
+		w.heap.mu.Lock()
+		var leaked []span
+		for off, size := range w.heap.live {
+			if !s.internal[off] {
+				leaked = append(leaked, span{off, size})
+			}
+		}
+		w.heap.mu.Unlock()
+		sort.Slice(leaked, func(i, j int) bool { return leaked[i].off < leaked[j].off })
+		for _, l := range leaked {
+			s.violations = append(s.violations, Violation{
+				Kind: "leak",
+				PE:   -1,
+				Msg:  fmt.Sprintf("symmetric allocation of %d bytes at offset %d was never freed", l.size, l.off),
+			})
+		}
+
+		// Collective divergence: every PE must fold the same call sequence.
+		n := w.pw.NumPEs()
+		for pe := 1; pe < n; pe++ {
+			if s.collCount[pe] != s.collCount[0] || s.collHash[pe] != s.collHash[0] {
+				s.violations = append(s.violations, Violation{
+					Kind: "collective-mismatch",
+					PE:   pe,
+					Msg: fmt.Sprintf("collective call sequence diverges from PE 0: %d calls (chain %#x) vs %d calls (chain %#x); all PEs must reach the same collectives with the same arguments",
+						s.collCount[pe], s.collHash[pe], s.collCount[0], s.collHash[0]),
+				})
+			}
 		}
 	}
-	w.heap.mu.Unlock()
-	sort.Slice(leaked, func(i, j int) bool { return leaked[i].off < leaked[j].off })
-	for _, l := range leaked {
-		s.violations = append(s.violations, Violation{
-			Kind: "leak",
-			PE:   -1,
-			Msg:  fmt.Sprintf("symmetric allocation of %d bytes at offset %d was never freed", l.size, l.off),
-		})
-	}
 
-	// Collective divergence: every PE must have folded the same call sequence.
-	n := w.pw.NumPEs()
-	for pe := 1; pe < n; pe++ {
-		if s.collCount[pe] != s.collCount[0] || s.collHash[pe] != s.collHash[0] {
+	// Locks still held at image exit. A failed image dying with a lock is the
+	// fault-tolerant lock's job to clean up, not the program's, so only
+	// normally-exited images are reported.
+	var holders []int
+	for pe := range s.held {
+		if len(s.held[pe]) > 0 && !w.pw.Failed(pe) {
+			holders = append(holders, pe)
+		}
+	}
+	sort.Ints(holders)
+	for _, pe := range holders {
+		var names []string
+		for name := range s.held[pe] {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
 			s.violations = append(s.violations, Violation{
-				Kind: "collective-mismatch",
+				Kind: "lock-held",
 				PE:   pe,
-				Msg: fmt.Sprintf("collective call sequence diverges from PE 0: %d calls (chain %#x) vs %d calls (chain %#x); all PEs must reach the same collectives with the same arguments",
-					s.collCount[pe], s.collHash[pe], s.collCount[0], s.collHash[0]),
+				Msg:  fmt.Sprintf("lock %s still held at image exit (acquired %d time(s) without release); no other image can ever acquire it", name, s.held[pe][name]),
 			})
 		}
 	}

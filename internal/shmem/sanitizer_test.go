@@ -149,6 +149,72 @@ func TestSanitizerBarrierCompletesPuts(t *testing.T) {
 	}
 }
 
+// An image that exits still holding a lock has wedged it for the whole job —
+// no other image can ever take it. Finalize must report the holder and the
+// acquire depth.
+func TestSanitizerDetectsLockHeldAtExit(t *testing.T) {
+	err := Run(sanCfg(), 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		if pe.MyPE() == 0 {
+			pe.SetLock(sym, 0) // never cleared
+		}
+		pe.Barrier()
+		pe.Free(sym)
+	})
+	if err == nil {
+		t.Fatal("sanitizer missed a lock held at image exit")
+	}
+	for _, want := range []string{"lock-held", "still held at image exit", "no other image can ever acquire it"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// Balanced acquire/release pairs (including TestLock successes) leave nothing
+// to report.
+func TestSanitizerLockBalancedIsClean(t *testing.T) {
+	err := Run(sanCfg(), 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		pe.SetLock(sym, 0)
+		pe.ClearLock(sym, 0)
+		if pe.MyPE() == 1 && pe.TestLock(sym, 1) {
+			pe.ClearLock(sym, 1)
+		}
+		pe.Barrier()
+		pe.Free(sym)
+	})
+	if err != nil {
+		t.Fatalf("balanced lock run reported violations: %v", err)
+	}
+}
+
+// An image that FAILS while holding a lock is the fault-tolerant lock's
+// cleanup problem, not a program bug: the held-lock check must exempt failed
+// images, and the leak/divergence checks are skipped entirely once any image
+// has failed (survivors legitimately diverge from the victims).
+func TestSanitizerExemptsFailedImages(t *testing.T) {
+	w, err := NewWorld(sanCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.PgasWorld().Run(func(p *pgas.PE) {
+		pe := w.Attach(p)
+		sym := pe.Malloc(64) // never freed: must not be reported once a PE failed
+		if pe.MyPE() == 1 {
+			pe.SetLock(sym, 0)
+			p.Fail() // dies holding the lock
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := w.Finalize(); len(vs) != 0 {
+		t.Fatalf("finalize after an image failure reported %v; failed holders and post-failure leaks are expected, not bugs", vs)
+	}
+}
+
 // Violations are observable as structured values through World.Violations,
 // not only as Run's folded error — the form layered runtimes consume.
 func TestSanitizerViolationsAPI(t *testing.T) {

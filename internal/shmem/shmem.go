@@ -26,7 +26,8 @@ type World struct {
 	prof    *fabric.CostProfile
 	machine *fabric.Machine
 	heap    *heap
-	san     *sanitizer // nil unless Config.Sanitize (see sanitizer.go)
+	san     *sanitizer        // nil unless Config.Sanitize (see sanitizer.go)
+	fplan   *fabric.FaultPlan // nil unless Config.FaultPlan (see stat.go)
 }
 
 // PE is the per-processing-element handle; all OpenSHMEM calls hang off it.
@@ -52,6 +53,12 @@ type Config struct {
 	// call-sequence agreement checking. See sanitizer.go. Off by default;
 	// when off, no sanitizer state exists and the hooks cost one nil check.
 	Sanitize bool
+	// FaultPlan schedules deterministic fault injection: link degradations
+	// are applied by this layer (extra latency on remote operations), image
+	// kills are consumed by layered runtimes (the CAF transport) at their
+	// operation boundaries. Nil disables fault injection entirely — the nil
+	// check is the only cost, and no virtual-time behaviour changes.
+	FaultPlan *fabric.FaultPlan
 }
 
 // Run launches an n-PE OpenSHMEM job and executes body once per PE
@@ -85,12 +92,16 @@ func NewWorld(cfg Config, n int) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	w := &World{pw: pw, prof: prof, machine: cfg.Machine, heap: newHeap()}
+	w := &World{pw: pw, prof: prof, machine: cfg.Machine, heap: newHeap(), fplan: cfg.FaultPlan}
 	if cfg.Sanitize {
 		w.san = newSanitizer()
 	}
 	return w, nil
 }
+
+// FaultPlan returns the world's fault-injection schedule (nil when fault
+// injection is disabled).
+func (w *World) FaultPlan() *fabric.FaultPlan { return w.fplan }
 
 // Attach creates the PE handle for a pgas PE in this world. Layered runtimes
 // use it; normal applications go through Run.
