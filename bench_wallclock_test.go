@@ -1,0 +1,131 @@
+package cafshmem
+
+// Wall-clock (host-time) benchmarks for the real-execution hot path, the
+// companion to bench_test.go's virtual-time figures: here ns/op and allocs/op
+// measure what the simulator costs the host, not what the modelled fabric
+// costs the application. cmd/benchreport runs this suite and records the
+// results in BENCH_3.json so the perf trajectory is tracked across PRs; the
+// optimisations these benchmarks guard (vectored one-sided RMA, watch-aware
+// wakeups, pooled marshalling buffers) must never change virtual-time results
+// — see zerocost_test.go and DESIGN.md "Host-performance model".
+
+import (
+	"testing"
+
+	"cafshmem/internal/caf"
+	"cafshmem/internal/dht"
+	"cafshmem/internal/fabric"
+	"cafshmem/internal/himeno"
+)
+
+// BenchmarkWallclockContigPut measures the steady-state contiguous put fast
+// path: one image repeatedly writes a full 8 KiB coarray to its neighbour
+// while the other image waits at the closing barrier. The target is zero
+// allocations per operation.
+func BenchmarkWallclockContigPut(b *testing.B) {
+	o := caf.UHCAFOverCraySHMEM(fabric.CrayXC30())
+	err := caf.Run(2, o, func(img *caf.Image) {
+		c := caf.Allocate[float64](img, 1024)
+		vals := make([]float64, 1024)
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		sec := caf.All(1024)
+		img.SyncAll()
+		if img.ThisImage() == 1 {
+			c.Put(2, sec, vals) // warm the target partition and any pools
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Put(2, sec, vals)
+			}
+			b.StopTimer()
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWallclockStridedPut measures a 2-D strided section put at 256 PEs
+// (paper §IV-C's 2dim_strided decomposition): 64 pencils of 64 stride-2
+// elements per operation, issued by one image while the other 255 wait.
+func BenchmarkWallclockStridedPut(b *testing.B) {
+	o := caf.UHCAFOverCraySHMEM(fabric.CrayXC30()) // Strided2Dim default
+	err := caf.Run(256, o, func(img *caf.Image) {
+		c := caf.Allocate[float64](img, 128, 64)
+		sec := caf.Section{{Lo: 0, Hi: 126, Step: 2}, {Lo: 0, Hi: 63, Step: 1}}
+		vals := make([]float64, sec.NumElems())
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		img.SyncAll()
+		if img.ThisImage() == 1 {
+			c.Put(2, sec, vals)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Put(2, sec, vals)
+			}
+			b.StopTimer()
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWallclockLockContention measures the MCS lock under genuine
+// concurrent contention — the watch/wakeup machinery with real waiters
+// registered. One op is a full 16-image world in which every image acquires
+// and releases image 1's lock ten times.
+func BenchmarkWallclockLockContention(b *testing.B) {
+	o := caf.UHCAFOverCraySHMEM(fabric.Titan())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		err := caf.Run(16, o, func(img *caf.Image) {
+			lck := caf.NewLock(img)
+			img.SyncAll()
+			for k := 0; k < 10; k++ {
+				lck.Acquire(1)
+				lck.Release(1)
+			}
+			img.SyncAll()
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWallclockDHT measures the distributed hash table workload (§V-C):
+// random-key updates with element puts, gets, and lock traffic mixed.
+func BenchmarkWallclockDHT(b *testing.B) {
+	o := caf.UHCAFOverCraySHMEM(fabric.Titan())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dht.Bench(o, 32, 128, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWallclockHimeno measures the Himeno stencil at 256 images on the
+// Stampede model with the naive strided algorithm (the Fig 10 configuration):
+// halo exchange decomposes into many small contiguous runs, the worst case
+// for per-run locking and timestamp bookkeeping. Iters is set high enough
+// that the solver loop (halo puts, ghost refresh, reduction) dominates the
+// one-off 256-image world construction.
+func BenchmarkWallclockHimeno(b *testing.B) {
+	o := caf.UHCAFOverMV2XSHMEM()
+	o.Strided = caf.StridedNaive
+	prm := himeno.Params{NX: 16, NY: 256, NZ: 8, Iters: 20}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := himeno.Run(o, 256, prm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,4 +15,10 @@ go run ./cmd/shmemvet ./...
 echo "==> go test -race -count=1 ./..."
 go test -race -count=1 ./...
 
+echo "==> wall-clock bench smoke (one iteration per benchmark)"
+go test -run '^$' -bench '^BenchmarkWallclock' -benchtime 1x .
+
+echo "==> benchreport alloc-regression gate"
+go run ./cmd/benchreport -check
+
 echo "check.sh: all gates passed"

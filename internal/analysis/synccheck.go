@@ -59,7 +59,7 @@ type syncWalker struct {
 // completion (or whose update bypasses the ordered put stream, for AMOs),
 // with the index of their Sym argument.
 var shmemWriteMethods = map[string]int{
-	"PutMem": 1, "IPutMem": 1,
+	"PutMem": 1, "IPutMem": 1, "PutMemV": 1,
 	"Swap": 1, "CompareSwap": 1, "FetchAdd": 1, "FetchInc": 1, "Add": 1,
 	"FetchAnd": 1, "FetchOr": 1, "FetchXor": 1, "AtomicSet": 1,
 }
@@ -69,7 +69,7 @@ var shmemWriteFuncs = map[string]int{"Put": 2, "P": 2, "IPut": 2}
 
 // shmem.PE methods that read symmetric data, with their Sym argument index.
 var shmemReadMethods = map[string]int{
-	"GetMem": 1, "IGetMem": 1, "AtomicFetch": 1, "Ptr": 0,
+	"GetMem": 1, "IGetMem": 1, "GetMemV": 1, "AtomicFetch": 1, "Ptr": 0,
 }
 
 var shmemReadFuncs = map[string]int{"Get": 2, "G": 2, "IGet": 2}

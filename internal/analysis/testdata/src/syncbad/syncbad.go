@@ -53,3 +53,11 @@ func stridedPutThenGather(pe *shmem.PE, data shmem.Sym) []int64 {
 	shmem.IGet(pe, 1, data, 0, 2, dst, 0, 1, 3) // want "read of data before completing"
 	return dst
 }
+
+func vectoredPutThenGather(pe *shmem.PE, data shmem.Sym) []byte {
+	src := make([]byte, 32)
+	pe.PutMemV(1, data, []int64{0, 64}, 16, src)
+	dst := make([]byte, 16)
+	pe.GetMemV(1, data, []int64{0}, 16, dst) // want "read of data before completing"
+	return dst
+}

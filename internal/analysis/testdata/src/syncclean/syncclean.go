@@ -65,3 +65,12 @@ func writeOnly(pe *shmem.PE, data shmem.Sym) {
 	pe.PutMem(1, data, 0, []byte{1})
 	pe.FetchAdd(1, data, 1, 1)
 }
+
+func vectoredPutQuietedThenGather(pe *shmem.PE, data shmem.Sym) []byte {
+	src := make([]byte, 32)
+	pe.PutMemV(1, data, []int64{0, 64}, 16, src)
+	pe.Quiet()
+	dst := make([]byte, 16)
+	pe.GetMemV(1, data, []int64{0}, 16, dst)
+	return dst
+}

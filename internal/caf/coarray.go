@@ -195,15 +195,32 @@ func (c *Coarray[T]) SetSlice(vals []T) {
 	if len(vals) != c.n {
 		panic(fmt.Sprintf("caf: SetSlice of %d values into %d-element coarray", len(vals), c.n))
 	}
-	c.img.tr.(localMem).pgasPE().StoreLocal(c.off, pgas.EncodeSlice[T](nil, vals))
+	bp := pgas.GetScratch()
+	data := pgas.EncodeSlice[T]((*bp)[:0], vals)
+	c.img.tr.(localMem).pgasPE().StoreLocal(c.off, data)
+	*bp = data
+	pgas.PutScratch(bp)
 }
 
 // Slice returns a copy of the whole local array (column-major order).
 func (c *Coarray[T]) Slice() []T {
-	b := c.img.tr.(localMem).pgasPE().LocalBytes(c.off, int64(c.n)*int64(c.es))
 	out := make([]T, c.n)
-	pgas.DecodeSlice(out, b)
+	c.SliceInto(out)
 	return out
+}
+
+// SliceInto copies the whole local array into dst (which must have exactly
+// the coarray's length), avoiding the per-call allocation of Slice. Hot
+// ghost-refresh loops use it so steady-state iterations allocate nothing.
+func (c *Coarray[T]) SliceInto(dst []T) {
+	if len(dst) != c.n {
+		panic(fmt.Sprintf("caf: SliceInto of %d-element coarray into %d-element slice", c.n, len(dst)))
+	}
+	bp := pgas.GetScratch()
+	raw := pgas.ScratchLen(bp, c.n*c.es)
+	c.img.tr.(localMem).pgasPE().ReadLocal(c.off, raw)
+	pgas.DecodeSlice(dst, raw)
+	pgas.PutScratch(bp)
 }
 
 // Fill sets every local element to v.

@@ -130,7 +130,9 @@ func newImage(tr Transport, opts Options) *Image {
 		img.hasKill, img.killAt = true, at
 	}
 	// Collective start-up allocations, identical on all images and therefore
-	// performed in the same order everywhere.
+	// performed in the same order everywhere. The mostly-idle non-symmetric
+	// staging buffer costs no host memory despite its size: partitions back
+	// pages on first write, so its unused interior never materialises.
 	nsBase := tr.Malloc(opts.NonSymBytes)
 	img.nonsym = newNSAlloc(nsBase, opts.NonSymBytes)
 	markRuntimeAlloc(tr, nsBase, opts.NonSymBytes)

@@ -136,42 +136,71 @@ func (c *Coarray[T]) baseDim(sec Section) int {
 	}
 }
 
+// secLowOff returns the absolute byte offset of the section's low corner.
+func (c *Coarray[T]) secLowOff(sec Section) int64 {
+	var lin int64
+	for d := range sec {
+		lin += int64(sec[d].Lo) * c.strides[d]
+	}
+	return c.off + lin*int64(c.es)
+}
+
 func (c *Coarray[T]) putSection(target int, sec Section, vals []T) {
 	tr := c.img.tr
 	es := int64(c.es)
 
 	// Fast path shared by all algorithms: a fully contiguous section is a
 	// single putmem regardless of strategy — or a direct store when the
-	// target shares the node and §VII's IntraNodeDirect is enabled.
+	// target shares the node and §VII's IntraNodeDirect is enabled. The
+	// encode buffer is pooled: transports copy payload bytes synchronously,
+	// so the steady state allocates nothing.
 	runDims, runElems := c.contigRun(sec)
 	if runDims == len(sec) {
-		lo := make([]int, len(sec))
-		for d := range sec {
-			lo[d] = sec[d].Lo
-		}
-		data := pgas.EncodeSlice[T](nil, vals)
-		if c.img.opts.IntraNodeDirect && tr.DirectWrite(target, c.byteOff(lo), data) {
+		off := c.secLowOff(sec)
+		bp := pgas.GetScratch()
+		data := pgas.EncodeSlice[T]((*bp)[:0], vals)
+		if c.img.opts.IntraNodeDirect && tr.DirectWrite(target, off, data) {
 			c.img.Stats.DirectOps++
-			return
+		} else {
+			tr.PutMem(target, off, data)
+			c.img.Stats.Puts++
 		}
-		tr.PutMem(target, c.byteOff(lo), data)
-		c.img.Stats.Puts++
+		*bp = data
+		pgas.PutScratch(bp)
 		return
 	}
 
 	switch c.img.opts.Strided {
 	case StridedNaive:
+		// §IV-C baseline: one putmem per maximal contiguous run — issued as
+		// a single vectored call so the whole section costs one target-lock
+		// acquisition instead of one per run. eachRun enumerates runs in
+		// dense value order, so the encoded vals are already the run payloads
+		// back to back.
+		bp := pgas.GetScratch()
+		data := pgas.EncodeSlice[T]((*bp)[:0], vals)
+		op := pgas.GetOffsScratch()
+		offs := (*op)[:0]
 		c.eachRun(sec, runDims, runElems, func(byteOff int64, valOff int) {
-			tr.PutMem(target, byteOff, pgas.EncodeSlice[T](nil, vals[valOff:valOff+runElems]))
-			c.img.Stats.Puts++
+			offs = append(offs, byteOff)
 		})
+		tr.PutMemV(target, offs, runElems*int(es), data)
+		c.img.Stats.Puts += int64(len(offs))
+		*op = offs
+		pgas.PutOffsScratch(op)
+		*bp = data
+		pgas.PutScratch(bp)
 	default: // 1dim, 2dim, vendor: 1-D strided library calls along base dim
 		base := c.baseDim(sec)
+		strideBytes := int64(sec[base].Step) * c.strides[base] * es
+		bp := pgas.GetScratch()
 		c.eachPencil(sec, base, func(byteOff int64, gather []T) {
-			strideBytes := int64(sec[base].Step) * c.strides[base] * es
-			tr.PutStrided1D(target, byteOff, strideBytes, c.es, pgas.EncodeSlice[T](nil, gather))
+			data := pgas.EncodeSlice[T]((*bp)[:0], gather)
+			*bp = data
+			tr.PutStrided1D(target, byteOff, strideBytes, c.es, data)
 			c.img.Stats.StridedCalls++
 		}, vals, nil)
+		pgas.PutScratch(bp)
 	}
 }
 
@@ -181,39 +210,49 @@ func (c *Coarray[T]) getSection(target int, sec Section, out []T) {
 
 	runDims, runElems := c.contigRun(sec)
 	if runDims == len(sec) {
-		lo := make([]int, len(sec))
-		for d := range sec {
-			lo[d] = sec[d].Lo
-		}
-		raw := make([]byte, int64(len(out))*es)
-		if c.img.opts.IntraNodeDirect && tr.DirectRead(target, c.byteOff(lo), raw) {
+		off := c.secLowOff(sec)
+		bp := pgas.GetScratch()
+		raw := pgas.ScratchLen(bp, len(out)*int(es))
+		if c.img.opts.IntraNodeDirect && tr.DirectRead(target, off, raw) {
 			pgas.DecodeSlice(out, raw)
 			c.img.Stats.DirectOps++
-			return
+		} else {
+			tr.GetMem(target, off, raw)
+			pgas.DecodeSlice(out, raw)
+			c.img.Stats.Gets++
 		}
-		tr.GetMem(target, c.byteOff(lo), raw)
-		pgas.DecodeSlice(out, raw)
-		c.img.Stats.Gets++
+		pgas.PutScratch(bp)
 		return
 	}
 
 	switch c.img.opts.Strided {
 	case StridedNaive:
-		raw := make([]byte, int64(runElems)*es)
+		// One getmem per contiguous run, gathered with a single vectored
+		// call; runs arrive densely in section order, matching out.
+		op := pgas.GetOffsScratch()
+		offs := (*op)[:0]
 		c.eachRun(sec, runDims, runElems, func(byteOff int64, valOff int) {
-			tr.GetMem(target, byteOff, raw)
-			pgas.DecodeSlice(out[valOff:valOff+runElems], raw)
-			c.img.Stats.Gets++
+			offs = append(offs, byteOff)
 		})
+		bp := pgas.GetScratch()
+		raw := pgas.ScratchLen(bp, len(offs)*runElems*int(es))
+		tr.GetMemV(target, offs, runElems*int(es), raw)
+		pgas.DecodeSlice(out, raw)
+		c.img.Stats.Gets += int64(len(offs))
+		*op = offs
+		pgas.PutOffsScratch(op)
+		pgas.PutScratch(bp)
 	default:
 		base := c.baseDim(sec)
+		strideBytes := int64(sec[base].Step) * c.strides[base] * es
+		bp := pgas.GetScratch()
 		c.eachPencil(sec, base, func(byteOff int64, scatter []T) {
-			strideBytes := int64(sec[base].Step) * c.strides[base] * es
-			raw := make([]byte, int64(len(scatter))*es)
+			raw := pgas.ScratchLen(bp, len(scatter)*int(es))
 			tr.GetStrided1D(target, byteOff, strideBytes, c.es, raw)
 			pgas.DecodeSlice(scatter, raw)
 			c.img.Stats.StridedCalls++
 		}, nil, out)
+		pgas.PutScratch(bp)
 	}
 }
 

@@ -129,6 +129,14 @@ func (t *tracingTransport) GetMem(target int, off int64, dst []byte) {
 	t.span("get", target, len(dst), func() { t.inner.GetMem(target, off, dst) })
 }
 
+func (t *tracingTransport) PutMemV(target int, offs []int64, runBytes int, src []byte) {
+	t.span("putv", target, len(src), func() { t.inner.PutMemV(target, offs, runBytes, src) })
+}
+
+func (t *tracingTransport) GetMemV(target int, offs []int64, runBytes int, dst []byte) {
+	t.span("getv", target, len(dst), func() { t.inner.GetMemV(target, offs, runBytes, dst) })
+}
+
 func (t *tracingTransport) PutStrided1D(target int, off, strideBytes int64, elemSize int, src []byte) {
 	t.span("iput", target, len(src), func() { t.inner.PutStrided1D(target, off, strideBytes, elemSize, src) })
 }

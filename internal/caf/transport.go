@@ -32,6 +32,14 @@ type Transport interface {
 	PutMem(target int, off int64, data []byte)
 	GetMem(target int, off int64, dst []byte)
 
+	// PutMemV / GetMemV are the vectored multi-run forms of PutMem/GetMem:
+	// len(offs) runs of runBytes bytes each, held densely in src/dst, with
+	// run i at byte offset offs[i]. Modelled cost is identical to len(offs)
+	// individual calls; transports that can batch host-side execution (one
+	// target-lock acquisition on OpenSHMEM) do so, others loop.
+	PutMemV(target int, offs []int64, runBytes int, src []byte)
+	GetMemV(target int, offs []int64, runBytes int, dst []byte)
+
 	// PutStrided1D scatters len(src)/elemSize dense source elements to the
 	// target at strideBytes spacing (shmem_iput); GetStrided1D gathers. Their
 	// cost depends on the library's strided implementation quality.
@@ -122,6 +130,14 @@ func (t *shmemTransport) PutMem(target int, off int64, data []byte) {
 
 func (t *shmemTransport) GetMem(target int, off int64, dst []byte) {
 	t.pe.GetMem(target, t.all, off, dst)
+}
+
+func (t *shmemTransport) PutMemV(target int, offs []int64, runBytes int, src []byte) {
+	t.pe.PutMemV(target, t.all, offs, runBytes, src)
+}
+
+func (t *shmemTransport) GetMemV(target int, offs []int64, runBytes int, dst []byte) {
+	t.pe.GetMemV(target, t.all, offs, runBytes, dst)
 }
 
 func (t *shmemTransport) PutStrided1D(target int, off, strideBytes int64, elemSize int, src []byte) {
@@ -344,6 +360,21 @@ func (t *gasnetTransport) PutMem(target int, off int64, data []byte) {
 
 func (t *gasnetTransport) GetMem(target int, off int64, dst []byte) {
 	t.ep.Get(target, t.all, off, dst)
+}
+
+// PutMemV / GetMemV: GASNet has no vectored putmem either; the runtime loops
+// contiguous transfers, preserving the original UHCAF-GASNet behaviour (and
+// its virtual-time results) run for run.
+func (t *gasnetTransport) PutMemV(target int, offs []int64, runBytes int, src []byte) {
+	for i, off := range offs {
+		t.ep.Put(target, t.all, off, src[i*runBytes:(i+1)*runBytes])
+	}
+}
+
+func (t *gasnetTransport) GetMemV(target int, offs []int64, runBytes int, dst []byte) {
+	for i, off := range offs {
+		t.ep.Get(target, t.all, off, dst[i*runBytes:(i+1)*runBytes])
+	}
 }
 
 // PutStrided1D: GASNet has no strided API, so the runtime loops contiguous

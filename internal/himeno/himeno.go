@@ -211,9 +211,9 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 				done = it
 				break
 			}
-			// Refresh ghosts into the working copy.
-			refresh := p.Slice()
-			copy(cur, refresh)
+			// Refresh ghosts into the working copy (in place — the refresh is
+			// per-iteration on every image, so it must not allocate).
+			p.SliceInto(cur)
 
 			// Residual reduction, as the reference code does every iteration.
 			// Safe even while a fault is pending: the barrier just above

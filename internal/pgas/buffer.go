@@ -1,0 +1,57 @@
+package pgas
+
+import "sync"
+
+// Marshalling scratch pools for the put/get fast paths: steady-state
+// transfers borrow encode buffers, run-offset lists, and visibility-time
+// lists here instead of allocating per call. Pools hold pointers to slices so
+// returning a buffer never re-boxes the slice header. Borrowed buffers are
+// safe to recycle as soon as the transfer call returns, because every
+// transport copies payload bytes synchronously (pgas writes copy under the
+// partition lock before returning).
+
+var (
+	bytePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+	offsPool = sync.Pool{New: func() any { s := make([]int64, 0, 64); return &s }}
+	tsPool   = sync.Pool{New: func() any { s := make([]float64, 0, 64); return &s }}
+)
+
+// GetScratch borrows a byte buffer. The caller appends into (*bp)[:0] (or
+// sizes it with ScratchLen), stores the final slice back through the pointer,
+// and returns it with PutScratch.
+func GetScratch() *[]byte { return bytePool.Get().(*[]byte) }
+
+// PutScratch returns a borrowed byte buffer to the pool.
+func PutScratch(bp *[]byte) {
+	*bp = (*bp)[:0]
+	bytePool.Put(bp)
+}
+
+// ScratchLen resizes a borrowed byte buffer to exactly n bytes, reallocating
+// only when the capacity is insufficient. Contents are unspecified — for
+// destinations that are fully overwritten.
+func ScratchLen(bp *[]byte, n int) []byte {
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return *bp
+}
+
+// GetOffsScratch borrows an offset list (for run-list transfers).
+func GetOffsScratch() *[]int64 { return offsPool.Get().(*[]int64) }
+
+// PutOffsScratch returns a borrowed offset list to the pool.
+func PutOffsScratch(sp *[]int64) {
+	*sp = (*sp)[:0]
+	offsPool.Put(sp)
+}
+
+// GetTsScratch borrows a visibility-time list (for run-list transfers).
+func GetTsScratch() *[]float64 { return tsPool.Get().(*[]float64) }
+
+// PutTsScratch returns a borrowed visibility-time list to the pool.
+func PutTsScratch(sp *[]float64) {
+	*sp = (*sp)[:0]
+	tsPool.Put(sp)
+}

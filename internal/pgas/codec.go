@@ -28,30 +28,42 @@ func SizeOf[T Elem]() int {
 }
 
 // EncodeSlice appends the little-endian encoding of src to dst and returns
-// the extended buffer.
+// the extended buffer. The buffer is grown to its final size in one step, so
+// encoding a large slice into a nil (or too-small) dst costs a single
+// allocation rather than a geometric append chain.
 func EncodeSlice[T Elem](dst []byte, src []T) []byte {
-	switch s := any(src).(type) {
-	case []byte:
+	if s, ok := any(src).([]byte); ok {
 		return append(dst, s...)
+	}
+	n := len(dst)
+	need := len(src) * SizeOf[T]()
+	if cap(dst)-n < need {
+		grown := make([]byte, n, n+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:n+need]
+	out := dst[n:]
+	switch s := any(src).(type) {
 	case []int32:
-		for _, v := range s {
-			dst = binary.LittleEndian.AppendUint32(dst, uint32(v))
+		for i, v := range s {
+			binary.LittleEndian.PutUint32(out[4*i:], uint32(v))
 		}
 	case []int64:
-		for _, v := range s {
-			dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+		for i, v := range s {
+			binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
 		}
 	case []uint64:
-		for _, v := range s {
-			dst = binary.LittleEndian.AppendUint64(dst, v)
+		for i, v := range s {
+			binary.LittleEndian.PutUint64(out[8*i:], v)
 		}
 	case []float32:
-		for _, v := range s {
-			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+		for i, v := range s {
+			binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
 		}
 	case []float64:
-		for _, v := range s {
-			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		for i, v := range s {
+			binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
 		}
 	default:
 		panic(fmt.Sprintf("pgas: unsupported element type %T", src))

@@ -81,7 +81,14 @@ func (w *World) depart(p *PE, to peState) {
 	w.departEpoch.Add(1)
 	w.bumpEvent()
 	w.barrier.depart()
+	// Wake only partitions with a registered waiter: the state change above
+	// is sequenced before the waiters load, and a waiter registers before
+	// re-checking fault state, so either we see its registration here or it
+	// sees the departure there (seq-cst Dekker; see PE.waiters).
 	for _, q := range w.pes {
+		if q.waiters.Load() == 0 {
+			continue
+		}
 		q.mu.Lock()
 		q.cond.Broadcast()
 		q.mu.Unlock()
@@ -227,12 +234,16 @@ func (w *World) RepairWrite(target int, off int64, data []byte, visibleAt float6
 	p := w.pes[target]
 	p.mu.Lock()
 	p.ensureLen(off + int64(len(data)))
-	copy(p.seg[off:], data)
+	p.seg.writeAt(off, data)
 	p.noteWrite(off, int64(len(data)), visibleAt)
 	p.mu.Unlock()
 	w.bumpEvent()
+	// Same waiter-gated fan-out as depart: the repair write completes (and
+	// releases p.mu) before the waiters load, so a waiter that registers too
+	// late to be woken here observes the repaired state in its own entry
+	// checks instead.
 	for _, q := range w.pes {
-		if q == p {
+		if q == p || q.waiters.Load() == 0 {
 			continue
 		}
 		q.mu.Lock()
@@ -250,9 +261,11 @@ func (w *World) ReadUint64Ts(target int, off int64) (uint64, float64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ensureLen(off + 8)
+	var b [8]byte
+	p.seg.readAt(off, b[:])
 	var v uint64
 	for i := 0; i < 8; i++ {
-		v |= uint64(p.seg[off+int64(i)]) << (8 * i)
+		v |= uint64(b[i]) << (8 * i)
 	}
 	return v, p.rangeTs(off, 8)
 }
@@ -290,16 +303,17 @@ var ErrWaitRecheck = fmt.Errorf("pgas: wait interrupted for fault recheck")
 // control back to the caller for recovery work that needs communication.
 func (p *PE) WaitUntilStat(off, n int64, pred func([]byte) bool, onEvent func() error) (float64, error) {
 	wt := &watch{off: off, n: n}
+	scratch := make([]byte, n)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ensureLen(off + n)
-	p.watches[wt] = struct{}{}
-	defer delete(p.watches, wt)
+	p.addWatch(wt)
+	defer p.removeWatch(wt)
 	for {
 		if err := p.world.failedErr(); err != nil {
 			return 0, err
 		}
-		if pred(p.seg[off : off+n]) {
+		if pred(p.seg.view(off, n, scratch)) {
 			ts := p.rangeTs(off, n)
 			if wt.ts > ts {
 				ts = wt.ts

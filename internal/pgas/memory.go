@@ -5,35 +5,12 @@ import (
 	"fmt"
 )
 
-// ensureLen grows the partition to cover length bytes. Must be called with
-// p.mu held. Partitions grow lazily so that worlds with thousands of PEs do
-// not reserve memory they never touch.
+// ensureLen extends the partition's logical extent to cover length bytes.
+// Must be called with p.mu held. No memory is materialised — the paged
+// backing store (segstore.go) allocates pages on first write, so worlds with
+// thousands of PEs do not reserve memory they never store to.
 func (p *PE) ensureLen(length int64) {
-	if length > MaxSegmentBytes {
-		panic(fmt.Sprintf("pgas: PE %d segment would exceed %d bytes (asked %d)", p.ID, MaxSegmentBytes, length))
-	}
-	if int64(len(p.seg)) >= length {
-		return
-	}
-	old := len(p.seg)
-	if int64(cap(p.seg)) >= length {
-		// Extend within capacity; explicitly clear the exposed region so the
-		// partition always reads as zero-initialised memory.
-		p.seg = p.seg[:length]
-		clear(p.seg[old:])
-		return
-	}
-	// Grow geometrically to amortise, starting at 4 KiB.
-	newCap := int64(cap(p.seg))
-	if newCap < 4096 {
-		newCap = 4096
-	}
-	for newCap < length {
-		newCap *= 2
-	}
-	ns := make([]byte, length, newCap)
-	copy(ns, p.seg)
-	p.seg = ns
+	p.seg.ensure(p.ID, length)
 }
 
 // Write copies data into the target PE's partition at off, one-sided: the
@@ -50,20 +27,47 @@ func (w *World) Write(target int, off int64, data []byte, visibleAt float64) {
 	p := w.pes[target]
 	p.mu.Lock()
 	p.ensureLen(off + int64(len(data)))
-	copy(p.seg[off:], data)
+	p.seg.writeAt(off, data)
 	p.noteWrite(off, int64(len(data)), visibleAt)
 	p.mu.Unlock()
 }
 
-// Read copies len(dst) bytes out of the target PE's partition at off.
+// Touch performs the write-visibility bookkeeping of a one-byte store of
+// zero at (target, off) without materialising partition memory that has
+// never been written. Symmetric-heap allocators use it to "back" a freshly
+// allocated region: the timestamp index, watch scan, and waiter wakeups
+// behave exactly as for Write([]byte{0}), but a partition that has not
+// grown to cover off stays small — unwritten memory already reads as zero.
+// If the byte is materialised the store happens for real, because a re-used
+// heap region may hold stale nonzero data.
+func (w *World) Touch(target int, off int64, visibleAt float64) {
+	if off < 0 || off >= MaxSegmentBytes {
+		panic(fmt.Sprintf("pgas: touch at offset %d out of range", off))
+	}
+	if w.stateOf(target) == stateFailed {
+		return // as for Write: a failed PE's partition is frozen
+	}
+	p := w.pes[target]
+	p.mu.Lock()
+	p.seg.zeroByte(off)
+	p.noteWrite(off, 1, visibleAt)
+	p.mu.Unlock()
+}
+
+// Read copies len(dst) bytes out of the target PE's partition at off. Bytes
+// beyond the partition's current extent read as zero *without growing it*:
+// partitions only grow on writes, so read-mostly workloads at high PE counts
+// do not inflate memory for ranges that were never touched.
 func (w *World) Read(target int, off int64, dst []byte) {
 	if len(dst) == 0 {
 		return
 	}
+	if off < 0 || off+int64(len(dst)) > MaxSegmentBytes {
+		panic(fmt.Sprintf("pgas: read of %d bytes at offset %d out of range", len(dst), off))
+	}
 	p := w.pes[target]
 	p.mu.Lock()
-	p.ensureLen(off + int64(len(dst)))
-	copy(dst, p.seg[off:off+int64(len(dst))])
+	p.seg.readAt(off, dst)
 	p.mu.Unlock()
 }
 
@@ -99,7 +103,9 @@ func (w *World) RMW64(target int, off int64, op AtomicOp, operand uint64, visibl
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ensureLen(off + 8)
-	old := binary.LittleEndian.Uint64(p.seg[off:])
+	var b [8]byte
+	p.seg.readAt(off, b[:])
+	old := binary.LittleEndian.Uint64(b[:])
 	if w.stateOf(target) == stateFailed {
 		return old // frozen partition: observe, never mutate
 	}
@@ -118,7 +124,8 @@ func (w *World) RMW64(target int, off int64, op AtomicOp, operand uint64, visibl
 	default:
 		panic(fmt.Sprintf("pgas: unknown atomic op %d", op))
 	}
-	binary.LittleEndian.PutUint64(p.seg[off:], nw)
+	binary.LittleEndian.PutUint64(b[:], nw)
+	p.seg.writeAt(off, b[:])
 	p.noteWrite(off, 8, visibleAt)
 	return old
 }
@@ -131,9 +138,12 @@ func (w *World) CompareSwap64(target int, off int64, expected, desired uint64, v
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ensureLen(off + 8)
-	old := binary.LittleEndian.Uint64(p.seg[off:])
+	var b [8]byte
+	p.seg.readAt(off, b[:])
+	old := binary.LittleEndian.Uint64(b[:])
 	if old == expected && w.stateOf(target) != stateFailed {
-		binary.LittleEndian.PutUint64(p.seg[off:], desired)
+		binary.LittleEndian.PutUint64(b[:], desired)
+		p.seg.writeAt(off, b[:])
 		p.noteWrite(off, 8, visibleAt)
 	}
 	return old
@@ -143,21 +153,29 @@ func (w *World) CompareSwap64(target int, off int64, expected, desired uint64, v
 // control-word traffic is always small; bulk payloads are never waited on.
 const tsTrackMaxBytes = 1024
 
-// noteWrite records a write's visibility time on overlapping watches and on
-// the per-word timestamp index, then wakes waiters. Must be called with p.mu
-// held.
+// noteWrite records a write's visibility time on the per-word timestamp
+// index and, when a waiter is registered, on overlapping watches — then wakes
+// the waiters. Must be called with p.mu held.
+//
+// Watch-awareness: the scan, the event-epoch bump, and the broadcast are all
+// skipped when no watch is registered. That is sound because the only
+// sleepers on p.cond are WaitUntil/WaitUntilStat, which always hold a
+// registered watch, and a waiter that registers later re-evaluates its
+// predicate against the already-written bytes before blocking — no wakeup
+// can be lost. Timestamp *recording* stays unconditional (see tsIndex): it
+// is what keeps wait timestamps independent of whether the write raced
+// ahead of the watch registration.
 func (p *PE) noteWrite(off, n int64, visibleAt float64) {
+	if n <= tsTrackMaxBytes {
+		p.ts.recordRange(off, n, visibleAt)
+	}
+	if len(p.watches) == 0 {
+		return
+	}
 	for wt := range p.watches {
 		if off < wt.off+wt.n && wt.off < off+n {
 			if visibleAt > wt.ts {
 				wt.ts = visibleAt
-			}
-		}
-	}
-	if n <= tsTrackMaxBytes {
-		for w := off &^ 7; w < off+n; w += 8 {
-			if visibleAt > p.wordTs[w] {
-				p.wordTs[w] = visibleAt
 			}
 		}
 	}
@@ -167,15 +185,7 @@ func (p *PE) noteWrite(off, n int64, visibleAt float64) {
 
 // rangeTs returns the latest recorded visibility timestamp overlapping
 // [off, off+n). Must be called with p.mu held.
-func (p *PE) rangeTs(off, n int64) float64 {
-	ts := 0.0
-	for w := off &^ 7; w < off+n; w += 8 {
-		if t := p.wordTs[w]; t > ts {
-			ts = t
-		}
-	}
-	return ts
-}
+func (p *PE) rangeTs(off, n int64) float64 { return p.ts.maxRange(off, n) }
 
 // WaitUntil blocks the calling PE until pred holds over the n bytes at off of
 // its *own* partition, then returns the virtual time at which the last write
@@ -189,14 +199,15 @@ func (p *PE) rangeTs(off, n int64) float64 {
 // field").
 func (p *PE) WaitUntil(off, n int64, pred func([]byte) bool) float64 {
 	wt := &watch{off: off, n: n}
+	scratch := make([]byte, n)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ensureLen(off + n)
-	p.watches[wt] = struct{}{}
-	defer delete(p.watches, wt)
+	p.addWatch(wt)
+	defer p.removeWatch(wt)
 	for {
 		p.world.checkFailed()
-		if pred(p.seg[off : off+n]) {
+		if pred(p.seg.view(off, n, scratch)) {
 			ts := p.rangeTs(off, n)
 			if wt.ts > ts {
 				ts = wt.ts
@@ -216,9 +227,15 @@ func (p *PE) WaitUntil64(off int64, cmp func(uint64) bool) float64 {
 	})
 }
 
+// ReadLocal copies n bytes at off of the PE's own partition into dst — the
+// allocation-free form of LocalBytes for callers that bring their own buffer.
+func (p *PE) ReadLocal(off int64, dst []byte) {
+	p.world.Read(p.ID, off, dst)
+}
+
 // LocalBytes returns a snapshot copy of n bytes at off of the PE's own
-// partition. A copy (not an alias) is returned because partitions may be
-// reallocated on growth and written concurrently by remote PEs.
+// partition. A copy (not an alias) is returned because partition pages may be
+// written concurrently by remote PEs.
 func (p *PE) LocalBytes(off, n int64) []byte {
 	dst := make([]byte, n)
 	p.world.Read(p.ID, off, dst)

@@ -1,0 +1,98 @@
+package pgas
+
+// tsIndex is the per-partition visibility-timestamp index: the latest virtual
+// time at which each 8-byte-aligned word became visible. It replaces the
+// original map[int64]float64 with a paged sparse array — flag and control
+// words cluster at low offsets (the symmetric heap allocates bottom-up), so a
+// page table of small dense pages gives O(1) lookup with two array indexes
+// and no hashing on the write hot path, while partitions that are never
+// waited on cost only the (lazily grown) page-pointer slice.
+//
+// Recording is unconditional for small writes even when no waiter is
+// registered: WaitUntil recovers a write's causal timestamp through this
+// index precisely when the write raced ahead of the watch registration, so
+// gating recording on waiter presence would make virtual-time results depend
+// on host scheduling. See DESIGN.md "Host-performance model".
+
+const (
+	tsPageShift = 9                // 512 words per page = one 4 KiB span of partition
+	tsPageWords = 1 << tsPageShift //
+	tsPageMask  = tsPageWords - 1
+)
+
+type tsIndex struct {
+	pages [][]float64
+}
+
+// page returns the page covering word index w, allocating it (and growing the
+// page table geometrically) on first touch.
+func (t *tsIndex) page(w int64) []float64 {
+	pg := int(w >> tsPageShift)
+	if pg >= len(t.pages) {
+		n := len(t.pages) * 2
+		if n < pg+1 {
+			n = pg + 1
+		}
+		if n < 4 {
+			n = 4
+		}
+		np := make([][]float64, n)
+		copy(np, t.pages)
+		t.pages = np
+	}
+	p := t.pages[pg]
+	if p == nil {
+		p = make([]float64, tsPageWords)
+		t.pages[pg] = p
+	}
+	return p
+}
+
+// recordRange raises the recorded timestamp to ts for every word overlapping
+// the byte range [off, off+n).
+func (t *tsIndex) recordRange(off, n int64, ts float64) {
+	w := off >> 3
+	last := (off + n - 1) >> 3
+	for w <= last {
+		p := t.page(w)
+		i := int(w & tsPageMask)
+		end := int64(tsPageWords - i)
+		if rem := last - w + 1; rem < end {
+			end = rem
+		}
+		for k := 0; int64(k) < end; k++ {
+			if ts > p[i+k] {
+				p[i+k] = ts
+			}
+		}
+		w += end
+	}
+}
+
+// maxRange returns the latest recorded timestamp over the byte range
+// [off, off+n), or 0 when no overlapping word was ever recorded.
+func (t *tsIndex) maxRange(off, n int64) float64 {
+	ts := 0.0
+	w := off >> 3
+	last := (off + n - 1) >> 3
+	for w <= last {
+		pg := int(w >> tsPageShift)
+		if pg >= len(t.pages) {
+			break // beyond every recorded word
+		}
+		i := int(w & tsPageMask)
+		end := int64(tsPageWords - i)
+		if rem := last - w + 1; rem < end {
+			end = rem
+		}
+		if p := t.pages[pg]; p != nil {
+			for k := 0; int64(k) < end; k++ {
+				if p[i+k] > ts {
+					ts = p[i+k]
+				}
+			}
+		}
+		w += end
+	}
+	return ts
+}

@@ -1,0 +1,207 @@
+package pgas
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"cafshmem/internal/fabric"
+)
+
+// The vectored entry points (WriteV/ReadV/WriteRuns/ReadRuns) must move bytes
+// and record timestamps exactly as the equivalent sequence of element-wise
+// Write/Read calls — that equivalence is what makes routing the strided
+// algorithms through them safe for virtual-time bit-identity. These property
+// tests drive a vectored world and an element-wise world with the same
+// randomised transfers (including overlapping placements and out-of-extent
+// reads) and require identical observable state.
+
+func twoWorlds(t *testing.T) (*World, *World) {
+	t.Helper()
+	wv, err := NewWorld(fabric.Stampede(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	we, err := NewWorld(fabric.Stampede(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wv, we
+}
+
+func comparePartitions(t *testing.T, wv, we *World, target int, extent int64) {
+	t.Helper()
+	bv := make([]byte, extent)
+	be := make([]byte, extent)
+	wv.Read(target, 0, bv)
+	we.Read(target, 0, be)
+	if !bytes.Equal(bv, be) {
+		t.Fatalf("vectored and element-wise partitions differ over [0,%d)", extent)
+	}
+	// Timestamps must agree word by word, not just content.
+	for off := int64(0); off+8 <= extent; off += 8 {
+		tv := wv.pes[target].rangeTs(off, 8)
+		te := we.pes[target].rangeTs(off, 8)
+		if tv != te {
+			t.Fatalf("word %d: vectored ts %v != element-wise ts %v", off, tv, te)
+		}
+	}
+}
+
+func TestWriteVMatchesElementwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		wv, we := twoWorlds(t)
+		const extent = 8192
+		for xfer := 0; xfer < 4; xfer++ {
+			es := 1 + rng.Intn(64)
+			nelems := rng.Intn(16)
+			stride := int64(rng.Intn(3 * es)) // includes overlap (stride < es) and zero
+			off := int64(rng.Intn(1024))
+			src := make([]byte, nelems*es)
+			rng.Read(src)
+			vis := float64(rng.Intn(1000))
+			wv.WriteV(1, off, stride, es, src, vis)
+			for k := 0; k < nelems; k++ {
+				we.Write(1, off+int64(k)*stride, src[k*es:(k+1)*es], vis)
+			}
+		}
+		comparePartitions(t, wv, we, 1, extent)
+	}
+}
+
+func TestWriteRunsMatchesElementwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 200; iter++ {
+		wv, we := twoWorlds(t)
+		const extent = 8192
+		runBytes := 1 + rng.Intn(96)
+		nruns := rng.Intn(12)
+		base := int64(rng.Intn(256))
+		offs := make([]int64, nruns)
+		visAt := make([]float64, nruns)
+		for i := range offs {
+			// Overlapping runs are deliberate: later runs must win, exactly
+			// as sequential Writes would resolve them.
+			offs[i] = int64(rng.Intn(2048))
+			visAt[i] = float64(rng.Intn(1000))
+		}
+		src := make([]byte, nruns*runBytes)
+		rng.Read(src)
+		wv.WriteRuns(1, base, offs, runBytes, src, visAt)
+		for i, o := range offs {
+			we.Write(1, base+o, src[i*runBytes:(i+1)*runBytes], visAt[i])
+		}
+		comparePartitions(t, wv, we, 1, extent)
+	}
+}
+
+func TestReadVMatchesElementwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		wv, we := twoWorlds(t)
+		seed := make([]byte, 2048)
+		rng.Read(seed)
+		wv.Write(1, 0, seed, 1)
+		we.Write(1, 0, seed, 1)
+		es := 1 + rng.Intn(64)
+		nelems := rng.Intn(16)
+		stride := int64(rng.Intn(4 * es))
+		// Offsets may run past the written extent: both paths must read zeros
+		// there without growing the partition.
+		off := int64(rng.Intn(4096))
+		dv := make([]byte, nelems*es)
+		de := make([]byte, nelems*es)
+		wv.ReadV(1, off, stride, es, dv)
+		for k := 0; k < nelems; k++ {
+			we.Read(1, off+int64(k)*stride, de[k*es:(k+1)*es])
+		}
+		if !bytes.Equal(dv, de) {
+			t.Fatalf("iter %d: ReadV gathered different bytes than element-wise reads", iter)
+		}
+	}
+}
+
+func TestReadRunsMatchesElementwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 200; iter++ {
+		wv, we := twoWorlds(t)
+		seed := make([]byte, 2048)
+		rng.Read(seed)
+		wv.Write(1, 16, seed, 1)
+		we.Write(1, 16, seed, 1)
+		runBytes := 1 + rng.Intn(96)
+		nruns := rng.Intn(12)
+		base := int64(rng.Intn(64))
+		offs := make([]int64, nruns)
+		for i := range offs {
+			offs[i] = int64(rng.Intn(4096))
+		}
+		dv := make([]byte, nruns*runBytes)
+		de := make([]byte, nruns*runBytes)
+		wv.ReadRuns(1, base, offs, runBytes, dv)
+		for i, o := range offs {
+			we.Read(1, base+o, de[i*runBytes:(i+1)*runBytes])
+		}
+		if !bytes.Equal(dv, de) {
+			t.Fatalf("iter %d: ReadRuns gathered different bytes than element-wise reads", iter)
+		}
+	}
+}
+
+// Writes to a failed PE's partition are dropped by Write; the vectored entry
+// points must drop them identically.
+func TestVectoredWritesToFailedPEAreDropped(t *testing.T) {
+	wv, we := twoWorlds(t)
+	before := []byte{9, 9, 9, 9}
+	wv.Write(1, 0, before, 1)
+	we.Write(1, 0, before, 1)
+	wv.depart(wv.pes[1], stateFailed)
+	we.depart(we.pes[1], stateFailed)
+	wv.WriteV(1, 0, 1, 1, []byte{1, 2, 3, 4}, 5)
+	wv.WriteRuns(1, 0, []int64{0, 2}, 2, []byte{5, 6, 7, 8}, []float64{5, 5})
+	we.Write(1, 0, []byte{1, 2, 3, 4}, 5)
+	got := make([]byte, 4)
+	wv.Read(1, 0, got)
+	if !bytes.Equal(got, before) {
+		t.Fatalf("vectored write landed in frozen partition: %v", got)
+	}
+	we.Read(1, 0, got)
+	if !bytes.Equal(got, before) {
+		t.Fatalf("element-wise write landed in frozen partition: %v", got)
+	}
+}
+
+// The watch-aware wakeup optimisation skips the broadcast (and event-epoch
+// bump) when no watch is registered. A WaitUntil that races writer traffic
+// must still never lose its wakeup: the waiter registers its watch before
+// re-evaluating the predicate, so a write either sees the watch (and
+// broadcasts) or happened before registration (and the predicate sees its
+// bytes). Run with -race; a lost wakeup poisons the world via the hang
+// watchdog and fails the test.
+func TestWatchAwareWakeupNeverLost(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 50; round++ {
+		delayW := time.Duration(rng.Intn(200)) * time.Microsecond
+		err := Run(fabric.Stampede(), 2, func(p *PE) {
+			if p.ID == 0 {
+				// Unwatched traffic first: these writes must not wake or
+				// deadlock anything.
+				for i := 0; i < 8; i++ {
+					p.world.Write(1, 128+int64(i)*8, []byte{1, 2, 3, 4, 5, 6, 7, 8}, float64(i))
+				}
+				time.Sleep(delayW)
+				p.world.WriteUint64(1, 0, 1, 42)
+			} else {
+				ts := p.WaitUntil64(0, func(v uint64) bool { return v == 1 })
+				if ts != 42 {
+					panic("waiter adopted wrong timestamp")
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("round %d (writer delay %v): %v", round, delayW, err)
+		}
+	}
+}

@@ -62,14 +62,34 @@ type PE struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	seg     []byte
+	seg     segStore
 	watches map[*watch]struct{}
-	// wordTs records the latest visibility timestamp per 8-byte-aligned word
-	// for small writes (flags, counters, lock words), so a WaitUntil that
+	// ts records the latest visibility timestamp per 8-byte-aligned word for
+	// small writes (flags, counters, lock words), so a WaitUntil that
 	// registers after the satisfying write still recovers its causal
 	// timestamp. Large payload writes are not tracked (nothing waits on
 	// them), keeping the bookkeeping O(1) per flag-sized write.
-	wordTs map[int64]float64
+	ts tsIndex
+	// waiters mirrors len(watches) with an atomic so cross-PE wake fan-outs
+	// (departure, repair writes) can skip partitions nobody sleeps on without
+	// taking their locks. Updated only under mu; read lock-free. The seq-cst
+	// ordering of Go atomics makes the Dekker pattern sound: a departer
+	// stores its state change before loading waiters, a waiter increments
+	// waiters before (re-)checking state, so one of them always sees the
+	// other.
+	waiters atomic.Int32
+}
+
+// addWatch registers a watch (and its waiter count). Must hold p.mu.
+func (p *PE) addWatch(wt *watch) {
+	p.watches[wt] = struct{}{}
+	p.waiters.Add(1)
+}
+
+// removeWatch deregisters a watch. Must hold p.mu.
+func (p *PE) removeWatch(wt *watch) {
+	delete(p.watches, wt)
+	p.waiters.Add(-1)
 }
 
 // watch observes a byte range of a PE's partition. Writers that overlap the
@@ -99,7 +119,7 @@ func NewWorld(machine *fabric.Machine, n int) (*World, error) {
 	w.barrier.w = w
 	w.aliveN.Store(int32(n))
 	for i := range w.pes {
-		p := &PE{ID: i, world: w, watches: map[*watch]struct{}{}, wordTs: map[int64]float64{}}
+		p := &PE{ID: i, world: w, watches: map[*watch]struct{}{}}
 		p.cond = sync.NewCond(&p.mu)
 		w.pes[i] = p
 	}

@@ -173,10 +173,13 @@ func (pe *PE) mallocInner(size int64) (sym Sym, allocErr, faultErr error) {
 	}
 	v, _ := shared.Load("cur")
 	res = v.(*slot)
-	// Touch the region so the partition is backed — strictly before the
+	// Touch the region so it is logically established — strictly before the
 	// closing barrier, after which other PEs may already be writing here.
+	// Touch carries the full write bookkeeping (timestamps, wakeups) of a
+	// one-byte store but lets the partition stay small until something is
+	// actually written: backing memory is materialised on first real write.
 	if res.err == nil && res.sym.Size > 0 {
-		pe.world.pw.Write(pe.p.ID, res.sym.Off+res.sym.Size-1, []byte{0}, pe.p.Clock.Now())
+		pe.world.pw.Touch(pe.p.ID, res.sym.Off+res.sym.Size-1, pe.p.Clock.Now())
 	}
 	// All PEs read (and back) the region before the slot is reused.
 	if err := pe.BarrierStat(); err != nil {

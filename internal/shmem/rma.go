@@ -109,11 +109,16 @@ func IPut[T pgas.Elem](pe *PE, target int, sym Sym, dstIdx, dstStride int, src [
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, int(es), intra, pairs))
 	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
-	var buf [8]byte
+	// Gather the strided source elements densely into a pooled buffer, then
+	// scatter them with one vectored write (one target-lock acquisition).
+	bp := pgas.GetScratch()
+	buf := (*bp)[:0]
 	for k := 0; k < nelems; k++ {
-		b := pgas.EncodeSlice[T](buf[:0], src[srcIdx+k*srcStride:srcIdx+k*srcStride+1])
-		pe.world.pw.Write(target, sym.Off+int64(dstIdx+k*dstStride)*es, b, vis)
+		buf = pgas.EncodeSlice[T](buf, src[srcIdx+k*srcStride:srcIdx+k*srcStride+1])
 	}
+	pe.world.pw.WriteV(target, sym.Off+int64(dstIdx)*es, int64(dstStride)*es, int(es), buf, vis)
+	*bp = buf
+	pgas.PutScratch(bp)
 	if vis > pe.pendingT {
 		pe.pendingT = vis
 	}
@@ -140,13 +145,17 @@ func IGet[T pgas.Elem](pe *PE, target int, sym Sym, srcIdx, srcStride int, dst [
 	prof := pe.world.prof
 	// Symmetric cost model to IPut plus the request round trip of a get.
 	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, int(es), intra, pairs) + 2*prof.DeliveryNs(intra, pairs))
-	raw := make([]byte, es)
-	one := make([]T, 1)
+	// Gather with one vectored read into a pooled buffer, then scatter into
+	// the caller's strided destination.
+	bp := pgas.GetScratch()
+	raw := pgas.ScratchLen(bp, nelems*int(es))
+	pe.world.pw.ReadV(target, sym.Off+int64(srcIdx)*es, int64(srcStride)*es, int(es), raw)
+	var one [1]T
 	for k := 0; k < nelems; k++ {
-		pe.world.pw.Read(target, sym.Off+int64(srcIdx+k*srcStride)*es, raw)
-		pgas.DecodeSlice(one, raw)
+		pgas.DecodeSlice(one[:], raw[int64(k)*es:int64(k+1)*es])
 		dst[dstIdx+k*dstStride] = one[0]
 	}
+	pgas.PutScratch(bp)
 }
 
 // IPutMem is the byte-level 1-D strided put used by layered runtimes: nelems
@@ -177,9 +186,7 @@ func (pe *PE) IPutMem(target int, sym Sym, off, dstStrideBytes int64, elemSize i
 	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, elemSize, intra, pairs) +
 		prof.StridedLocalityNs(nelems, elemSize, dstStrideBytes))
 	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
-	for k := 0; k < nelems; k++ {
-		pe.world.pw.Write(target, sym.Off+off+int64(k)*dstStrideBytes, src[k*elemSize:(k+1)*elemSize], vis)
-	}
+	pe.world.pw.WriteV(target, sym.Off+off, dstStrideBytes, elemSize, src, vis)
 	if vis > pe.pendingT {
 		pe.pendingT = vis
 	}
@@ -210,9 +217,75 @@ func (pe *PE) IGetMem(target int, sym Sym, off, srcStrideBytes int64, elemSize i
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, elemSize, intra, pairs) +
 		prof.StridedLocalityNs(nelems, elemSize, srcStrideBytes) + 2*prof.DeliveryNs(intra, pairs))
-	for k := 0; k < nelems; k++ {
-		pe.world.pw.Read(target, sym.Off+off+int64(k)*srcStrideBytes, dst[k*elemSize:(k+1)*elemSize])
+	pe.world.pw.ReadV(target, sym.Off+off, srcStrideBytes, elemSize, dst)
+}
+
+// PutMemV is the vectored multi-run put: run i is runBytes bytes, taken
+// densely from src, landing at byte offset offs[i] within sym on the target.
+// The modelled cost — per-run injection, link penalties, sanitizer
+// accounting, and each run's visibility time — is computed exactly as
+// len(offs) successive PutMem calls would compute it; only the host-side
+// data movement is batched, with a single target-lock acquisition. This is
+// what makes the naive strided algorithm's "one putmem per contiguous run"
+// translation cheap to execute without changing what it models.
+func (pe *PE) PutMemV(target int, sym Sym, offs []int64, runBytes int, src []byte) {
+	pe.checkTarget(target)
+	if runBytes <= 0 || len(src) != len(offs)*runBytes {
+		panic("shmem: putmemv source does not match runs")
 	}
+	if len(offs) == 0 {
+		return
+	}
+	san := pe.world.san
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	tp := pgas.GetTsScratch()
+	visAt := (*tp)[:0]
+	for _, off := range offs {
+		if off < 0 || off+int64(runBytes) > sym.Size {
+			panic(fmt.Sprintf("shmem: putmemv run of %d bytes at offset %d overflows %d-byte symmetric object", runBytes, off, sym.Size))
+		}
+		if san != nil {
+			san.recordPut(pe.p.ID, target, sym.Off+off, int64(runBytes))
+		}
+		pe.linkPenalty()
+		pe.p.Clock.Advance(prof.PutInjectNs(runBytes, intra, pairs))
+		vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
+		visAt = append(visAt, vis)
+		if vis > pe.pendingT {
+			pe.pendingT = vis
+		}
+	}
+	pe.world.pw.WriteRuns(target, sym.Off, offs, runBytes, src, visAt)
+	*tp = visAt
+	pgas.PutTsScratch(tp)
+}
+
+// GetMemV is the vectored multi-run get: run i is runBytes bytes read from
+// byte offset offs[i] within sym on the target into dst densely. Costs are
+// identical to len(offs) successive GetMem calls.
+func (pe *PE) GetMemV(target int, sym Sym, offs []int64, runBytes int, dst []byte) {
+	pe.checkTarget(target)
+	if runBytes <= 0 || len(dst) != len(offs)*runBytes {
+		panic("shmem: getmemv destination does not match runs")
+	}
+	if len(offs) == 0 {
+		return
+	}
+	san := pe.world.san
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	for _, off := range offs {
+		if off < 0 || off+int64(runBytes) > sym.Size {
+			panic(fmt.Sprintf("shmem: getmemv run of %d bytes at offset %d overflows %d-byte symmetric object", runBytes, off, sym.Size))
+		}
+		if san != nil {
+			san.checkRead(pe.p.ID, target, sym.Off+off, int64(runBytes))
+		}
+		pe.linkPenalty()
+		pe.p.Clock.Advance(prof.GetNs(runBytes, intra, pairs))
+	}
+	pe.world.pw.ReadRuns(target, sym.Off, offs, runBytes, dst)
 }
 
 func (pe *PE) checkTarget(target int) {
