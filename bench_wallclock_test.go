@@ -112,6 +112,23 @@ func BenchmarkWallclockDHT(b *testing.B) {
 	}
 }
 
+// BenchmarkWallclockHimenoOverlap is BenchmarkWallclockHimeno with the
+// nonblocking halo exchange (Params.Overlap): boundary planes are sent with
+// put_nbi while the interior sweeps, and SyncMemory completes the batch. It
+// tracks what the NBI queue bookkeeping and the split sweep schedule cost the
+// host relative to the blocking twin below.
+func BenchmarkWallclockHimenoOverlap(b *testing.B) {
+	o := caf.UHCAFOverMV2XSHMEM()
+	o.Strided = caf.StridedNaive
+	prm := himeno.Params{NX: 16, NY: 256, NZ: 8, Iters: 20, Overlap: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := himeno.Run(o, 256, prm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkWallclockHimeno measures the Himeno stencil at 256 images on the
 // Stampede model with the naive strided algorithm (the Fig 10 configuration):
 // halo exchange decomposes into many small contiguous runs, the worst case

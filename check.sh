@@ -12,10 +12,17 @@ go vet ./...
 echo "==> shmemvet (PGAS static analysis)"
 go run ./cmd/shmemvet ./...
 
+echo "==> shmemvet NBI fixtures (quiet-contract positive + clean cases)"
+go test -run 'TestSyncCheck(FlagsNBIViolations|PassesCleanNBICode)' -count=1 ./internal/analysis
+
 echo "==> go test -race -count=1 ./..."
 go test -race -count=1 ./...
 
-echo "==> wall-clock bench smoke (one iteration per benchmark)"
+echo "==> overlap smoke (put_nbi hides transfer; Himeno overlap beats blocking)"
+go test -run 'TestOverlapMicroHidesTransfer' -count=1 ./internal/pgasbench
+go test -run 'TestOverlapFasterOnAllMachines' -count=1 ./internal/himeno
+
+echo "==> wall-clock bench smoke (one iteration per benchmark, incl. Himeno overlap)"
 go test -run '^$' -bench '^BenchmarkWallclock' -benchtime 1x .
 
 echo "==> benchreport alloc-regression gate"

@@ -5,13 +5,17 @@
 //
 // Usage (from the module root):
 //
-//	benchreport                    # run the suite, write BENCH_3.json
+//	benchreport                    # run the suite, write BENCH_4.json
 //	benchreport -out other.json    # write elsewhere
 //	benchreport -count 5           # more repetitions (min is kept)
+//	benchreport -benchtime 200x    # fixed iteration counts instead of 1s
+//	benchreport -procs 4           # pin the child go test to 4 OS procs
 //	benchreport -check             # quick alloc-regression gate for CI
 //
-// The baseline embedded below was measured on the pre-overhaul tree with the
-// identical benchmark file, so the speedup column is like-for-like. Each
+// The baseline embedded below was measured on the pre-NBI tree with the
+// benchmark definitions both trees share, so the speedup column is
+// like-for-like (the overlap benchmark is new in this tree and reports
+// without a speedup). Each
 // benchmark is run -count times and the per-metric minimum is kept: the
 // dominant noise source is GC scheduling across whole-world constructions,
 // which only ever inflates a run, never deflates it.
@@ -43,16 +47,16 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// seedBaseline holds the suite as measured on the seed tree (before the
-// hot-path overhaul of PR 3) with the same benchmark definitions, Go
-// toolchain, and machine class. Regenerate by checking out the parent commit,
-// copying bench_wallclock_test.go across, and running this tool.
+// seedBaseline holds the suite as measured on the pre-NBI tree (the BENCH_3
+// "current" column, i.e. after the PR 3 hot-path overhaul) with the same Go
+// toolchain and machine class. Regenerate by checking out the parent commit
+// and running this tool there.
 var seedBaseline = map[string]Result{
-	"WallclockContigPut":      {NsPerOp: 7859, BytesPerOp: 34304, AllocsPerOp: 16},
-	"WallclockStridedPut":     {NsPerOp: 324193, BytesPerOp: 65592, AllocsPerOp: 454},
-	"WallclockLockContention": {NsPerOp: 1800380, BytesPerOp: 33724178, AllocsPerOp: 1742},
-	"WallclockDHT":            {NsPerOp: 14192133, BytesPerOp: 67493673, AllocsPerOp: 14763},
-	"WallclockHimeno":         {NsPerOp: 337662324, BytesPerOp: 605214587, AllocsPerOp: 549658},
+	"WallclockContigPut":      {NsPerOp: 2447, BytesPerOp: 0, AllocsPerOp: 0},
+	"WallclockStridedPut":     {NsPerOp: 70704, BytesPerOp: 568, AllocsPerOp: 6},
+	"WallclockLockContention": {NsPerOp: 1316372, BytesPerOp: 1406144, AllocsPerOp: 1404},
+	"WallclockDHT":            {NsPerOp: 5301910, BytesPerOp: 5482331, AllocsPerOp: 8761},
+	"WallclockHimeno":         {NsPerOp: 137569972, BytesPerOp: 36546920, AllocsPerOp: 166868},
 }
 
 type report struct {
@@ -70,11 +74,16 @@ type report struct {
 var benchLine = regexp.MustCompile(`^Benchmark(\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
 
 // runSuite invokes the suite through go test and returns the per-benchmark
-// minimum over count repetitions.
-func runSuite(pattern, benchtime string, count int) (map[string]Result, error) {
+// minimum over count repetitions. procs > 0 pins the child test binary's
+// GOMAXPROCS via the environment; 0 leaves the child at its own default.
+func runSuite(pattern, benchtime string, count, procs int) (map[string]Result, error) {
 	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem",
 		"-benchtime", benchtime, "-count", strconv.Itoa(count), "."}
 	cmd := exec.Command("go", args...)
+	cmd.Env = os.Environ()
+	if procs > 0 {
+		cmd.Env = append(cmd.Env, "GOMAXPROCS="+strconv.Itoa(procs))
+	}
 	var out bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = os.Stderr
@@ -119,7 +128,7 @@ func runSuite(pattern, benchtime string, count int) (map[string]Result, error) {
 // check is the CI alloc-regression gate: the contiguous-put fast path must
 // stay allocation-free per operation.
 func check() error {
-	res, err := runSuite("^BenchmarkWallclockContigPut$", "300x", 1)
+	res, err := runSuite("^BenchmarkWallclockContigPut$", "300x", 1, 0)
 	if err != nil {
 		return err
 	}
@@ -135,10 +144,11 @@ func check() error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "report file to write")
+	out := flag.String("out", "BENCH_4.json", "report file to write")
 	pattern := flag.String("bench", "^BenchmarkWallclock", "benchmark regexp to run")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement time (or Nx iterations)")
 	count := flag.Int("count", 3, "repetitions per benchmark; the minimum is recorded")
+	procs := flag.Int("procs", 0, "GOMAXPROCS for the child go test (0 = child default)")
 	doCheck := flag.Bool("check", false, "run only the alloc-regression gate and exit")
 	flag.Parse()
 
@@ -150,16 +160,28 @@ func main() {
 		return
 	}
 
-	cur, err := runSuite(*pattern, *benchtime, *count)
+	cur, err := runSuite(*pattern, *benchtime, *count, *procs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
 	}
+	// Record the GOMAXPROCS the child test binary actually ran with, not this
+	// tool's own: -procs when pinned, the inherited environment override when
+	// set, the machine default otherwise.
+	childProcs := *procs
+	if childProcs <= 0 {
+		childProcs = runtime.NumCPU()
+		if env := os.Getenv("GOMAXPROCS"); env != "" {
+			if n, err := strconv.Atoi(env); err == nil && n > 0 {
+				childProcs = n
+			}
+		}
+	}
 	rep := report{
 		Schema:      "cafshmem-wallclock-bench/1",
-		BaselineRef: "seed tree before the PR 3 hot-path overhaul (same benchmark file)",
+		BaselineRef: "pre-NBI tree (PR 3, BENCH_3.json current column; same toolchain and machine class)",
 		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GOMAXPROCS:  childProcs,
 		Count:       *count,
 		Benchtime:   *benchtime,
 		Baseline:    seedBaseline,

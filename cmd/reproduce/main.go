@@ -78,6 +78,35 @@ func main() {
 	mf := pgasbench.MatrixOrientedAblation()
 	fmt.Print(mf.Render())
 	done()
+
+	done = section("Nonblocking RMA overlap (beyond-paper, §VII direction)")
+	figOv := pgasbench.FigOverlap(min(himImages, 32))
+	fmt.Print(figOv.Render())
+	summariseFigOverlap(figOv)
+	done()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func summariseFigOverlap(f pgasbench.Figure) {
+	micro := f.Panels[0]
+	b, o := micro.FindSeries("blocking put"), micro.FindSeries("put_nbi overlap")
+	fmt.Printf("\nmicrobench: put_nbi total %.2fx lower than blocking with equal-length compute (geomean)\n",
+		pgasbench.GeoMeanRatio(*b, *o))
+	app := f.Panels[1]
+	for _, label := range []string{"Stampede/MV2X-SHMEM", "XC30/Cray-SHMEM", "Titan/Cray-SHMEM"} {
+		bs, os := app.FindSeries(label+" blocking"), app.FindSeries(label+" overlap")
+		if bs == nil || os == nil {
+			continue
+		}
+		fmt.Printf("himeno %-20s overlap speedup %.2fx (geomean over image counts)\n",
+			label+":", pgasbench.GeoMeanRatio(*bs, *os))
+	}
 }
 
 func summariseFig6(f pgasbench.Figure) {

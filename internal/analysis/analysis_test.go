@@ -8,6 +8,9 @@ import (
 func TestSyncCheckFlagsSeededViolations(t *testing.T) { checkFixture(t, SyncCheck, "syncbad") }
 func TestSyncCheckPassesCleanCode(t *testing.T)       { checkFixture(t, SyncCheck, "syncclean") }
 
+func TestSyncCheckFlagsNBIViolations(t *testing.T) { checkFixture(t, SyncCheck, "nbibad") }
+func TestSyncCheckPassesCleanNBICode(t *testing.T) { checkFixture(t, SyncCheck, "nbiclean") }
+
 func TestLockCheckFlagsSeededViolations(t *testing.T) { checkFixture(t, LockCheck, "lockbad") }
 func TestLockCheckPassesCleanCode(t *testing.T)       { checkFixture(t, LockCheck, "lockclean") }
 

@@ -14,18 +14,29 @@ import (
 // completion operation, which the CAF translation inserts and hand-written
 // hybrid code must not forget.
 //
+// It additionally models the OpenSHMEM 1.3 *nonblocking* contract
+// (shmem_put_nbi / shmem_get_nbi):
+//
+//   - Fence orders blocking puts but does NOT complete nonblocking operations;
+//     only Quiet (or a barrier/collective, which quiets internally) does. A
+//     read after Fence that races a PutMemNBI is still reported.
+//   - The source buffer of a nonblocking put is owned by the runtime until
+//     Quiet. Any write to it (assignment, ++/--, append/copy into it) before
+//     the next completion point is reported as source-buffer reuse.
+//
 // The analysis is intraprocedural and keyed by the symmetric-handle
-// expression. Calls the analyzer cannot see through (module-local helpers,
-// function values) conservatively count as completion points, so findings
-// are high-confidence straight-line bugs.
+// expression (for remote completion) or the source-buffer base expression
+// (for NBI pinning). Calls the analyzer cannot see through (module-local
+// helpers, function values) conservatively count as completion points, so
+// findings are high-confidence straight-line bugs.
 var SyncCheck = &Analyzer{
 	Name: "synccheck",
 	Doc:  "reads of symmetric data racing un-quieted one-sided writes",
 	Run:  runSyncCheck,
 }
 
-// pendingWrites maps a symmetric-object key to the position of the oldest
-// outstanding (un-quieted) write to it on the current path.
+// pendingWrites maps a key (symmetric-object or buffer expression) to the
+// position of the oldest outstanding operation on the current path.
 type pendingWrites map[string]token.Pos
 
 func (s pendingWrites) clone() pendingWrites {
@@ -44,10 +55,52 @@ func (s pendingWrites) union(o pendingWrites) {
 	}
 }
 
+// syncState is the per-path dataflow state. The three maps have different
+// completion rules, mirroring the memory model:
+//
+//	writes — blocking one-sided writes; completed by Quiet OR Fence (for the
+//	         purposes of this checker: any completion point).
+//	nbi    — nonblocking one-sided writes; completed by Quiet but NOT Fence.
+//	nbiSrc — local source buffers pinned by outstanding nonblocking puts,
+//	         keyed by buffer base expression; released at Quiet.
+type syncState struct {
+	writes pendingWrites
+	nbi    pendingWrites
+	nbiSrc pendingWrites
+}
+
+func newSyncState() syncState {
+	return syncState{writes: pendingWrites{}, nbi: pendingWrites{}, nbiSrc: pendingWrites{}}
+}
+
+func (s syncState) clone() syncState {
+	return syncState{writes: s.writes.clone(), nbi: s.nbi.clone(), nbiSrc: s.nbiSrc.clone()}
+}
+
+func (s syncState) union(o syncState) {
+	s.writes.union(o.writes)
+	s.nbi.union(o.nbi)
+	s.nbiSrc.union(o.nbiSrc)
+}
+
+// clearAll models a full completion point (Quiet, barrier, collective, or an
+// opaque call that may quiet internally).
+func (s syncState) clearAll() {
+	clear(s.writes)
+	clear(s.nbi)
+	clear(s.nbiSrc)
+}
+
+// clearFence models Fence: blocking puts are ordered, nonblocking operations
+// remain outstanding and their source buffers stay pinned.
+func (s syncState) clearFence() {
+	clear(s.writes)
+}
+
 func runSyncCheck(pass *Pass) {
 	pass.funcBodies(func(name string, body *ast.BlockStmt) {
 		w := &syncWalker{pass: pass}
-		w.walkStmt(body, pendingWrites{})
+		w.walkStmt(body, newSyncState())
 	})
 }
 
@@ -67,6 +120,24 @@ var shmemWriteMethods = map[string]int{
 // Package-level generic write functions, with the index of their Sym argument.
 var shmemWriteFuncs = map[string]int{"Put": 2, "P": 2, "IPut": 2}
 
+// Nonblocking write methods: Sym argument index and source-buffer argument
+// index. They populate both the nbi map (remote completion) and nbiSrc
+// (buffer pinning).
+var shmemNBIWriteMethods = map[string][2]int{
+	"PutMemNBI":  {1, 3},
+	"PutMemVNBI": {1, 4},
+	"IPutMemNBI": {1, 5},
+}
+
+var shmemNBIWriteFuncs = map[string][2]int{"PutNBI": {2, 4}}
+
+// Nonblocking reads: the remote Sym they read (checked against outstanding
+// writes like any read). Their *destination* buffer is undefined until Quiet,
+// but local-buffer read tracking is out of scope for a handle-keyed checker.
+var shmemNBIReadMethods = map[string]int{"GetMemNBI": 1, "IGetMemNBI": 1}
+
+var shmemNBIReadFuncs = map[string]int{"GetNBI": 2}
+
 // shmem.PE methods that read symmetric data, with their Sym argument index.
 var shmemReadMethods = map[string]int{
 	"GetMem": 1, "IGetMem": 1, "GetMemV": 1, "AtomicFetch": 1, "Ptr": 0,
@@ -74,9 +145,11 @@ var shmemReadMethods = map[string]int{
 
 var shmemReadFuncs = map[string]int{"Get": 2, "G": 2, "IGet": 2}
 
-// shmem.PE methods that complete all outstanding writes.
+// shmem.PE methods that complete ALL outstanding operations, nonblocking
+// included. Fence is deliberately absent: per the OpenSHMEM memory model it
+// orders the put stream but does not complete put_nbi/get_nbi.
 var shmemSyncMethods = map[string]bool{
-	"Quiet": true, "Fence": true, "Barrier": true,
+	"Quiet": true, "QuietStat": true, "Barrier": true,
 	"Malloc": true, "Free": true, "Broadcast": true,
 }
 
@@ -86,10 +159,10 @@ var shmemSyncFuncs = map[string]bool{"ToAll": true, "FCollect": true, "Collect":
 var shmemBenignMethods = map[string]bool{
 	"MyPE": true, "NumPEs": true, "Clock": true, "World": true, "Pgas": true,
 	"WaitUntil64": true, "SetLock": true, "ClearLock": true, "TestLock": true,
-	"At": true, "IsZero": true,
+	"At": true, "IsZero": true, "NBIOutstanding": true,
 }
 
-func (w *syncWalker) walkStmt(s ast.Stmt, st pendingWrites) pendingWrites {
+func (w *syncWalker) walkStmt(s ast.Stmt, st syncState) syncState {
 	switch x := s.(type) {
 	case *ast.BlockStmt:
 		for _, sub := range x.List {
@@ -149,6 +222,19 @@ func (w *syncWalker) walkStmt(s ast.Stmt, st pendingWrites) pendingWrites {
 		return w.walkCases(x.Body, st)
 	case *ast.LabeledStmt:
 		return w.walkStmt(x.Stmt, st)
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			w.applyExpr(r, st)
+		}
+		for _, l := range x.Lhs {
+			w.applyExpr(l, st) // calls inside index expressions
+			w.checkBufWrite(l, st)
+		}
+		return st
+	case *ast.IncDecStmt:
+		w.applyExpr(x.X, st)
+		w.checkBufWrite(x.X, st)
+		return st
 	case *ast.DeferStmt, *ast.GoStmt:
 		// Deferred calls run at return, goroutines concurrently: neither
 		// completes writes at this program point. Argument evaluation happens
@@ -171,7 +257,7 @@ func (w *syncWalker) walkStmt(s ast.Stmt, st pendingWrites) pendingWrites {
 	}
 }
 
-func (w *syncWalker) walkCases(body *ast.BlockStmt, st pendingWrites) pendingWrites {
+func (w *syncWalker) walkCases(body *ast.BlockStmt, st syncState) syncState {
 	merged := st.clone() // the no-case-taken path
 	for _, c := range body.List {
 		caseSt := st.clone()
@@ -197,25 +283,30 @@ func (w *syncWalker) walkCases(body *ast.BlockStmt, st pendingWrites) pendingWri
 }
 
 // applyExpr applies the effects of every call inside n to st, in order.
-func (w *syncWalker) applyExpr(n ast.Node, st pendingWrites) {
+func (w *syncWalker) applyExpr(n ast.Node, st syncState) {
 	stmtCalls(n, func(call *ast.CallExpr) { w.applyCall(call, st) })
 }
 
-func (w *syncWalker) applyCall(call *ast.CallExpr, st pendingWrites) {
+func (w *syncWalker) applyCall(call *ast.CallExpr, st syncState) {
 	pass := w.pass
 	fn := pass.callee(call)
 	if fn == nil {
-		// Type conversion or builtin: no effect. Anything else unresolved is
-		// an indirect call that could complete writes — assume it does.
+		// Type conversion or builtin: no effect — except the mutating
+		// builtins, which count as writes to their destination buffer.
+		// Anything else unresolved is an indirect call that could complete
+		// writes — assume it does.
 		if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
 			return
 		}
 		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 			if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				if (id.Name == "copy" || id.Name == "clear") && len(call.Args) > 0 {
+					w.checkBufWrite(call.Args[0], st)
+				}
 				return
 			}
 		}
-		clear(st)
+		st.clearAll()
 		return
 	}
 
@@ -224,19 +315,40 @@ func (w *syncWalker) applyCall(call *ast.CallExpr, st pendingWrites) {
 
 	switch {
 	case onPE && shmemWriteMethods[fn.Name()] > 0:
-		w.recordWrite(call, shmemWriteMethods[fn.Name()], st)
+		w.recordWrite(call, shmemWriteMethods[fn.Name()], st.writes)
 	case pkgFunc && shmemWriteFuncs[fn.Name()] > 0:
-		w.recordWrite(call, shmemWriteFuncs[fn.Name()], st)
+		w.recordWrite(call, shmemWriteFuncs[fn.Name()], st.writes)
+	case onPE && fn.Name() == "PutSignal":
+		// Put-with-signal delivers payload (arg 1) and flag word (arg 4) in
+		// one visibility event. Completion is signal-mediated for the
+		// *awaiter*; for the origin both objects stay outstanding until
+		// Quiet, exactly like PutMem.
+		w.recordWrite(call, 1, st.writes)
+		w.recordWrite(call, 4, st.writes)
+	case onPE && isNBIWriteMethod(fn.Name()):
+		args := shmemNBIWriteMethods[fn.Name()]
+		w.recordWrite(call, args[0], st.nbi)
+		w.recordNBISrc(call, args[1], st)
+	case pkgFunc && isNBIWriteFunc(fn.Name()):
+		args := shmemNBIWriteFuncs[fn.Name()]
+		w.recordWrite(call, args[0], st.nbi)
+		w.recordNBISrc(call, args[1], st)
+	case onPE && shmemNBIReadMethods[fn.Name()] > 0:
+		w.checkRead(call, shmemNBIReadMethods[fn.Name()], st)
+	case pkgFunc && shmemNBIReadFuncs[fn.Name()] > 0:
+		w.checkRead(call, shmemNBIReadFuncs[fn.Name()], st)
 	case onPE && fn.Name() == "Ptr":
 		w.checkRead(call, 0, st)
 	case onPE && shmemReadMethods[fn.Name()] > 0:
 		w.checkRead(call, shmemReadMethods[fn.Name()], st)
 	case pkgFunc && shmemReadFuncs[fn.Name()] > 0:
 		w.checkRead(call, shmemReadFuncs[fn.Name()], st)
+	case onPE && fn.Name() == "Fence":
+		st.clearFence()
 	case onPE && shmemSyncMethods[fn.Name()]:
-		clear(st)
+		st.clearAll()
 	case pkgFunc && shmemSyncFuncs[fn.Name()]:
-		clear(st)
+		st.clearAll()
 	case onPE || pkgFunc || shmemBenignMethods[fn.Name()] && fn.Pkg() != nil && fn.Pkg().Path() == shmemPath:
 		// Other shmem API (WaitUntil64, locks, accessors): no effect on the
 		// caller's outstanding writes.
@@ -244,38 +356,98 @@ func (w *syncWalker) applyCall(call *ast.CallExpr, st pendingWrites) {
 		// Universe-scope methods (error.Error): no effect.
 	case pass.Pkg.Types != nil && fn.Pkg() == pass.Pkg.Types:
 		// A helper in the package under analysis may quiet internally.
-		clear(st)
+		st.clearAll()
 	case isModulePath(fn.Pkg().Path()):
 		// Other module packages (caf runtime, pgas substrate) may complete
 		// communication internally.
-		clear(st)
+		st.clearAll()
 	default:
 		// Standard library: cannot touch the communication layer.
 	}
 }
 
+func isNBIWriteMethod(name string) bool { _, ok := shmemNBIWriteMethods[name]; return ok }
+func isNBIWriteFunc(name string) bool   { _, ok := shmemNBIWriteFuncs[name]; return ok }
+
 func isModulePath(path string) bool {
 	return path == "cafshmem" || len(path) > len("cafshmem/") && path[:len("cafshmem/")] == "cafshmem/"
 }
 
-func (w *syncWalker) recordWrite(call *ast.CallExpr, symArg int, st pendingWrites) {
+func (w *syncWalker) recordWrite(call *ast.CallExpr, symArg int, m pendingWrites) {
 	if symArg >= len(call.Args) {
 		return
 	}
 	key := w.pass.exprKey(call.Args[symArg])
-	if _, ok := st[key]; !ok {
-		st[key] = call.Pos()
+	if _, ok := m[key]; !ok {
+		m[key] = call.Pos()
 	}
 }
 
-func (w *syncWalker) checkRead(call *ast.CallExpr, symArg int, st pendingWrites) {
+// recordNBISrc pins the source buffer of a nonblocking put, keyed by the
+// buffer's base expression so that a later write to buf[i] or buf matches a
+// put of buf[2:6].
+func (w *syncWalker) recordNBISrc(call *ast.CallExpr, srcArg int, st syncState) {
+	if srcArg >= len(call.Args) {
+		return
+	}
+	base := bufBase(call.Args[srcArg])
+	if base == nil {
+		return
+	}
+	key := w.pass.exprKey(base)
+	if _, ok := st.nbiSrc[key]; !ok {
+		st.nbiSrc[key] = call.Pos()
+	}
+}
+
+// bufBase strips slicing/indexing/parens down to the underlying buffer
+// expression, or nil for literals and calls (nothing addressable to reuse).
+func bufBase(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident, *ast.SelectorExpr:
+			return e
+		default:
+			return nil
+		}
+	}
+}
+
+// checkBufWrite reports a mutation of a buffer still pinned by an outstanding
+// nonblocking put.
+func (w *syncWalker) checkBufWrite(lhs ast.Expr, st syncState) {
+	base := bufBase(lhs)
+	if base == nil {
+		return
+	}
+	key := w.pass.exprKey(base)
+	if putPos, ok := st.nbiSrc[key]; ok {
+		w.pass.Reportf(lhs.Pos(), "write to NBI source buffer %s before Quiet completes the nonblocking put at line %d",
+			types.ExprString(base), w.pass.Pkg.Fset.Position(putPos).Line)
+	}
+}
+
+func (w *syncWalker) checkRead(call *ast.CallExpr, symArg int, st syncState) {
 	if symArg >= len(call.Args) {
 		return
 	}
 	sym := call.Args[symArg]
 	key := w.pass.exprKey(sym)
-	if putPos, ok := st[key]; ok {
+	if putPos, ok := st.writes[key]; ok {
 		w.pass.Reportf(call.Pos(), "read of %s before completing the one-sided write at line %d (missing Quiet/Fence/Barrier)",
+			types.ExprString(sym), w.pass.Pkg.Fset.Position(putPos).Line)
+		return
+	}
+	if putPos, ok := st.nbi[key]; ok {
+		w.pass.Reportf(call.Pos(), "read of %s before completing the nonblocking write at line %d (missing Quiet)",
 			types.ExprString(sym), w.pass.Pkg.Fset.Position(putPos).Line)
 	}
 }

@@ -1,0 +1,84 @@
+// Package nbibad seeds synccheck's nonblocking-RMA violations: reads that
+// race un-quieted put_nbi traffic, Fence mistaken for a completion point, and
+// reuse of a source buffer the runtime still owns.
+package nbibad
+
+import (
+	"cafshmem/internal/shmem"
+)
+
+func readAfterPutNBI(pe *shmem.PE, data shmem.Sym) []byte {
+	pe.PutMemNBI(1, data, 0, []byte{1, 2, 3})
+	out := make([]byte, 3)
+	pe.GetMem(1, data, 0, out) // want "read of data before completing the nonblocking write"
+	return out
+}
+
+func fenceDoesNotCompleteNBI(pe *shmem.PE, data shmem.Sym) []byte {
+	pe.PutMemNBI(1, data, 0, []byte{9})
+	pe.Fence() // orders blocking puts only — put_nbi stays in flight
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out) // want "nonblocking write at line 18"
+	return out
+}
+
+func quietTooLateForTypedNBI(pe *shmem.PE, data shmem.Sym) int64 {
+	shmem.PutNBI(pe, 1, data, 0, []int64{42})
+	v := shmem.G[int64](pe, 1, data, 0) // want "read of data before completing the nonblocking write"
+	pe.Quiet()
+	return v
+}
+
+func srcReuseBeforeQuiet(pe *shmem.PE, data shmem.Sym) {
+	buf := []byte{1, 2, 3, 4}
+	pe.PutMemNBI(1, data, 0, buf)
+	buf[0] = 9 // want "write to NBI source buffer buf before Quiet"
+	pe.Quiet()
+}
+
+func typedSrcReuseBeforeQuiet(pe *shmem.PE, data shmem.Sym) {
+	vals := []int64{1, 2, 3}
+	shmem.PutNBI(pe, 1, data, 0, vals)
+	vals[1]++ // want "write to NBI source buffer vals before Quiet"
+	pe.Quiet()
+}
+
+func copyIntoPinnedBuffer(pe *shmem.PE, data shmem.Sym) {
+	buf := make([]byte, 16)
+	pe.PutMemNBI(1, data, 0, buf[2:6])
+	copy(buf, []byte{7, 7, 7}) // want "write to NBI source buffer buf"
+	pe.Quiet()
+}
+
+func stridedSrcReuse(pe *shmem.PE, data shmem.Sym) {
+	src := make([]byte, 24)
+	pe.IPutMemNBI(1, data, 0, 16, 8, src)
+	src[8] = 1 // want "write to NBI source buffer src"
+	pe.Quiet()
+}
+
+func vectoredReadRace(pe *shmem.PE, data shmem.Sym) []byte {
+	src := make([]byte, 32)
+	pe.PutMemVNBI(1, data, []int64{0, 64}, 16, src)
+	dst := make([]byte, 16)
+	pe.GetMemV(1, data, []int64{0}, 16, dst) // want "read of data before completing the nonblocking write"
+	pe.Quiet()
+	return dst
+}
+
+func getNBIRacesBlockingPut(pe *shmem.PE, data shmem.Sym) []int64 {
+	shmem.Put(pe, 1, data, 0, []int64{5})
+	dst := make([]int64, 1)
+	shmem.GetNBI(pe, 1, data, 0, dst) // want "read of data before completing the one-sided write"
+	pe.Quiet()
+	return dst
+}
+
+func loopCarriedNBISrc(pe *shmem.PE, data shmem.Sym) {
+	buf := []byte{0}
+	for i := 0; i < 4; i++ {
+		buf[0] = byte(i) // want "write to NBI source buffer buf"
+		pe.PutMemNBI(1, data, int64(i), buf)
+	}
+	pe.Quiet()
+}

@@ -1,0 +1,90 @@
+// Package nbiclean exercises correct nonblocking-RMA usage patterns that
+// synccheck must accept: Quiet before any read or source reuse, barriers as
+// completion points, and overlap of independent computation with in-flight
+// puts.
+package nbiclean
+
+import (
+	"cafshmem/internal/shmem"
+)
+
+func quietThenRead(pe *shmem.PE, data shmem.Sym) []byte {
+	pe.PutMemNBI(1, data, 0, []byte{1, 2, 3})
+	pe.Quiet()
+	out := make([]byte, 3)
+	pe.GetMem(1, data, 0, out)
+	return out
+}
+
+func quietThenReuse(pe *shmem.PE, data shmem.Sym) {
+	buf := []byte{1, 2, 3, 4}
+	pe.PutMemNBI(1, data, 0, buf)
+	pe.Quiet()
+	buf[0] = 9 // runtime no longer owns buf
+	pe.PutMemNBI(1, data, 4, buf)
+	pe.Quiet()
+}
+
+func overlapIndependentCompute(pe *shmem.PE, data shmem.Sym) int {
+	src := []byte{1, 2, 3, 4}
+	pe.PutMemNBI(1, data, 0, src)
+	// Computation on unrelated state overlaps the in-flight put legally.
+	sum := 0
+	other := make([]byte, 8)
+	for i := range other {
+		other[i] = byte(i)
+		sum += int(other[i])
+	}
+	pe.Quiet()
+	return sum
+}
+
+func barrierCompletes(pe *shmem.PE, data shmem.Sym) []int64 {
+	shmem.PutNBI(pe, 1, data, 0, []int64{7})
+	pe.Barrier()
+	return shmem.Get[int64](pe, 1, data, 0, 1)
+}
+
+func getNBIThenQuiet(pe *shmem.PE, data shmem.Sym) []int64 {
+	dst := make([]int64, 4)
+	shmem.GetNBI(pe, 1, data, 0, dst)
+	pe.Quiet()
+	return dst
+}
+
+func quietStatCompletes(pe *shmem.PE, data shmem.Sym) error {
+	buf := []byte{5}
+	pe.PutMemNBI(1, data, 0, buf)
+	err := pe.QuietStat()
+	buf[0] = 6
+	return err
+}
+
+func fenceOrdersBlockingOnly(pe *shmem.PE, data shmem.Sym) {
+	// Fence IS a legal completion point for blocking puts.
+	pe.PutMem(1, data, 0, []byte{1})
+	pe.Fence()
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out)
+}
+
+func distinctBuffersNoAlias(pe *shmem.PE, data shmem.Sym) {
+	a := []byte{1}
+	b := []byte{2}
+	pe.PutMemNBI(1, data, 0, a)
+	b[0] = 9 // b is not pinned
+	pe.Quiet()
+	_ = a
+}
+
+func stridedAndVectoredQuieted(pe *shmem.PE, data shmem.Sym) []byte {
+	src := make([]byte, 32)
+	pe.IPutMemNBI(1, data, 0, 16, 8, src[:16])
+	pe.PutMemVNBI(1, data, []int64{64, 96}, 8, src[16:])
+	pe.Quiet()
+	src[0] = 1
+	dst := make([]byte, 8)
+	pe.GetMemNBI(1, data, 0, dst)
+	pe.Quiet()
+	return dst
+}

@@ -1,0 +1,111 @@
+package caf
+
+import (
+	"fmt"
+
+	"cafshmem/internal/pgas"
+)
+
+// Asynchronous co-indexed writes over OpenSHMEM nonblocking RMA
+// (shmem_put_nbi, OpenSHMEM 1.3 §9.5). The paper's §IV-B translation issues a
+// quiet after every put; PutAsync instead leaves the transfer in flight so
+// the image can overlap it with local computation, and SyncMemory — the
+// Fortran 2008 memory-ordering statement — completes everything at once. In
+// the virtual-time model an async put charges only the injection overhead at
+// issue; the wire time is paid by whoever calls SyncMemory first, capped at
+// the slowest outstanding transfer rather than their sum.
+//
+// Semantics mirror Fortran's asynchronous I/O rules: between PutAsync and the
+// next SyncMemory the source values are in the runtime's hands — the caller
+// must not assume the target has the data, and same-image ordering with later
+// puts to the same location is not guaranteed. On transports without
+// nonblocking support (GASNet) PutAsync degrades to the blocking Put path, so
+// programs stay portable across both backends.
+
+// PutAsync writes vals (dense, column-major section order) into section sec
+// of the coarray on image j (1-based) without waiting for remote completion.
+// Completion — and any failed-image report — is deferred to the next
+// SyncMemory/SyncMemoryStat (or any full synchronisation, e.g. SyncAll).
+func (c *Coarray[T]) PutAsync(j int, sec Section, vals []T) {
+	c.img.pollFault()
+	c.img.checkImage(j)
+	if err := sec.validate(c.shape); err != nil {
+		panic(err)
+	}
+	if sec.NumElems() != len(vals) {
+		panic(fmt.Sprintf("caf: section selects %d elements but %d values given", sec.NumElems(), len(vals)))
+	}
+	if c.img.nbi == nil {
+		// No nonblocking surface: fall back to the blocking §IV-B translation.
+		c.putSection(j-1, sec, vals)
+		c.img.maybeQuiet()
+		return
+	}
+	c.putSectionNBI(j-1, sec, vals)
+}
+
+// PutFullAsync writes the entire local array of image j asynchronously.
+func (c *Coarray[T]) PutFullAsync(j int, vals []T) { c.PutAsync(j, All(c.shape...), vals) }
+
+// putSectionNBI mirrors putSection over the nonblocking transport surface.
+// Buffers are freshly allocated, never pooled: the runtime (and the
+// sanitizer's live view) owns them until the next Quiet, so returning them to
+// a scratch pool before then would be exactly the source-reuse bug the
+// checker exists to catch.
+func (c *Coarray[T]) putSectionNBI(target int, sec Section, vals []T) {
+	nbi := c.img.nbi
+	es := int64(c.es)
+
+	runDims, runElems := c.contigRun(sec)
+	if runDims == len(sec) {
+		data := pgas.EncodeSlice[T](nil, vals)
+		nbi.PutMemNBI(target, c.secLowOff(sec), data)
+		c.img.Stats.AsyncPuts++
+		return
+	}
+
+	switch c.img.opts.Strided {
+	case StridedNaive:
+		// One vectored nonblocking call covering every contiguous run.
+		data := pgas.EncodeSlice[T](nil, vals)
+		var offs []int64
+		c.eachRun(sec, runDims, runElems, func(byteOff int64, valOff int) {
+			offs = append(offs, byteOff)
+		})
+		nbi.PutMemVNBI(target, offs, runElems*int(es), data)
+		c.img.Stats.AsyncPuts += int64(len(offs))
+	default: // 1dim, 2dim, vendor: 1-D strided nonblocking calls per pencil
+		base := c.baseDim(sec)
+		strideBytes := int64(sec[base].Step) * c.strides[base] * es
+		c.eachPencil(sec, base, func(byteOff int64, gather []T) {
+			data := pgas.EncodeSlice[T](nil, gather)
+			nbi.PutStrided1DNBI(target, byteOff, strideBytes, c.es, data)
+			c.img.Stats.AsyncPuts++
+			c.img.Stats.StridedCalls++
+		}, vals, nil)
+	}
+}
+
+// SyncMemory executes "sync memory": completes all outstanding communication
+// of this image — blocking puts and every async transfer in flight — without
+// synchronising with other images. After it returns, prior PutAsync data is
+// remotely visible and source buffers are reusable.
+func (img *Image) SyncMemory() {
+	img.pollFault()
+	img.quiet()
+}
+
+// SyncMemoryStat is SyncMemory with Fortran 2018 failed-image reporting:
+// "sync memory (stat=...)". If any image targeted by an outstanding
+// nonblocking transfer has failed, it returns StatFailedImage (the transfer
+// to the corpse is dropped; transfers to survivors complete normally).
+func (img *Image) SyncMemoryStat() Stat {
+	if img.nbi == nil {
+		img.SyncMemory()
+		return StatOK
+	}
+	img.pollFault()
+	err := img.nbi.QuietStat()
+	img.Stats.Quiets++
+	return statFromErr(err)
+}

@@ -1,0 +1,212 @@
+package caf
+
+import (
+	"testing"
+
+	"cafshmem/internal/fabric"
+)
+
+// asyncOpts returns each strided configuration under test, all on the
+// OpenSHMEM transport where the nonblocking surface exists.
+func asyncOpts() map[string]Options {
+	naive := UHCAFOverMV2XSHMEM()
+	naive.Strided = StridedNaive
+	return map[string]Options{
+		"2dim":  UHCAFOverMV2XSHMEM(),
+		"naive": naive,
+		"cray":  UHCAFOverCraySHMEM(fabric.CrayXC30()),
+	}
+}
+
+// PutAsync + SyncMemory must land exactly the bytes a blocking Put would,
+// for contiguous, vectored, and pencil-strided sections alike.
+func TestPutAsyncMatchesBlockingPut(t *testing.T) {
+	for name, opts := range asyncOpts() {
+		err := Run(2, opts, func(img *Image) {
+			x := Allocate[int64](img, 4, 4)
+			y := Allocate[int64](img, 4, 4)
+			me := img.ThisImage()
+			other := 3 - me
+			vals := make([]int64, 0, 16)
+
+			// Contiguous full section.
+			full := make([]int64, 16)
+			for i := range full {
+				full[i] = int64(100*me + i)
+			}
+			x.PutAsync(other, All(4, 4), full)
+			y.Put(other, All(4, 4), full)
+			img.SyncMemory()
+			img.SyncAll()
+			if got, want := x.Slice(), y.Slice(); !equalSlices(got, want) {
+				t.Errorf("%s: full section async=%v blocking=%v", name, got, want)
+			}
+			img.SyncAll()
+
+			// Strided section (every other row: strided in dimension 1).
+			sec := Section{{Lo: 0, Hi: 3, Step: 2}, {Lo: 0, Hi: 3, Step: 1}}
+			vals = vals[:0]
+			for i := 0; i < sec.NumElems(); i++ {
+				vals = append(vals, int64(1000*me+i))
+			}
+			x.PutAsync(other, sec, vals)
+			y.Put(other, sec, vals)
+			img.SyncMemory()
+			img.SyncAll()
+			if got, want := x.Slice(), y.Slice(); !equalSlices(got, want) {
+				t.Errorf("%s: strided section async=%v blocking=%v", name, got, want)
+			}
+			img.SyncAll()
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func equalSlices(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The virtual-time pin for the overlap model at the CAF layer: a PutAsync
+// whose transfer is fully covered by local computation costs max(compute,
+// transfer) + overheads, strictly less than the blocking put + compute sum.
+func TestPutAsyncOverlapsCompute(t *testing.T) {
+	const computeNs = 50e3 // 50 us: longer than the ~13 us 64 KiB transfer
+	n := 8192              // 64 KiB of int64
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+
+	elapsed := func(async bool) float64 {
+		var out float64
+		err := Run(2, UHCAFOverMV2XSHMEM(), func(img *Image) {
+			x := Allocate[int64](img, n)
+			img.SyncAll()
+			if img.ThisImage() == 1 {
+				start := img.Clock().Now()
+				if async {
+					x.PutAsync(2, All(n), vals)
+				} else {
+					x.Put(2, All(n), vals)
+				}
+				img.Clock().Advance(computeNs)
+				img.SyncMemory()
+				out = img.Clock().Now() - start
+			}
+			img.SyncAll()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	blocking := elapsed(false)
+	overlap := elapsed(true)
+	if overlap >= blocking {
+		t.Fatalf("overlap run (%v ns) not faster than blocking run (%v ns)", overlap, blocking)
+	}
+	if overlap < computeNs {
+		t.Fatalf("overlap run (%v ns) below the compute floor %v ns", overlap, computeNs)
+	}
+	// The blocking run pays compute + full wire time in sequence; the async
+	// run should hide nearly all of the wire time inside compute, keeping only
+	// fixed overheads (injection + quiet). Require >= 80%% of it hidden.
+	wire := blocking - computeNs
+	if wire <= 0 {
+		t.Fatalf("blocking run (%v ns) shows no wire time beyond compute", blocking)
+	}
+	if hidden := blocking - overlap; hidden < 0.8*wire {
+		t.Errorf("only %v of %v ns wire time hidden by overlap", hidden, wire)
+	}
+}
+
+// On transports without a nonblocking surface (GASNet), PutAsync degrades to
+// the blocking path and stays correct.
+func TestPutAsyncFallsBackOnGASNet(t *testing.T) {
+	err := Run(2, gasnetOpts(), func(img *Image) {
+		x := Allocate[int64](img, 8)
+		me := img.ThisImage()
+		vals := make([]int64, 8)
+		for i := range vals {
+			vals[i] = int64(10*me + i)
+		}
+		x.PutAsync(3-me, All(8), vals)
+		img.SyncMemory()
+		img.SyncAll()
+		got := x.Slice()
+		for i, v := range got {
+			if want := int64(10*(3-me) + i); v != want {
+				t.Errorf("image %d elem %d = %d, want %d", me, i, v, want)
+			}
+		}
+		if img.Stats.AsyncPuts != 0 {
+			t.Errorf("GASNet fallback counted %d async puts", img.Stats.AsyncPuts)
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The async path must satisfy the sanitizer's NBI contract (fresh buffers,
+// quiet before reuse) — a regression gate on putSectionNBI's buffer handling.
+func TestPutAsyncSanitizerClean(t *testing.T) {
+	opts := UHCAFOverMV2XSHMEM()
+	opts.Sanitize = true
+	err := Run(2, opts, func(img *Image) {
+		x := Allocate[int64](img, 4, 4)
+		me := img.ThisImage()
+		vals := make([]int64, 16)
+		for i := range vals {
+			vals[i] = int64(me*100 + i)
+		}
+		for iter := 0; iter < 3; iter++ {
+			x.PutAsync(3-me, All(4, 4), vals)
+			sec := Section{{Lo: 0, Hi: 3, Step: 2}, {Lo: 1, Hi: 2, Step: 1}}
+			x.PutAsync(3-me, sec, vals[:sec.NumElems()])
+			img.SyncMemory()
+			img.SyncAll()
+		}
+		x.Deallocate()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Stats must attribute nonblocking traffic to AsyncPuts and SyncMemory to
+// Quiets.
+func TestAsyncStats(t *testing.T) {
+	err := Run(2, UHCAFOverMV2XSHMEM(), func(img *Image) {
+		x := Allocate[int64](img, 4, 4)
+		me := img.ThisImage()
+		x.PutAsync(3-me, All(4, 4), make([]int64, 16))
+		if img.Stats.AsyncPuts != 1 {
+			t.Errorf("AsyncPuts = %d after contiguous PutAsync, want 1", img.Stats.AsyncPuts)
+		}
+		q := img.Stats.Quiets
+		img.SyncMemory()
+		if img.Stats.Quiets != q+1 {
+			t.Errorf("SyncMemory did not count a quiet")
+		}
+		if s := img.SyncMemoryStat(); s != StatOK {
+			t.Errorf("SyncMemoryStat = %v, want StatOK", s)
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

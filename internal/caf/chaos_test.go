@@ -440,3 +440,108 @@ func TestFailedImagesIntrinsics(t *testing.T) {
 		t.Errorf("ImageStatus(3) = %v, want STAT_FAILED_IMAGE", status)
 	}
 }
+
+// --- nonblocking-RMA workload ---
+
+const chaosNBIRounds = 12
+
+// chaosNBIRun loops PutAsync-to-ring-neighbour + compute + SyncMemoryStat +
+// SyncAllStat. Kill times land mid-run, so some images die with nonblocking
+// transfers outstanding against them; survivors must observe the failure as
+// STAT_FAILED_IMAGE at the completion point — never hang, never panic.
+// Fault points are op boundaries, so observations are barrier-generation
+// deterministic and the whole run replays bit-identically from its seed.
+func chaosNBIRun(t *testing.T, seed uint64, n, kills int) ([]float64, [][]caf.Stat, [][]caf.Stat) {
+	t.Helper()
+	plan := fabric.RandomPlan(seed, n, kills, 2000, 60000)
+	times := make([]float64, n)
+	memStats := make([][]caf.Stat, n)
+	allStats := make([][]caf.Stat, n)
+	for i := range memStats {
+		memStats[i] = make([]caf.Stat, chaosNBIRounds)
+		allStats[i] = make([]caf.Stat, chaosNBIRounds)
+	}
+	err := caf.Run(n, chaosOpts(plan), func(img *caf.Image) {
+		me := img.ThisImage()
+		np := img.NumImages()
+		// Allocate is itself collective; no extra (non-STAT) sync all here —
+		// every later rendezvous must be STAT-bearing to survive deaths.
+		x := caf.Allocate[int64](img, 64)
+		vals := make([]int64, 64)
+		for r := 0; r < chaosNBIRounds; r++ {
+			target := me%np + 1
+			for i := range vals {
+				vals[i] = int64(me*100000 + r*64 + i)
+			}
+			x.PutAsync(target, caf.All(64), vals)
+			img.Clock().Advance(7000) // overlapped compute phase
+			memStats[me-1][r] = img.SyncMemoryStat()
+			allStats[me-1][r] = img.SyncAllStat()
+		}
+		times[me-1] = img.Clock().Now()
+	})
+	if err != nil {
+		t.Fatalf("seed %d: chaos NBI run errored (survivor hang or panic): %v", seed, err)
+	}
+	return times, memStats, allStats
+}
+
+func TestChaosNBIPutAsync(t *testing.T) {
+	for _, tc := range []struct {
+		seed  uint64
+		n     int
+		kills int
+	}{{7, 6, 1}, {11, 6, 2}, {13, 8, 3}} {
+		plan := fabric.RandomPlan(tc.seed, tc.n, tc.kills, 2000, 60000)
+		victims := map[int]bool{}
+		for _, pe := range plan.Victims() {
+			victims[pe] = true
+		}
+		times, memStats, allStats := chaosNBIRun(t, tc.seed, tc.n, tc.kills)
+
+		sawNBIFailure := false
+		for pe := 0; pe < tc.n; pe++ {
+			targetVictim := victims[pe%tc.n+1-1] // my ring neighbour's 0-based PE is me%np
+			seenMemBad := false
+			for r := 0; r < chaosNBIRounds; r++ {
+				if !isLegalStat(memStats[pe][r]) || !isLegalStat(allStats[pe][r]) {
+					t.Errorf("seed %d: image %d round %d: illegal stat mem=%v all=%v",
+						tc.seed, pe+1, r, memStats[pe][r], allStats[pe][r])
+				}
+				if memStats[pe][r] == caf.StatFailedImage {
+					sawNBIFailure = true
+					seenMemBad = true
+				} else if seenMemBad && !victims[pe] {
+					// Once my NBI target is a corpse it stays one: every later
+					// completion must keep reporting the failure.
+					t.Errorf("seed %d: image %d round %d: SyncMemoryStat recovered to %v after target death",
+						tc.seed, pe+1, r, memStats[pe][r])
+				}
+			}
+			if !victims[pe] && times[pe] == 0 {
+				t.Errorf("seed %d: survivor image %d did not finish", tc.seed, pe+1)
+			}
+			if !victims[pe] && targetVictim && memStats[pe][chaosNBIRounds-1] != caf.StatFailedImage {
+				t.Errorf("seed %d: survivor image %d puts into dead neighbour but final SyncMemoryStat = %v",
+					tc.seed, pe+1, memStats[pe][chaosNBIRounds-1])
+			}
+		}
+		if !sawNBIFailure {
+			t.Errorf("seed %d: no NBI-target failure was ever observed at SyncMemoryStat", tc.seed)
+		}
+
+		// Bit-identical replay from the same seed.
+		times2, memStats2, allStats2 := chaosNBIRun(t, tc.seed, tc.n, tc.kills)
+		for pe := 0; pe < tc.n; pe++ {
+			if times[pe] != times2[pe] {
+				t.Errorf("seed %d: image %d time %v != replay %v", tc.seed, pe+1, times[pe], times2[pe])
+			}
+			for r := 0; r < chaosNBIRounds; r++ {
+				if memStats[pe][r] != memStats2[pe][r] || allStats[pe][r] != allStats2[pe][r] {
+					t.Errorf("seed %d: image %d round %d stats (%v,%v) != replay (%v,%v)", tc.seed, pe+1, r,
+						memStats[pe][r], allStats[pe][r], memStats2[pe][r], allStats2[pe][r])
+				}
+			}
+		}
+	}
+}

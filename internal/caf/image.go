@@ -45,6 +45,11 @@ type Image struct {
 	// image currently holds — the hash table of §IV-D.
 	held map[lockKey]int64
 
+	// Nonblocking-RMA support (async.go). nbi is the transport's
+	// nonblocking-ops surface, nil when the transport has none (GASNet) —
+	// async puts then degrade to the blocking §IV-B path.
+	nbi nbiOps
+
 	// Failed-image support (fail.go). fault is the transport's fault-ops
 	// surface (nil when unsupported); ftMode selects the repairable lock
 	// protocol; hasKill/killAt carry this image's scheduled fault-injection
@@ -73,6 +78,9 @@ type Stats struct {
 	// DirectOps counts intra-node accesses served by direct load/store
 	// (Options.IntraNodeDirect, the §VII future-work path).
 	DirectOps int64
+	// AsyncPuts counts transfers issued through the nonblocking path
+	// (PutAsync / put_nbi, async.go); they complete at the next SyncMemory.
+	AsyncPuts int64
 }
 
 // Run launches a CAF program: images copies of body, 1-based ranks, over the
@@ -122,6 +130,7 @@ func newImage(tr Transport, opts Options) *Image {
 		opts: opts,
 		held: map[lockKey]int64{},
 	}
+	img.nbi = asNBIOps(tr)
 	if opts.FaultTolerant || !opts.FaultPlan.Empty() {
 		img.fault = asFaultOps(tr)
 		img.ftMode = img.fault != nil

@@ -220,6 +220,62 @@ func (t *shmemTransport) WaitLocal64(off int64, pred func(int64) bool) {
 
 func (t *shmemTransport) Barrier() { t.pe.Barrier() }
 
+// --- nonblocking-RMA extension (async.go) ---
+
+// nbiOps is the extension surface for nonblocking one-sided writes
+// (shmem_put_nbi and friends, OpenSHMEM 1.3 §9.5). Only the OpenSHMEM
+// transport provides it: GASNet's put is already split-phase internally, but
+// the original UHCAF backend never exposed that to the CAF layer, and keeping
+// it unavailable there preserves the comparison baseline. asNBIOps returns
+// nil elsewhere and callers degrade to the blocking path.
+//
+// Contract: source buffers passed to the PutNBI forms are owned by the
+// runtime until the next Quiet/QuietStat — callers must not reuse or pool
+// them earlier (the sanitizer holds a live view to detect exactly that).
+type nbiOps interface {
+	PutMemNBI(target int, off int64, data []byte)
+	PutMemVNBI(target int, offs []int64, runBytes int, src []byte)
+	PutStrided1DNBI(target int, off, strideBytes int64, elemSize int, src []byte)
+	GetMemNBI(target int, off int64, dst []byte)
+	// QuietStat completes all outstanding operations (blocking and
+	// nonblocking) and reports whether any nonblocking target had failed —
+	// the STAT-bearing form chaos-mode SyncMemoryStat needs.
+	QuietStat() error
+}
+
+// asNBIOps unwraps decorators until it finds a transport with nonblocking
+// support.
+func asNBIOps(tr Transport) nbiOps {
+	for {
+		if n, ok := tr.(nbiOps); ok {
+			return n
+		}
+		u, ok := tr.(interface{ unwrap() Transport })
+		if !ok {
+			return nil
+		}
+		tr = u.unwrap()
+	}
+}
+
+func (t *shmemTransport) PutMemNBI(target int, off int64, data []byte) {
+	t.pe.PutMemNBI(target, t.all, off, data)
+}
+
+func (t *shmemTransport) PutMemVNBI(target int, offs []int64, runBytes int, src []byte) {
+	t.pe.PutMemVNBI(target, t.all, offs, runBytes, src)
+}
+
+func (t *shmemTransport) PutStrided1DNBI(target int, off, strideBytes int64, elemSize int, src []byte) {
+	t.pe.IPutMemNBI(target, t.all, off, strideBytes, elemSize, src)
+}
+
+func (t *shmemTransport) GetMemNBI(target int, off int64, dst []byte) {
+	t.pe.GetMemNBI(target, t.all, off, dst)
+}
+
+func (t *shmemTransport) QuietStat() error { return t.pe.QuietStat() }
+
 // --- fault-tolerance extension (fail.go) ---
 
 // faultOps is the extension surface the failed-image runtime needs beyond

@@ -144,3 +144,81 @@ func TestBenchShape(t *testing.T) {
 		t.Fatalf("UHCAF-Cray-SHMEM (%v ms) should beat UHCAF-GASNet (%v ms)", shm, gas)
 	}
 }
+
+// UpdateBatchAt must be observably equivalent to the same updates issued one
+// UpdateAt at a time — including repeated slots within a batch.
+func TestUpdateBatchAtMatchesSequential(t *testing.T) {
+	err := caf.Run(4, opts(), func(img *caf.Image) {
+		batch := New(img, 64)
+		seq := New(img, 64)
+		me := img.ThisImage()
+		right := me%img.NumImages() + 1
+		slots := []int{3, 9, 3, 17, 9, 3}
+		deltas := []int64{int64(me), 2, 5, 7, 1, int64(me)}
+		batch.UpdateBatchAt(right, slots, deltas)
+		for i, s := range slots {
+			seq.UpdateAt(right, s, deltas[i])
+		}
+		img.SyncAll()
+		for _, s := range []int{3, 9, 17, 0} {
+			b := batch.vals.At(s)
+			q := seq.vals.At(s)
+			if b != q {
+				t.Errorf("image %d slot %d: batch=%d sequential=%d", me, s, b, q)
+			}
+			if bu, qu := batch.used.At(s), seq.used.At(s); bu != qu {
+				t.Errorf("image %d slot %d: batch used=%d sequential used=%d", me, s, bu, qu)
+			}
+		}
+		if got, want := batch.LocalSum(), seq.LocalSum(); got != want {
+			t.Errorf("image %d: batch local sum %d != sequential %d", me, got, want)
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The pipelined batch must beat the same updates issued sequentially in
+// modelled time: one lock round-trip and one quiet instead of one per update.
+func TestUpdateBatchAtPipelines(t *testing.T) {
+	const updates = 16
+	elapsed := func(batched bool) float64 {
+		var out float64
+		err := caf.Run(2, opts(), func(img *caf.Image) {
+			tab := New(img, 64)
+			img.SyncAll()
+			if img.ThisImage() == 1 {
+				slots := make([]int, updates)
+				deltas := make([]int64, updates)
+				for i := range slots {
+					slots[i] = i
+					deltas[i] = int64(i + 1)
+				}
+				start := img.Clock().Now()
+				if batched {
+					tab.UpdateBatchAt(2, slots, deltas)
+				} else {
+					for i := range slots {
+						tab.UpdateAt(2, slots[i], deltas[i])
+					}
+				}
+				out = img.Clock().Now() - start
+			}
+			img.SyncAll()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	sequential := elapsed(false)
+	batched := elapsed(true)
+	if batched >= sequential {
+		t.Fatalf("batched %v ns not faster than sequential %v ns", batched, sequential)
+	}
+	if batched > 0.75*sequential {
+		t.Errorf("batched %v ns saves under 25%% of sequential %v ns; pipelining not effective", batched, sequential)
+	}
+}

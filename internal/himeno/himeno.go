@@ -41,6 +41,16 @@ type Params struct {
 	// images have no fault points inside collectives, so an image that passed
 	// the pre-reduction barrier always completes the reduction.
 	FaultAware bool
+	// Overlap pipelines the halo exchange with the stencil computation using
+	// nonblocking puts: each iteration sweeps its two boundary j-planes
+	// first, launches them toward the neighbours with PutAsync, sweeps the
+	// interior while the transfers are in flight, and completes everything
+	// with one SyncMemory. The coarray serves purely as a ghost-plane
+	// mailbox (no per-iteration full-slab store), so an iteration costs one
+	// barrier instead of two and the halo wire time hides under the interior
+	// sweep. The numerical field is identical to the blocking schedule;
+	// only the residual's floating-point summation order differs.
+	Overlap bool
 }
 
 // Result is the outcome of a distributed run.
@@ -159,13 +169,13 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 		img.Clock().Reset()
 		var gosa float64
 		next := make([]float32, len(cur))
-		for it := 0; ok && it < prm.Iters; it++ {
-			copy(next, cur)
-			gosa = 0
-			// Jacobi sweep over this image's interior points. Global
-			// boundaries (i, k extremes; global j = 0 and ny-1) stay fixed.
+		// sweepPlanes runs the Jacobi kernel on local j-planes [jlo, jhi],
+		// reading cur and writing next, accumulating the squared residual.
+		// Global boundaries (i, k extremes; global j = 0 and ny-1) stay
+		// fixed.
+		sweepPlanes := func(jlo, jhi int) {
 			for k := 1; k < nz-1; k++ {
-				for j := 1; j <= nyLoc; j++ {
+				for j := jlo; j <= jhi; j++ {
 					gj := lo + j - 1
 					if gj == 0 || gj == ny-1 {
 						continue
@@ -181,45 +191,116 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 					}
 				}
 			}
-			// Charge the modelled compute time for the sweep.
-			pts := float64((nx - 2) * nyLoc * (nz - 2))
+		}
+		chargeCompute := func(planes int) {
+			pts := float64((nx - 2) * planes * (nz - 2))
 			img.Clock().Advance(opts.Machine.ComputeNs(flopsPerPt * pts))
+		}
+		// tmp backs the ghost-only refresh in overlap mode (allocated once;
+		// the per-iteration refresh must not allocate).
+		var tmp []float32
+		if prm.Overlap {
+			tmp = make([]float32, len(cur))
+		}
+		for it := 0; ok && it < prm.Iters; it++ {
+			copy(next, cur)
+			gosa = 0
+			if !prm.Overlap {
+				// Blocking schedule (the paper's §IV-B translation): sweep
+				// everything, store the slab, exchange halos with a quiet per
+				// put and a barrier on either side.
+				sweepPlanes(1, nyLoc)
+				chargeCompute(nyLoc)
 
-			cur, next = next, cur
-			p.SetSlice(cur)
-			// Everyone's local store must land before neighbours write into
-			// our ghost planes (and vice versa).
-			if !sync() {
-				done = it
-				break
-			}
+				cur, next = next, cur
+				p.SetSlice(cur)
+				// Everyone's local store must land before neighbours write
+				// into our ghost planes (and vice versa).
+				if !sync() {
+					done = it
+					break
+				}
 
-			// Halo exchange: matrix-oriented planes (contiguous in i,
-			// strided across k).
-			if me > 1 {
-				plane := extractPlane(cur, nx, nyAlloc, nz, 1)
-				leftNyLoc := planeCount(ny, images, me-1)
-				p2 := sectionPlane(nx, nz, leftNyLoc+1)
-				putPlane(img, p, me-1, p2, plane)
+				// Halo exchange: matrix-oriented planes (contiguous in i,
+				// strided across k).
+				if me > 1 {
+					plane := extractPlane(cur, nx, nyAlloc, nz, 1)
+					leftNyLoc := planeCount(ny, images, me-1)
+					p2 := sectionPlane(nx, nz, leftNyLoc+1)
+					putPlane(img, p, me-1, p2, plane)
+				}
+				if me < images {
+					plane := extractPlane(cur, nx, nyAlloc, nz, nyLoc)
+					p2 := sectionPlane(nx, nz, 0)
+					putPlane(img, p, me+1, p2, plane)
+				}
+				if !sync() {
+					done = it
+					break
+				}
+				// Refresh ghosts into the working copy (in place — the
+				// refresh is per-iteration on every image, so it must not
+				// allocate).
+				p.SliceInto(cur)
+			} else {
+				// Overlap schedule: boundary planes first, launch them
+				// nonblocking, hide the wire time under the interior sweep,
+				// complete with one SyncMemory and one barrier.
+				boundary := 1
+				sweepPlanes(1, 1)
+				if nyLoc > 1 {
+					sweepPlanes(nyLoc, nyLoc)
+					boundary = 2
+				}
+				chargeCompute(boundary)
+
+				// Launch the freshly-computed boundary planes from next: the
+				// runtime encodes them at issue, so the later swap and sweep
+				// cannot race the in-flight payloads.
+				if me > 1 {
+					plane := extractPlane(next, nx, nyAlloc, nz, 1)
+					leftNyLoc := planeCount(ny, images, me-1)
+					p.PutAsync(me-1, sectionPlane(nx, nz, leftNyLoc+1), plane)
+				}
+				if me < images {
+					plane := extractPlane(next, nx, nyAlloc, nz, nyLoc)
+					p.PutAsync(me+1, sectionPlane(nx, nz, 0), plane)
+				}
+
+				if nyLoc > 2 {
+					sweepPlanes(2, nyLoc-1)
+				}
+				chargeCompute(nyLoc - boundary)
+
+				img.SyncMemory()
+				cur, next = next, cur
+				// One barrier: my neighbours' transfers into my ghost slots
+				// completed before they entered it.
+				if !sync() {
+					done = it
+					break
+				}
+				// Ghost-only refresh: the coarray is a mailbox, only its two
+				// ghost planes carry data (the slab interior lives in cur).
+				p.SliceInto(tmp)
+				if me > 1 {
+					copyPlane(cur, tmp, nx, nyAlloc, nz, 0)
+				}
+				if me < images {
+					copyPlane(cur, tmp, nx, nyAlloc, nz, nyLoc+1)
+				}
 			}
-			if me < images {
-				plane := extractPlane(cur, nx, nyAlloc, nz, nyLoc)
-				p2 := sectionPlane(nx, nz, 0)
-				putPlane(img, p, me+1, p2, plane)
-			}
-			if !sync() {
-				done = it
-				break
-			}
-			// Refresh ghosts into the working copy (in place — the refresh is
-			// per-iteration on every image, so it must not allocate).
-			p.SliceInto(cur)
 
 			// Residual reduction, as the reference code does every iteration.
 			// Safe even while a fault is pending: the barrier just above
 			// succeeded, and there is no fault point between it and the end of
 			// the reduction, so every participant completes it.
 			gosa = caf.CoSum(img, []float64{gosa}, 0)[0]
+		}
+		if prm.Overlap && prm.Gather && stat == caf.StatOK {
+			// The coarray held only ghost planes during the run; publish the
+			// final slab for the gather below.
+			p.SetSlice(cur)
 		}
 		sync()
 		if me == 1 {
@@ -300,4 +381,13 @@ func extractPlane(cur []float32, nx, nyAlloc, nz, j int) []float32 {
 func putPlane(img *caf.Image, p *caf.Coarray[float32], target int, sec caf.Section, vals []float32) {
 	p.Put(target, sec, vals)
 	_ = img
+}
+
+// copyPlane copies local j-plane j from src into dst (both full working
+// arrays with j extent nyAlloc+2).
+func copyPlane(dst, src []float32, nx, nyAlloc, nz, j int) {
+	for k := 0; k < nz; k++ {
+		base := nx * (j + (nyAlloc+2)*k)
+		copy(dst[base:base+nx], src[base:base+nx])
+	}
 }

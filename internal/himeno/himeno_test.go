@@ -137,3 +137,60 @@ func TestNaiveBestForHimeno(t *testing.T) {
 			naive.MFLOPS, twoDim.MFLOPS)
 	}
 }
+
+// Overlap mode must compute the exact same field as the blocking schedule
+// (only the residual's summation order differs) — against the serial
+// reference, for several image counts including the nyLoc==1 edge case.
+func TestOverlapMatchesSerial(t *testing.T) {
+	prm := Params{NX: 12, NY: 16, NZ: 10, Iters: 4, Gather: true, Overlap: true}
+	wantGosa, wantField := Serial(Params{NX: 12, NY: 16, NZ: 10, Iters: 4, Gather: true})
+	for _, images := range []int{1, 2, 3, 5, 8, 16} {
+		res, err := Run(stampedeOpts(), images, prm)
+		if err != nil {
+			t.Fatalf("images=%d: %v", images, err)
+		}
+		if res.Field == nil {
+			t.Fatalf("images=%d: no gathered field", images)
+		}
+		for i := range wantField {
+			if res.Field[i] != wantField[i] {
+				t.Fatalf("images=%d: field[%d] = %v, want %v", images, i, res.Field[i], wantField[i])
+			}
+		}
+		if math.Abs(res.Gosa-wantGosa) > 1e-9*math.Abs(wantGosa)+1e-12 {
+			t.Fatalf("images=%d: gosa %v, want %v", images, res.Gosa, wantGosa)
+		}
+	}
+}
+
+// Overlap must beat the blocking schedule in modelled time on every machine
+// profile the paper evaluates — the halo wire time hides under the interior
+// sweep and one barrier per iteration disappears.
+func TestOverlapFasterOnAllMachines(t *testing.T) {
+	prm := Params{NX: 16, NY: 64, NZ: 12, Iters: 3}
+	configs := map[string]caf.Options{
+		"stampede/mv2x": stampedeOpts(),
+		"xc30/cray":     naiveStrided(caf.UHCAFOverCraySHMEM(fabric.CrayXC30())),
+		"titan/cray":    naiveStrided(caf.UHCAFOverCraySHMEM(fabric.Titan())),
+	}
+	for name, o := range configs {
+		blocking, err := Run(o, 8, prm)
+		if err != nil {
+			t.Fatalf("%s blocking: %v", name, err)
+		}
+		op := prm
+		op.Overlap = true
+		overlap, err := Run(o, 8, op)
+		if err != nil {
+			t.Fatalf("%s overlap: %v", name, err)
+		}
+		if overlap.TimeMs >= blocking.TimeMs {
+			t.Errorf("%s: overlap %.4f ms not faster than blocking %.4f ms", name, overlap.TimeMs, blocking.TimeMs)
+		}
+	}
+}
+
+func naiveStrided(o caf.Options) caf.Options {
+	o.Strided = caf.StridedNaive
+	return o
+}

@@ -1,0 +1,162 @@
+package pgasbench
+
+import (
+	"cafshmem/internal/caf"
+	"cafshmem/internal/fabric"
+	"cafshmem/internal/himeno"
+	"cafshmem/internal/pgas"
+	"cafshmem/internal/shmem"
+)
+
+// Communication/computation overlap harness (beyond-paper extension): the
+// OpenSHMEM 1.3 nonblocking RMA mapping lets the runtime hide wire time
+// under computation, the optimisation the paper's §VII sketches as future
+// work. Panel A isolates the mechanism with a microbenchmark; Panel B shows
+// it end-to-end in the Himeno solver on each evaluated machine.
+
+// OverlapConfig describes the microbenchmark: one PE pair, per-size timed
+// phases with a computation exactly as long as the measured wire time, so
+// perfect overlap halves the total.
+type OverlapConfig struct {
+	Machine *fabric.Machine
+	Profile string
+	Sizes   []int
+}
+
+// OverlapMicro measures, per message size, the elapsed virtual time of
+//
+//	blocking: put; quiet; compute          (communication then computation)
+//	overlap:  put_nbi; compute; quiet      (computation hides the transfer)
+//
+// where compute equals the calibrated put+quiet wire time for that size. It
+// returns the two series in elapsed µs.
+func OverlapMicro(cfg OverlapConfig) (Panel, error) {
+	p := Panel{Title: "put vs put_nbi with equal-length compute", XLabel: "message size (bytes)", YLabel: "elapsed (µs)"}
+	blocking := Series{Label: "blocking put"}
+	overlap := Series{Label: "put_nbi overlap"}
+
+	w, err := shmem.NewWorld(shmem.Config{Machine: cfg.Machine, Profile: cfg.Profile}, 2)
+	if err != nil {
+		return p, err
+	}
+	maxSize := 0
+	for _, s := range cfg.Sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	err = w.PgasWorld().Run(func(pp *pgas.PE) {
+		pe := w.Attach(pp)
+		buf := pe.Malloc(int64(maxSize))
+		data := make([]byte, maxSize)
+		for _, size := range cfg.Sizes {
+			// Calibrate the wire time for this size.
+			pe.Barrier()
+			var wire float64
+			if pe.MyPE() == 0 {
+				t0 := pe.Clock().Now()
+				pe.PutMem(1, buf, 0, data[:size])
+				pe.Quiet()
+				wire = pe.Clock().Now() - t0
+			}
+
+			pe.Barrier()
+			if pe.MyPE() == 0 {
+				t0 := pe.Clock().Now()
+				pe.PutMem(1, buf, 0, data[:size])
+				pe.Quiet()
+				pe.Clock().Advance(wire) // compute after communication
+				blocking.Rows = append(blocking.Rows, Row{X: float64(size), Value: (pe.Clock().Now() - t0) / 1e3})
+			}
+
+			pe.Barrier()
+			if pe.MyPE() == 0 {
+				t0 := pe.Clock().Now()
+				pe.PutMemNBI(1, buf, 0, data[:size])
+				pe.Clock().Advance(wire) // compute over the in-flight transfer
+				pe.Quiet()
+				overlap.Rows = append(overlap.Rows, Row{X: float64(size), Value: (pe.Clock().Now() - t0) / 1e3})
+			}
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		return p, err
+	}
+	p.Series = []Series{blocking, overlap}
+	return p, nil
+}
+
+// overlapMachines are the three evaluated machine/profile pairs for Panel B,
+// each with the naive strided algorithm (best for Himeno per §V-D).
+func overlapMachines() []struct {
+	Label string
+	Opts  caf.Options
+} {
+	mkNaive := func(o caf.Options) caf.Options {
+		o.Strided = caf.StridedNaive
+		return o
+	}
+	return []struct {
+		Label string
+		Opts  caf.Options
+	}{
+		{"Stampede/MV2X-SHMEM", mkNaive(caf.UHCAFOverMV2XSHMEM())},
+		{"XC30/Cray-SHMEM", mkNaive(caf.UHCAFOverCraySHMEM(fabric.CrayXC30()))},
+		{"Titan/Cray-SHMEM", mkNaive(caf.UHCAFOverCraySHMEM(fabric.Titan()))},
+	}
+}
+
+// OverlapHimenoParams is the grid Panel B runs: small enough for the
+// harness, with enough halo surface for the overlap to matter.
+func OverlapHimenoParams() himeno.Params {
+	return himeno.Params{NX: 16, NY: 64, NZ: 12, Iters: 3}
+}
+
+// FigOverlap builds the overlap figure: Panel A is the microbenchmark on
+// Stampede's MVAPICH2-X SHMEM; Panel B sweeps the Himeno solver, blocking vs
+// overlapped halo exchange, on all three machine profiles.
+func FigOverlap(maxImages int) Figure {
+	micro, err := OverlapMicro(OverlapConfig{
+		Machine: fabric.Stampede(),
+		Profile: fabric.ProfMV2XSHMEM,
+		Sizes:   []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	prm := OverlapHimenoParams()
+	counts := []int{}
+	for _, n := range ImageSweep {
+		if n <= maxImages && n <= prm.NY {
+			counts = append(counts, n)
+		}
+	}
+	app := Panel{Title: "Himeno halo exchange: blocking vs overlapped", XLabel: "images", YLabel: "time (ms)"}
+	for _, m := range overlapMachines() {
+		blockSeries := Series{Label: m.Label + " blocking"}
+		overSeries := Series{Label: m.Label + " overlap"}
+		for _, n := range counts {
+			r, err := himeno.Run(m.Opts, n, prm)
+			if err != nil {
+				panic(err)
+			}
+			blockSeries.Rows = append(blockSeries.Rows, Row{X: float64(n), Value: r.TimeMs})
+			op := prm
+			op.Overlap = true
+			r2, err := himeno.Run(m.Opts, n, op)
+			if err != nil {
+				panic(err)
+			}
+			overSeries.Rows = append(overSeries.Rows, Row{X: float64(n), Value: r2.TimeMs})
+		}
+		app.Series = append(app.Series, blockSeries, overSeries)
+	}
+
+	return Figure{
+		ID:     "FigOverlap",
+		Title:  "Nonblocking RMA: communication/computation overlap",
+		Panels: []Panel{micro, app},
+	}
+}

@@ -256,3 +256,64 @@ func TestFig10Shape(t *testing.T) {
 		t.Fatal("Himeno: MFLOPS should scale up with images")
 	}
 }
+
+// The overlap microbenchmark must show the defining property of nonblocking
+// RMA in the virtual-time model: with compute equal to the wire time, the
+// overlapped total is max-like (compute + fixed overheads), not sum-like
+// (2x wire) — and never slower than blocking.
+func TestOverlapMicroHidesTransfer(t *testing.T) {
+	panel, err := OverlapMicro(OverlapConfig{
+		Machine: fabric.Stampede(),
+		Profile: fabric.ProfMV2XSHMEM,
+		Sizes:   []int{4 << 10, 64 << 10, 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocking := panel.FindSeries("blocking put")
+	overlap := panel.FindSeries("put_nbi overlap")
+	if blocking == nil || overlap == nil {
+		t.Fatal("missing series")
+	}
+	for i := range blocking.Rows {
+		b, o := blocking.Rows[i].Value, overlap.Rows[i].Value
+		if o >= b {
+			t.Errorf("size %v: overlap %v µs not faster than blocking %v µs", blocking.Rows[i].X, o, b)
+		}
+		// blocking = wire + compute = 2x wire; ideal overlap = wire + o(1).
+		// Demand at least 80% of the hideable half actually hidden at the
+		// larger sizes (fixed overheads dominate the smallest).
+		if blocking.Rows[i].X >= 64<<10 {
+			if hidden := b - o; hidden < 0.8*(b/2) {
+				t.Errorf("size %v: only %v of %v µs hidden", blocking.Rows[i].X, hidden, b/2)
+			}
+		}
+	}
+}
+
+// FigOverlap's application panel must show the overlap schedule beating the
+// blocking one on every machine profile at every image count — the claim
+// EXPERIMENTS.md records.
+func TestFigOverlapSpeedupOnAllMachines(t *testing.T) {
+	fig := FigOverlap(8)
+	if len(fig.Panels) != 2 {
+		t.Fatalf("FigOverlap has %d panels, want 2", len(fig.Panels))
+	}
+	app := fig.Panels[1]
+	for _, m := range overlapMachines() {
+		b := app.FindSeries(m.Label + " blocking")
+		o := app.FindSeries(m.Label + " overlap")
+		if b == nil || o == nil {
+			t.Fatalf("%s: missing series", m.Label)
+		}
+		for i := range b.Rows {
+			if o.Rows[i].Value >= b.Rows[i].Value {
+				t.Errorf("%s images=%v: overlap %.4f ms not faster than blocking %.4f ms",
+					m.Label, b.Rows[i].X, o.Rows[i].Value, b.Rows[i].Value)
+			}
+		}
+		if r := GeoMeanRatio(*b, *o); r <= 1.0 {
+			t.Errorf("%s: geomean blocking/overlap ratio %.3f, want > 1", m.Label, r)
+		}
+	}
+}

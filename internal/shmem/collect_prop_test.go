@@ -1,0 +1,137 @@
+package shmem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the variable-contribution collectives: Collect must
+// equal the naive gather reference (concatenate every PE's block in rank
+// order) for arbitrary non-uniform contribution sizes, and FCollect must
+// equal it in the uniform special case — across world sizes, seeds, and both
+// machine models.
+
+// collectRef builds the expected concatenation for per-PE counts and a value
+// function.
+func collectRef(counts []int, val func(pe, i int) int64) []int64 {
+	var out []int64
+	for pe, c := range counts {
+		for i := 0; i < c; i++ {
+			out = append(out, val(pe, i))
+		}
+	}
+	return out
+}
+
+func TestCollectMatchesNaiveGatherProperty(t *testing.T) {
+	cfgs := map[string]Config{"stampede": stampedeCfg(), "cray": crayCfg()}
+	for name, cfg := range cfgs {
+		for seed := int64(1); seed <= 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			npes := 2 + rng.Intn(5) // 2..6
+			counts := make([]int, npes)
+			total := 0
+			for r := range counts {
+				counts[r] = rng.Intn(9) // 0..8, zeros included deliberately
+				total += counts[r]
+			}
+			if total == 0 {
+				counts[0] = 1
+				total = 1
+			}
+			val := func(pe, i int) int64 { return int64(1000*pe + 7*i + 3) }
+			want := collectRef(counts, val)
+
+			err := Run(cfg, npes, func(pe *PE) {
+				me := pe.MyPE()
+				maxC := 0
+				for _, c := range counts {
+					if c > maxC {
+						maxC = c
+					}
+				}
+				src := pe.Malloc(8 * int64(maxC+1))
+				dest := pe.Malloc(8 * int64(total))
+				for i := 0; i < counts[me]; i++ {
+					P(pe, me, src, i, val(me, i))
+				}
+				pe.Barrier()
+				got := Collect[int64](pe, dest, src, counts[me])
+				if got != total {
+					t.Errorf("%s seed %d: Collect total = %d, want %d", name, seed, got, total)
+				}
+				all := Get[int64](pe, me, dest, 0, total)
+				for i := range want {
+					if all[i] != want[i] {
+						t.Errorf("%s seed %d PE %d: element %d = %d, want %d", name, seed, me, i, all[i], want[i])
+						break
+					}
+				}
+				pe.Barrier()
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+		}
+	}
+}
+
+func TestFCollectMatchesUniformGatherProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		npes := 2 + rng.Intn(5)
+		nelems := 1 + rng.Intn(6)
+		counts := make([]int, npes)
+		for r := range counts {
+			counts[r] = nelems
+		}
+		val := func(pe, i int) int64 { return int64(500*pe - 13*i) }
+		want := collectRef(counts, val)
+
+		err := Run(stampedeCfg(), npes, func(pe *PE) {
+			me := pe.MyPE()
+			src := pe.Malloc(8 * int64(nelems))
+			dest := pe.Malloc(8 * int64(npes*nelems))
+			for i := 0; i < nelems; i++ {
+				P(pe, me, src, i, val(me, i))
+			}
+			pe.Barrier()
+			FCollect[int64](pe, dest, src, nelems)
+			all := Get[int64](pe, me, dest, 0, npes*nelems)
+			for i := range want {
+				if all[i] != want[i] {
+					t.Errorf("seed %d PE %d: element %d = %d, want %d", seed, me, i, all[i], want[i])
+					break
+				}
+			}
+			pe.Barrier()
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// The collectives must also agree under the sanitizer (their internal puts
+// and flags follow the completion contracts they claim).
+func TestCollectSanitizerClean(t *testing.T) {
+	cfg := stampedeCfg()
+	cfg.Sanitize = true
+	err := Run(cfg, 4, func(pe *PE) {
+		me := pe.MyPE()
+		src := pe.Malloc(8 * 4)
+		dest := pe.Malloc(8 * 16)
+		for i := 0; i < me; i++ {
+			P(pe, me, src, i, int64(i))
+		}
+		pe.Barrier()
+		Collect[int64](pe, dest, src, me)
+		FCollect[int64](pe, dest, src, 1)
+		pe.Barrier()
+		pe.Free(dest)
+		pe.Free(src)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

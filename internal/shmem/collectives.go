@@ -48,10 +48,12 @@ func (pe *PE) nextSeq() int64 {
 	return pe.collSeq
 }
 
-// signal writes seq into the target's round flag and completes it remotely.
+// signal writes seq into the target's round flag. Completion is
+// signal-mediated (PutSignal with no payload): the awaiting PE's WaitUntil64
+// adopts the flag write's timestamp, so no Quiet — which would flush *all* of
+// this PE's outstanding traffic just to complete one 8-byte flag — is needed.
 func (pe *PE) signal(target int, ctl Sym, slot int, seq int64) {
-	Put(pe, target, ctl, slot, []int64{seq})
-	pe.Quiet()
+	pe.PutSignal(target, ctl, 0, nil, ctl, slot, seq)
 }
 
 // awaitFlag blocks until the local round flag reaches seq.
@@ -98,9 +100,10 @@ func (pe *PE) Broadcast(root int, sym Sym, nbytes int64) {
 		}
 		child := (childRel + root) % n
 		pe.world.pw.Read(pe.p.ID, sym.Off, buf)
-		pe.PutMem(child, sym, 0, buf)
-		pe.Quiet()
-		pe.signal(child, ctl, maxRounds+k, seq)
+		// One put-with-signal delivers payload and round flag together: the
+		// child's awaitFlag orders it after both, replacing the old
+		// put + full Quiet + flag put + full Quiet sequence.
+		pe.PutSignal(child, sym, 0, buf, ctl, maxRounds+k, seq)
 	}
 }
 

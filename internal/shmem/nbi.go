@@ -1,0 +1,250 @@
+package shmem
+
+import (
+	"fmt"
+
+	"cafshmem/internal/pgas"
+)
+
+// Nonblocking RMA (OpenSHMEM 1.3 shmem_put_nbi / shmem_get_nbi and this
+// library's vectored/strided extensions). A nonblocking call charges only the
+// injection overhead on the initiator and hands the transfer to the PE's
+// in-flight queue (fabric.NBIQueue): the bytes occupy the NIC from its next
+// idle moment and complete one delivery latency later. Quiet advances the
+// clock to the latest outstanding completion, so compute issued between post
+// and Quiet genuinely overlaps communication.
+//
+// Contract (the real library's, enforced by shmemvet and the sanitizer):
+//
+//   - the source buffer of a *_NBI put must not be modified until Quiet;
+//   - the destination of a GetNBI is undefined until Quiet;
+//   - remote visibility of a *_NBI put requires Quiet — Fence orders puts
+//     but does NOT complete nonblocking ones.
+//
+// In the simulator the data lands in the target partition immediately with a
+// visibility timestamp equal to the op's completion time (the substrate's
+// deferred-visibility write), so WaitUntil/watch determinism is untouched.
+
+// PutMemNBI starts a nonblocking contiguous put (shmem_putmem_nbi). The
+// source buffer must stay unmodified until Quiet.
+func (pe *PE) PutMemNBI(target int, sym Sym, off int64, data []byte) {
+	pe.putMemNBI(target, sym, off, data, nil)
+}
+
+// putMemNBI is the shared nonblocking-put core. live, when non-nil, lets the
+// sanitizer re-materialise the caller's source buffer at Quiet so typed
+// wrappers get reuse detection against the buffer the user actually holds.
+func (pe *PE) putMemNBI(target int, sym Sym, off int64, data []byte, live func() []byte) {
+	pe.checkTarget(target)
+	if len(data) == 0 {
+		return
+	}
+	if off < 0 || off+int64(len(data)) > sym.Size {
+		panic(fmt.Sprintf("shmem: put_nbi of %d bytes at offset %d overflows %d-byte symmetric object", len(data), off, sym.Size))
+	}
+	if san := pe.world.san; san != nil {
+		if live == nil {
+			d := data
+			live = func() []byte { return d }
+		}
+		san.recordPutNBI(pe.p.ID, target, sym.Off+off, int64(len(data)), data, live)
+	}
+	pe.linkPenalty()
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	pe.p.Clock.Advance(prof.NBIInjectNs())
+	done := pe.nbi.Issue(pe.p.Clock.Now(),
+		prof.NBITransferNs(len(data), intra, pairs),
+		prof.DeliveryNs(intra, pairs))
+	pe.world.pw.Write(target, sym.Off+off, data, done)
+	pe.noteNBITarget(target)
+}
+
+// GetMemNBI starts a nonblocking contiguous get (shmem_getmem_nbi). dst is
+// undefined until Quiet. The modelled completion pays the request round trip
+// plus the data streaming back; the host-side copy happens at issue, which is
+// a legal serialisation of the undefined-until-quiet window (the simulator
+// always resolves it to "request served immediately").
+func (pe *PE) GetMemNBI(target int, sym Sym, off int64, dst []byte) {
+	pe.checkTarget(target)
+	if len(dst) == 0 {
+		return
+	}
+	if off < 0 || off+int64(len(dst)) > sym.Size {
+		panic(fmt.Sprintf("shmem: get_nbi of %d bytes at offset %d overflows %d-byte symmetric object", len(dst), off, sym.Size))
+	}
+	if san := pe.world.san; san != nil {
+		san.checkRead(pe.p.ID, target, sym.Off+off, int64(len(dst)))
+	}
+	pe.linkPenalty()
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	pe.p.Clock.Advance(prof.NBIInjectNs())
+	pe.nbi.Issue(pe.p.Clock.Now(),
+		prof.NBITransferNs(len(dst), intra, pairs),
+		2*prof.DeliveryNs(intra, pairs))
+	pe.world.pw.Read(target, sym.Off+off, dst)
+	pe.noteNBITarget(target)
+}
+
+// PutMemVNBI is the nonblocking vectored multi-run put: the nonblocking
+// sibling of PutMemV. Each run charges one injection overhead; the runs'
+// transfers serialise on the NIC. src must stay unmodified until Quiet.
+func (pe *PE) PutMemVNBI(target int, sym Sym, offs []int64, runBytes int, src []byte) {
+	pe.checkTarget(target)
+	if runBytes <= 0 || len(src) != len(offs)*runBytes {
+		panic("shmem: putmemv_nbi source does not match runs")
+	}
+	if len(offs) == 0 {
+		return
+	}
+	san := pe.world.san
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	transfer := prof.NBITransferNs(runBytes, intra, pairs)
+	delivery := prof.DeliveryNs(intra, pairs)
+	tp := pgas.GetTsScratch()
+	visAt := (*tp)[:0]
+	for i, off := range offs {
+		if off < 0 || off+int64(runBytes) > sym.Size {
+			panic(fmt.Sprintf("shmem: putmemv_nbi run of %d bytes at offset %d overflows %d-byte symmetric object", runBytes, off, sym.Size))
+		}
+		if san != nil {
+			run := src[i*runBytes : (i+1)*runBytes]
+			san.recordPutNBI(pe.p.ID, target, sym.Off+off, int64(runBytes), run, func() []byte { return run })
+		}
+		pe.linkPenalty()
+		pe.p.Clock.Advance(prof.NBIInjectNs())
+		visAt = append(visAt, pe.nbi.Issue(pe.p.Clock.Now(), transfer, delivery))
+	}
+	pe.world.pw.WriteRuns(target, sym.Off, offs, runBytes, src, visAt)
+	*tp = visAt
+	pgas.PutTsScratch(tp)
+	pe.noteNBITarget(target)
+}
+
+// IPutMemNBI is the nonblocking byte-level 1-D strided put: the nonblocking
+// sibling of IPutMem. The initiator pays the CPU share of the strided issue
+// (one descriptor in hardware mode, one per element in loop mode — §V-B2's
+// distinction survives overlap); descriptor walking and byte streaming occupy
+// the NIC asynchronously.
+func (pe *PE) IPutMemNBI(target int, sym Sym, off, dstStrideBytes int64, elemSize int, src []byte) {
+	pe.checkTarget(target)
+	if elemSize <= 0 || len(src)%elemSize != 0 {
+		panic("shmem: iputmem_nbi source not a whole number of elements")
+	}
+	nelems := len(src) / elemSize
+	if nelems == 0 {
+		return
+	}
+	if dstStrideBytes < int64(elemSize) {
+		panic("shmem: iputmem_nbi stride smaller than element")
+	}
+	need := off + int64(nelems-1)*dstStrideBytes + int64(elemSize)
+	if off < 0 || need > sym.Size {
+		panic(fmt.Sprintf("shmem: iputmem_nbi overflows symmetric object (need %d bytes, have %d)", need, sym.Size))
+	}
+	if san := pe.world.san; san != nil {
+		san.recordPutNBI(pe.p.ID, target, sym.Off+off, need-off, src, func() []byte { return src })
+	}
+	pe.linkPenalty()
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	pe.p.Clock.Advance(prof.StridedNBIInjectNs(nelems) +
+		prof.StridedLocalityNs(nelems, elemSize, dstStrideBytes))
+	done := pe.nbi.Issue(pe.p.Clock.Now(),
+		prof.StridedNBITransferNs(nelems, elemSize, intra, pairs),
+		prof.DeliveryNs(intra, pairs))
+	pe.world.pw.WriteV(target, sym.Off+off, dstStrideBytes, elemSize, src, done)
+	pe.noteNBITarget(target)
+}
+
+// IGetMemNBI is the nonblocking byte-level 1-D strided get. dst is undefined
+// until Quiet.
+func (pe *PE) IGetMemNBI(target int, sym Sym, off, srcStrideBytes int64, elemSize int, dst []byte) {
+	pe.checkTarget(target)
+	if elemSize <= 0 || len(dst)%elemSize != 0 {
+		panic("shmem: igetmem_nbi destination not a whole number of elements")
+	}
+	nelems := len(dst) / elemSize
+	if nelems == 0 {
+		return
+	}
+	if srcStrideBytes < int64(elemSize) {
+		panic("shmem: igetmem_nbi stride smaller than element")
+	}
+	need := off + int64(nelems-1)*srcStrideBytes + int64(elemSize)
+	if off < 0 || need > sym.Size {
+		panic(fmt.Sprintf("shmem: igetmem_nbi overflows symmetric object (need %d bytes, have %d)", need, sym.Size))
+	}
+	if san := pe.world.san; san != nil {
+		san.checkRead(pe.p.ID, target, sym.Off+off, need-off)
+	}
+	pe.linkPenalty()
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	pe.p.Clock.Advance(prof.StridedNBIInjectNs(nelems) +
+		prof.StridedLocalityNs(nelems, elemSize, srcStrideBytes))
+	pe.nbi.Issue(pe.p.Clock.Now(),
+		prof.StridedNBITransferNs(nelems, elemSize, intra, pairs),
+		2*prof.DeliveryNs(intra, pairs))
+	pe.world.pw.ReadV(target, sym.Off+off, srcStrideBytes, elemSize, dst)
+	pe.noteNBITarget(target)
+}
+
+// PutNBI starts a nonblocking typed put (the shmem_put_nbi family). vals must
+// stay unmodified until Quiet; the sanitizer re-encodes it at Quiet to catch
+// reuse of the caller's buffer, not just the marshalled copy.
+func PutNBI[T pgas.Elem](pe *PE, target int, sym Sym, idx int, vals []T) {
+	es := int64(pgas.SizeOf[T]())
+	raw := pgas.EncodeSlice[T](nil, vals)
+	var live func() []byte
+	if pe.world.san != nil {
+		live = func() []byte { return pgas.EncodeSlice[T](nil, vals) }
+	}
+	pe.putMemNBI(target, sym, int64(idx)*es, raw, live)
+}
+
+// GetNBI starts a nonblocking typed get into dst (the shmem_get_nbi family).
+// dst is undefined until Quiet.
+func GetNBI[T pgas.Elem](pe *PE, target int, sym Sym, idx int, dst []T) {
+	es := int64(pgas.SizeOf[T]())
+	raw := make([]byte, int64(len(dst))*es)
+	pe.GetMemNBI(target, sym, int64(idx)*es, raw)
+	pgas.DecodeSlice(dst, raw)
+}
+
+// NBIOutstanding returns the number of nonblocking ops issued since the last
+// Quiet (observability and tests).
+func (pe *PE) NBIOutstanding() int { return pe.nbi.Outstanding() }
+
+// noteNBITarget records target among the PEs with in-flight nonblocking ops.
+// The list is tiny (halo neighbours, a pipeline's partner), so a linear scan
+// beats any map and the backing array is reused across Quiets.
+func (pe *PE) noteNBITarget(target int) {
+	for _, t := range pe.nbiTargets {
+		if t == target {
+			return
+		}
+	}
+	pe.nbiTargets = append(pe.nbiTargets, target)
+}
+
+// QuietStat is Quiet with fault status: when any PE with in-flight
+// nonblocking ops has failed, the drain completes (writes to a frozen
+// partition were silently dropped by the substrate) and the fault is returned
+// instead of being lost — the hook the CAF runtime's SYNC MEMORY stat form
+// needs. A nil return means every outstanding op targeted a live PE.
+func (pe *PE) QuietStat() error {
+	var failed []int
+	for _, t := range pe.nbiTargets {
+		if pe.world.pw.Failed(t) {
+			failed = append(failed, t)
+		}
+	}
+	pe.Quiet()
+	if len(failed) > 0 {
+		return &pgas.ImageFault{Failed: failed}
+	}
+	return nil
+}

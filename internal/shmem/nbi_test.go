@@ -1,0 +1,398 @@
+package shmem
+
+import (
+	"strings"
+	"testing"
+
+	"cafshmem/internal/fabric"
+)
+
+// The acceptance property of the whole nonblocking model: compute issued
+// between PutNBI and Quiet is hidden, so total time is max(compute, transfer),
+// not the sum. The arithmetic is pinned exactly against the profile.
+func TestNBIOverlapHidesCompute(t *testing.T) {
+	cfg := stampedeCfg()
+	prof := cfg.Machine.MustProfile(cfg.Profile)
+	const n = 1 << 16 // a transfer big enough to dominate overheads
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(n)
+		pe.Barrier()
+		defer pe.Barrier()
+		if pe.MyPE() != 0 {
+			return
+		}
+		data := make([]byte, n)
+		intra, pairs := pe.intra(1), pe.pairs()
+		transfer := prof.NBITransferNs(n, intra, pairs)
+		delivery := prof.DeliveryNs(intra, pairs)
+
+		// Case 1: compute much longer than the transfer — fully hidden.
+		t0 := pe.Clock().Now()
+		pe.PutMemNBI(1, sym, 0, data)
+		long := 10 * (transfer + delivery)
+		pe.Clock().Advance(long)
+		pe.Quiet()
+		got := pe.Clock().Now() - t0
+		want := 2*prof.OverheadNs + long // issue + compute + quiet overhead; completion already passed
+		if !near(got, want) {
+			t.Errorf("long-compute overlap: elapsed %g, want %g (transfer fully hidden)", got, want)
+		}
+
+		// Case 2: no compute — Quiet waits out the whole transfer.
+		t0 = pe.Clock().Now()
+		pe.PutMemNBI(1, sym, 0, data)
+		pe.Quiet()
+		got = pe.Clock().Now() - t0
+		want = prof.OverheadNs + transfer + delivery // completion dominates the quiet overhead
+		if !near(got, want) {
+			t.Errorf("no-compute drain: elapsed %g, want %g", got, want)
+		}
+
+		// Case 3: compute shorter than the transfer — total is the max-form,
+		// strictly less than the blocking sum.
+		short := transfer / 2
+		t0 = pe.Clock().Now()
+		pe.PutMemNBI(1, sym, 0, data)
+		pe.Clock().Advance(short)
+		pe.Quiet()
+		got = pe.Clock().Now() - t0
+		want = prof.OverheadNs + transfer + delivery // completion clock: issue-end + transfer + delivery
+		if !near(got, want) {
+			t.Errorf("short-compute overlap: elapsed %g, want %g", got, want)
+		}
+		sum := prof.OverheadNs + transfer + delivery + short
+		if got >= sum {
+			t.Errorf("overlap did not hide compute: elapsed %g >= blocking sum %g", got, sum)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*b+1e-9
+}
+
+// A nonblocking put followed immediately by Quiet costs at least the blocking
+// put's local cost (the decomposition never undercharges), and the data
+// arrives with the same contents.
+func TestNBIRoundtripAndFloor(t *testing.T) {
+	cfg := crayCfg()
+	prof := cfg.Machine.MustProfile(cfg.Profile)
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(8 * 16)
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			vals := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+			t0 := pe.Clock().Now()
+			PutNBI(pe, 1, sym, 0, vals)
+			pe.Quiet()
+			elapsed := pe.Clock().Now() - t0
+			intra, pairs := pe.intra(1), pe.pairs()
+			floor := prof.PutInjectNs(64, intra, pairs)
+			if elapsed < floor {
+				t.Errorf("put_nbi+quiet elapsed %g under blocking floor %g", elapsed, floor)
+			}
+		}
+		pe.Barrier()
+		if pe.MyPE() == 1 {
+			got := Get[int64](pe, 1, sym, 0, 8)
+			want := []int64{3, 1, 4, 1, 5, 9, 2, 6}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("element %d = %d, want %d", i, got[i], want[i])
+				}
+			}
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// GetNBI fills the destination and charges only injection overhead at issue;
+// the round trip lands at Quiet.
+func TestGetNBI(t *testing.T) {
+	cfg := stampedeCfg()
+	prof := cfg.Machine.MustProfile(cfg.Profile)
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(8 * 4)
+		for i := 0; i < 4; i++ {
+			P(pe, pe.MyPE(), sym, i, int64(100*pe.MyPE()+i))
+		}
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			dst := make([]int64, 4)
+			t0 := pe.Clock().Now()
+			GetNBI(pe, 1, sym, 0, dst)
+			issueCost := pe.Clock().Now() - t0
+			if !near(issueCost, prof.OverheadNs) {
+				t.Errorf("get_nbi issue cost %g, want overhead %g", issueCost, prof.OverheadNs)
+			}
+			if pe.NBIOutstanding() != 1 {
+				t.Errorf("outstanding = %d, want 1", pe.NBIOutstanding())
+			}
+			pe.Quiet()
+			for i := range dst {
+				if dst[i] != int64(100+i) {
+					t.Errorf("dst[%d] = %d, want %d", i, dst[i], 100+i)
+				}
+			}
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The vectored and strided nonblocking variants must deliver the same bytes
+// as their blocking siblings.
+func TestNBIVectoredAndStridedVariants(t *testing.T) {
+	err := Run(crayCfg(), 2, func(pe *PE) {
+		sym := pe.Malloc(1024)
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			src := make([]byte, 64)
+			for i := range src {
+				src[i] = byte(i + 1)
+			}
+			pe.PutMemVNBI(1, sym, []int64{0, 256, 512, 768}, 16, src)
+			strided := make([]byte, 32)
+			for i := range strided {
+				strided[i] = byte(200 - i)
+			}
+			pe.IPutMemNBI(1, sym, 64, 24, 8, strided)
+			// One in-flight op per vectored run (4) plus the strided op.
+			if pe.NBIOutstanding() != 5 {
+				t.Errorf("outstanding = %d, want 5", pe.NBIOutstanding())
+			}
+			pe.Quiet()
+		}
+		pe.Barrier()
+		if pe.MyPE() == 1 {
+			dst := make([]byte, 16)
+			for run, off := range []int64{0, 256, 512, 768} {
+				pe.GetMem(1, sym, off, dst)
+				for i := range dst {
+					if dst[i] != byte(run*16+i+1) {
+						t.Fatalf("run %d byte %d = %d, want %d", run, i, dst[i], run*16+i+1)
+					}
+				}
+			}
+			got := make([]byte, 32)
+			pe.IGetMemNBI(1, sym, 64, 24, 8, got)
+			pe.Quiet()
+			for i := range got {
+				if got[i] != byte(200-i) {
+					t.Fatalf("strided byte %d = %d, want %d", i, got[i], 200-i)
+				}
+			}
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The sanitizer's NBI source-buffer contract: modifying the source of an
+// in-flight put before Quiet is reported; leaving it alone is clean.
+func TestSanitizerCatchesNBISourceReuse(t *testing.T) {
+	cfg := stampedeCfg()
+	cfg.Sanitize = true
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			buf := []byte{1, 2, 3, 4}
+			pe.PutMemNBI(1, sym, 0, buf)
+			buf[0] = 99 // reuse before Quiet: the violation
+			pe.Quiet()
+		}
+		pe.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "nbi-src-reuse") {
+		t.Fatalf("want nbi-src-reuse violation, got %v", err)
+	}
+}
+
+func TestSanitizerCatchesTypedNBISourceReuse(t *testing.T) {
+	cfg := stampedeCfg()
+	cfg.Sanitize = true
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			vals := []int64{7, 8}
+			PutNBI(pe, 1, sym, 0, vals)
+			vals[1] = -1 // the typed buffer is re-encoded at Quiet
+			pe.Quiet()
+		}
+		pe.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "nbi-src-reuse") {
+		t.Fatalf("want nbi-src-reuse violation, got %v", err)
+	}
+}
+
+func TestSanitizerCleanNBIUse(t *testing.T) {
+	cfg := stampedeCfg()
+	cfg.Sanitize = true
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			buf := []byte{1, 2, 3, 4}
+			pe.PutMemNBI(1, sym, 0, buf)
+			pe.Quiet()
+			buf[0] = 99 // after Quiet: fine
+		}
+		pe.Barrier()
+		pe.Free(sym)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSanitizerReportsNBILeak(t *testing.T) {
+	cfg := stampedeCfg()
+	cfg.Sanitize = true
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		// Complete all blocking traffic, then leave one NBI op in flight on
+		// PE 0 with no closing Quiet. (The final Barrier would quiesce, so
+		// the op is issued after it — deliberately last.)
+		if pe.MyPE() == 0 {
+			pe.PutMemNBI(1, sym, 0, []byte{1})
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "nbi-leak") {
+		t.Fatalf("want nbi-leak violation, got %v", err)
+	}
+}
+
+// A remote get racing an in-flight NBI put is the same race the blocking
+// sanitizer catches — the recordPutNBI entries feed the same overlap check.
+func TestSanitizerCatchesReadRacingNBIPut(t *testing.T) {
+	cfg := stampedeCfg()
+	cfg.Sanitize = true
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			pe.PutMemNBI(1, sym, 0, []byte{1, 2, 3, 4})
+			dst := make([]byte, 4)
+			pe.GetMem(1, sym, 0, dst) // read before Quiet
+			pe.Quiet()
+		}
+		pe.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "race") {
+		t.Fatalf("want race violation, got %v", err)
+	}
+}
+
+// QuietStat surfaces a failed target among the in-flight ops.
+func TestQuietStatReportsFailedTarget(t *testing.T) {
+	err := Run(stampedeCfg(), 3, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		switch pe.MyPE() {
+		case 2:
+			pe.p.Fail()
+		case 0:
+			// Wait until the failure is visible, then put into the corpse.
+			for !pe.world.pw.Failed(2) {
+			}
+			pe.PutMemNBI(2, sym, 0, []byte{1, 2, 3})
+			if got := pe.QuietStat(); got == nil {
+				t.Error("QuietStat = nil, want ImageFault for failed target")
+			}
+			// And a clean quiet after a put to a live PE.
+			pe.PutMemNBI(1, sym, 0, []byte{4})
+			if got := pe.QuietStat(); got != nil {
+				t.Errorf("QuietStat = %v, want nil for live target", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Quiet with nothing outstanding must behave exactly as before the NBI engine
+// existed (the blocking path's bit-identity depends on Drain returning 0).
+func TestQuietWithoutNBIUnchanged(t *testing.T) {
+	cfg := crayCfg()
+	prof := cfg.Machine.MustProfile(cfg.Profile)
+	err := Run(cfg, 2, func(pe *PE) {
+		pe.Barrier()
+		t0 := pe.Clock().Now()
+		pe.Quiet()
+		if got := pe.Clock().Now() - t0; !near(got, prof.OverheadNs) {
+			t.Errorf("empty Quiet cost %g, want %g", got, prof.OverheadNs)
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PutSignal: data and flag travel as one injection; the awaiter adopts the
+// flag's timestamp and sees the payload.
+func TestPutSignalDeliversDataWithFlag(t *testing.T) {
+	cfg := stampedeCfg()
+	prof := cfg.Machine.MustProfile(cfg.Profile)
+	err := Run(cfg, 2, func(pe *PE) {
+		data := pe.Malloc(64)
+		flag := pe.Malloc(8)
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			payload := []byte{10, 20, 30, 40}
+			t0 := pe.Clock().Now()
+			pe.PutSignal(1, data, 0, payload, flag, 0, 7)
+			got := pe.Clock().Now() - t0
+			intra, pairs := pe.intra(1), pe.pairs()
+			want := prof.PutInjectNs(len(payload)+8, intra, pairs)
+			if !near(got, want) {
+				t.Errorf("put_signal local cost %g, want %g (one injection, no quiet)", got, want)
+			}
+		} else {
+			pe.WaitUntil64(flag, 0, CmpEQ, 7)
+			dst := make([]byte, 4)
+			pe.world.pw.Read(1, data.Off, dst)
+			for i, want := range []byte{10, 20, 30, 40} {
+				if dst[i] != want {
+					t.Errorf("payload byte %d = %d, want %d", i, dst[i], want)
+				}
+			}
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// NBI issue must respect injection-bandwidth sharing: two PEs on one node
+// streaming concurrently see a wider gap than a lone PE, exactly as the
+// blocking path does.
+func TestNBITransferRespectsPairSharing(t *testing.T) {
+	m := fabric.Stampede()
+	prof := m.MustProfile(fabric.ProfMV2XSHMEM)
+	lone := prof.NBITransferNs(4096, false, 1)
+	shared := prof.NBITransferNs(4096, false, 2)
+	if shared <= lone {
+		t.Errorf("shared-NIC transfer %g not slower than lone %g", shared, lone)
+	}
+}

@@ -1,6 +1,7 @@
 package shmem
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"cafshmem/internal/pgas"
@@ -286,6 +287,45 @@ func (pe *PE) GetMemV(target int, sym Sym, offs []int64, runBytes int, dst []byt
 		pe.p.Clock.Advance(prof.GetNs(runBytes, intra, pairs))
 	}
 	pe.world.pw.ReadRuns(target, sym.Off, offs, runBytes, dst)
+}
+
+// PutSignal writes data into sym at byte offset off on the target and then
+// sets the 64-bit signal word at element index sigIdx of sig to sigVal, in
+// that order (shmem_put_signal, OpenSHMEM 1.5 flavour). The two writes
+// travel as one injection; the substrate applies them in issue order per
+// target, so an observer that has seen the signal (WaitUntil64) is
+// guaranteed to see the data — completion is signal-mediated, and no Quiet
+// is needed on the critical path. This is what lets the collective trees
+// complete one 8-byte flag without flushing all outstanding traffic.
+//
+// Because the consumer synchronises through the signal word (whose write
+// timestamp WaitUntil64 merges), the data put is not tracked as an
+// outstanding sanitizer put: a reader gated on the signal is ordered after
+// it by construction, and a reader that ignores the signal is outside the
+// primitive's contract. The initiator's own Quiet still waits for delivery
+// (pendingT carries the visibility time).
+//
+// data may be nil/empty to send just the signal.
+func (pe *PE) PutSignal(target int, sym Sym, off int64, data []byte, sig Sym, sigIdx int, sigVal int64) {
+	pe.checkTarget(target)
+	if len(data) > 0 && (off < 0 || off+int64(len(data)) > sym.Size) {
+		panic(fmt.Sprintf("shmem: put_signal of %d bytes at offset %d overflows %d-byte symmetric object", len(data), off, sym.Size))
+	}
+	sigOff := sig.At(int64(sigIdx) * 8) // bounds-checked absolute offset
+	pe.linkPenalty()
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	pe.p.Clock.Advance(prof.PutInjectNs(len(data)+8, intra, pairs))
+	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
+	if len(data) > 0 {
+		pe.world.pw.Write(target, sym.Off+off, data, vis)
+	}
+	var sigBytes [8]byte
+	binary.LittleEndian.PutUint64(sigBytes[:], uint64(sigVal))
+	pe.world.pw.Write(target, sigOff, sigBytes[:], vis)
+	if vis > pe.pendingT {
+		pe.pendingT = vis
+	}
 }
 
 func (pe *PE) checkTarget(target int) {

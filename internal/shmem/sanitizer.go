@@ -1,6 +1,7 @@
 package shmem
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,8 +36,11 @@ import (
 
 // Violation is one sanitizer finding.
 type Violation struct {
-	Kind string // "race", "leak", "collective-mismatch", or "lock-held"
-	PE   int    // the PE the finding is attributed to (-1 for world-level)
+	// Kind is "race", "leak", "collective-mismatch", "lock-held",
+	// "nbi-src-reuse" (a nonblocking put's source buffer was modified before
+	// Quiet), or "nbi-leak" (nonblocking ops still in flight at job end).
+	Kind string
+	PE   int // the PE the finding is attributed to (-1 for world-level)
 	Msg  string
 }
 
@@ -49,6 +53,13 @@ type sanPut struct {
 	origin    int   // PE that issued the put
 	target    int   // PE whose partition it lands in
 	off, size int64 // absolute partition offsets
+	// Nonblocking ops additionally carry the source-buffer contract: snap is
+	// the payload as it was at issue; live re-materialises the caller's
+	// buffer at Quiet. A mismatch means the program modified the source of an
+	// in-flight put_nbi — on real hardware, data corruption.
+	nbi  bool
+	snap []byte
+	live func() []byte
 }
 
 type sanitizer struct {
@@ -119,9 +130,39 @@ func (s *sanitizer) checkRead(reader, target int, off, size int64) {
 	}
 }
 
+// recordPutNBI notes an outstanding nonblocking write together with its
+// source-buffer contract. snap is copied; live is evaluated at quiesce.
+func (s *sanitizer) recordPutNBI(origin, target int, off, size int64, snap []byte, live func() []byte) {
+	if size <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.pending[origin] = append(s.pending[origin], sanPut{
+		origin: origin, target: target, off: off, size: size,
+		nbi: true, snap: append([]byte(nil), snap...), live: live,
+	})
+	s.mu.Unlock()
+}
+
 // quiesce completes all outstanding puts of the origin PE (Quiet semantics).
+// Nonblocking entries verify their source-buffer contract on the way out: a
+// buffer that changed between issue and Quiet was reused while the NIC could
+// still be reading it.
 func (s *sanitizer) quiesce(origin int) {
 	s.mu.Lock()
+	for _, p := range s.pending[origin] {
+		if !p.nbi || p.live == nil {
+			continue
+		}
+		if cur := p.live(); !bytes.Equal(cur, p.snap) {
+			s.violations = append(s.violations, Violation{
+				Kind: "nbi-src-reuse",
+				PE:   origin,
+				Msg: fmt.Sprintf("source buffer of the nonblocking put to [%d,%d) on PE %d was modified before Quiet; the NIC may still be streaming it — reuse the buffer only after Quiet returns",
+					p.off, p.off+p.size, p.target),
+			})
+		}
+	}
 	delete(s.pending, origin)
 	s.mu.Unlock()
 }
@@ -221,6 +262,34 @@ func (w *World) Finalize() []Violation {
 	anyFailed := w.pw.AnyFailed()
 
 	if !anyFailed {
+		// Nonblocking ops never completed: the program exited with puts/gets
+		// still in flight (no Quiet after the last *_NBI call). Blocking puts
+		// are delivered regardless, but an un-quieted NBI op has no defined
+		// completion point at all.
+		var nbiOrigins []int
+		for origin, puts := range s.pending {
+			for _, p := range puts {
+				if p.nbi {
+					nbiOrigins = append(nbiOrigins, origin)
+					break
+				}
+			}
+		}
+		sort.Ints(nbiOrigins)
+		for _, origin := range nbiOrigins {
+			n := 0
+			for _, p := range s.pending[origin] {
+				if p.nbi {
+					n++
+				}
+			}
+			s.violations = append(s.violations, Violation{
+				Kind: "nbi-leak",
+				PE:   origin,
+				Msg:  fmt.Sprintf("%d nonblocking op(s) still in flight at image exit; complete them with Quiet", n),
+			})
+		}
+
 		// Heap leaks: live allocations nobody marked as runtime-internal.
 		w.heap.mu.Lock()
 		var leaked []span

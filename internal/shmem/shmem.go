@@ -39,6 +39,13 @@ type PE struct {
 	// since the last Quiet: the virtual analogue of the NIC's outstanding
 	// operation queue.
 	pendingT float64
+	// nbi tracks in-flight nonblocking ops (PutNBI/GetNBI): issue charges
+	// only the injection overhead; Quiet drains the queue and merges the
+	// latest completion, so compute between post and quiet is hidden.
+	nbi fabric.NBIQueue
+	// nbiTargets lists the distinct PEs with outstanding nonblocking ops
+	// (reset at Quiet) — QuietStat reports failures against them.
+	nbiTargets []int
 	// collSeq numbers this PE's collective operations; all PEs agree on it
 	// because collectives are globally ordered.
 	collSeq int64

@@ -10,10 +10,18 @@ import "encoding/binary"
 func (pe *PE) Quiet() {
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.OverheadNs)
+	// Drain the nonblocking in-flight queue: its latest completion joins the
+	// blocking ops' pendingT, and the merge below waits for whichever is
+	// later. With no NBI ops outstanding Drain returns 0 and the blocking
+	// path is bit-identical to the pre-NBI model.
+	if done := pe.nbi.Drain(); done > pe.pendingT {
+		pe.pendingT = done
+	}
 	if pe.pendingT > pe.p.Clock.Now() {
 		pe.p.Clock.MergeAtLeast(pe.pendingT)
 	}
 	pe.pendingT = 0
+	pe.nbiTargets = pe.nbiTargets[:0]
 	if san := pe.world.san; san != nil {
 		san.quiesce(pe.p.ID)
 	}
@@ -22,7 +30,8 @@ func (pe *PE) Quiet() {
 // Fence orders this PE's puts to each destination — shmem_fence. Weaker than
 // Quiet: ordering per target, not global completion. The substrate applies
 // writes in issue order per target already, so only the call overhead is
-// charged.
+// charged. Fence does NOT complete nonblocking (PutNBI/GetNBI) operations —
+// per the OpenSHMEM 1.3 memory model only Quiet does.
 func (pe *PE) Fence() {
 	pe.p.Clock.Advance(pe.world.prof.OverheadNs)
 }
