@@ -15,12 +15,24 @@ go run ./cmd/shmemvet ./...
 echo "==> shmemvet NBI fixtures (quiet-contract positive + clean cases)"
 go test -run 'TestSyncCheck(FlagsNBIViolations|PassesCleanNBICode)' -count=1 ./internal/analysis
 
+echo "==> shmemvet context fixtures (per-context completion positive + clean cases)"
+go test -run 'TestSyncCheck(FlagsCtxViolations|PassesCleanCtxCode)' -count=1 ./internal/analysis
+
 echo "==> go test -race -count=1 ./..."
 go test -race -count=1 ./...
+
+echo "==> go test -shuffle=on -count=1 ./... (order-independence)"
+go test -shuffle=on -count=1 ./...
+
+echo "==> fuzz smoke (paged segment store vs dense reference, 10s)"
+go test -run '^$' -fuzz '^FuzzSegStore$' -fuzztime 10s ./internal/pgas
 
 echo "==> overlap smoke (put_nbi hides transfer; Himeno overlap beats blocking)"
 go test -run 'TestOverlapMicroHidesTransfer' -count=1 ./internal/pgasbench
 go test -run 'TestOverlapFasterOnAllMachines' -count=1 ./internal/himeno
+
+echo "==> signal smoke (barrier-free Himeno beats the barrier-paced overlap)"
+go test -run 'TestSignalOverlapFasterThanBarrierOverlap' -count=1 ./internal/himeno
 
 echo "==> wall-clock bench smoke (one iteration per benchmark, incl. Himeno overlap)"
 go test -run '^$' -bench '^BenchmarkWallclock' -benchtime 1x .

@@ -84,6 +84,30 @@ func main() {
 	fmt.Print(figOv.Render())
 	summariseFigOverlap(figOv)
 	done()
+
+	done = section("Put-with-signal: barrier-free ghost refresh (beyond-paper)")
+	figSig := pgasbench.FigSignal(min(himImages, 32))
+	fmt.Print(figSig.Render())
+	summariseFigSignal(figSig)
+	done()
+}
+
+func summariseFigSignal(f pgasbench.Figure) {
+	app := f.Panels[0]
+	fmt.Println()
+	for _, label := range []string{"Stampede/MV2X-SHMEM", "XC30/Cray-SHMEM", "Titan/Cray-SHMEM"} {
+		bs, ss := app.FindSeries(label+" barrier"), app.FindSeries(label+" signal")
+		if bs == nil || ss == nil {
+			continue
+		}
+		fmt.Printf("himeno %-20s signal vs barrier-paced speedup %.2fx (geomean over image counts)\n",
+			label+":", pgasbench.GeoMeanRatio(*bs, *ss))
+	}
+	bars := f.Panels[1]
+	if sig := bars.FindSeries("signal overlap"); sig != nil {
+		fmt.Printf("signal schedule barriers (image 1): %v at every iteration count — zero in steady state\n",
+			sig.Rows[0].Value)
+	}
 }
 
 func min(a, b int) int {

@@ -11,6 +11,9 @@ func TestSyncCheckPassesCleanCode(t *testing.T)       { checkFixture(t, SyncChec
 func TestSyncCheckFlagsNBIViolations(t *testing.T) { checkFixture(t, SyncCheck, "nbibad") }
 func TestSyncCheckPassesCleanNBICode(t *testing.T) { checkFixture(t, SyncCheck, "nbiclean") }
 
+func TestSyncCheckFlagsCtxViolations(t *testing.T) { checkFixture(t, SyncCheck, "ctxbad") }
+func TestSyncCheckPassesCleanCtxCode(t *testing.T) { checkFixture(t, SyncCheck, "ctxclean") }
+
 func TestLockCheckFlagsSeededViolations(t *testing.T) { checkFixture(t, LockCheck, "lockbad") }
 func TestLockCheckPassesCleanCode(t *testing.T)       { checkFixture(t, LockCheck, "lockclean") }
 

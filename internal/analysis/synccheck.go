@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // SyncCheck flags reads of a symmetric object that can observe an incomplete
@@ -83,8 +84,8 @@ func (s syncState) union(o syncState) {
 	s.nbiSrc.union(o.nbiSrc)
 }
 
-// clearAll models a full completion point (Quiet, barrier, collective, or an
-// opaque call that may quiet internally).
+// clearAll models an opaque completion point (an indirect call or module
+// helper that may quiet anything, contexts included).
 func (s syncState) clearAll() {
 	clear(s.writes)
 	clear(s.nbi)
@@ -95,6 +96,48 @@ func (s syncState) clearAll() {
 // remain outstanding and their source buffers stay pinned.
 func (s syncState) clearFence() {
 	clear(s.writes)
+}
+
+// ctxKeyPrefix namespaces an entry under a communication context, keyed by the
+// receiver expression: "ctx:<recv>|<sym-or-buffer>". The 1.4 contract is that
+// PE-level Quiet/Barrier never complete context ops and a context's Quiet
+// never completes anyone else's, so the two key spaces clear independently.
+const ctxKeyPrefix = "ctx:"
+
+func ctxKey(recvKey, key string) string { return ctxKeyPrefix + recvKey + "|" + key }
+
+func clearDefaultEntries(m pendingWrites) {
+	for k := range m {
+		if !strings.HasPrefix(k, ctxKeyPrefix) {
+			delete(m, k)
+		}
+	}
+}
+
+func clearPrefixEntries(m pendingWrites, prefix string) {
+	for k := range m {
+		if strings.HasPrefix(k, prefix) {
+			delete(m, k)
+		}
+	}
+}
+
+// clearDefault models a PE-level completion point (Quiet, barrier,
+// collective): everything on the default context completes, context-scoped
+// operations stay outstanding and their source buffers stay pinned.
+func (s syncState) clearDefault() {
+	clearDefaultEntries(s.writes)
+	clearDefaultEntries(s.nbi)
+	clearDefaultEntries(s.nbiSrc)
+}
+
+// clearCtx models ctx.Quiet / ctx.Destroy for the context held in recvKey:
+// only that context's entries complete.
+func (s syncState) clearCtx(recvKey string) {
+	prefix := ctxKey(recvKey, "")
+	clearPrefixEntries(s.writes, prefix)
+	clearPrefixEntries(s.nbi, prefix)
+	clearPrefixEntries(s.nbiSrc, prefix)
 }
 
 func runSyncCheck(pass *Pass) {
@@ -145,11 +188,16 @@ var shmemReadMethods = map[string]int{
 
 var shmemReadFuncs = map[string]int{"Get": 2, "G": 2, "IGet": 2}
 
-// shmem.PE methods that complete ALL outstanding operations, nonblocking
-// included. Fence is deliberately absent: per the OpenSHMEM memory model it
-// orders the put stream but does not complete put_nbi/get_nbi.
+// shmem.PE methods that complete ALL outstanding default-context operations,
+// nonblocking included — but never context-scoped ones (OpenSHMEM 1.4: a
+// context is completed only by its own Quiet). Fence is deliberately absent:
+// per the OpenSHMEM memory model it orders the put stream but does not
+// complete put_nbi/get_nbi. QuietTarget completes one destination; the checker
+// has no per-target precision, so it conservatively counts as a full quiet
+// (missed bugs toward other targets, never false positives).
 var shmemSyncMethods = map[string]bool{
 	"Quiet": true, "QuietStat": true, "Barrier": true,
+	"QuietTarget": true, "QuietTargetStat": true,
 	"Malloc": true, "Free": true, "Broadcast": true,
 }
 
@@ -311,6 +359,7 @@ func (w *syncWalker) applyCall(call *ast.CallExpr, st syncState) {
 	}
 
 	onPE := isMethodOf(fn, shmemPath, "PE", fn.Name()) || isMethodOf(fn, shmemPath, "Sym", fn.Name())
+	onCtx := isMethodOf(fn, shmemPath, "Ctx", fn.Name())
 	pkgFunc := fn.Pkg() != nil && fn.Pkg().Path() == shmemPath && recvNamed(fn) == nil
 
 	switch {
@@ -325,6 +374,14 @@ func (w *syncWalker) applyCall(call *ast.CallExpr, st syncState) {
 		// Quiet, exactly like PutMem.
 		w.recordWrite(call, 1, st.writes)
 		w.recordWrite(call, 4, st.writes)
+	case onPE && fn.Name() == "PutSignalNBI":
+		// Fused nonblocking data+signal: payload (arg 1) and flag word (arg 4)
+		// complete together at Quiet; the payload buffer (arg 3) stays pinned.
+		w.recordWrite(call, 1, st.nbi)
+		w.recordWrite(call, 4, st.nbi)
+		w.recordNBISrc(call, 3, st)
+	case onCtx:
+		w.applyCtxCall(call, fn.Name(), st)
 	case onPE && isNBIWriteMethod(fn.Name()):
 		args := shmemNBIWriteMethods[fn.Name()]
 		w.recordWrite(call, args[0], st.nbi)
@@ -346,9 +403,9 @@ func (w *syncWalker) applyCall(call *ast.CallExpr, st syncState) {
 	case onPE && fn.Name() == "Fence":
 		st.clearFence()
 	case onPE && shmemSyncMethods[fn.Name()]:
-		st.clearAll()
+		st.clearDefault()
 	case pkgFunc && shmemSyncFuncs[fn.Name()]:
-		st.clearAll()
+		st.clearDefault()
 	case onPE || pkgFunc || shmemBenignMethods[fn.Name()] && fn.Pkg() != nil && fn.Pkg().Path() == shmemPath:
 		// Other shmem API (WaitUntil64, locks, accessors): no effect on the
 		// caller's outstanding writes.
@@ -364,6 +421,75 @@ func (w *syncWalker) applyCall(call *ast.CallExpr, st syncState) {
 	default:
 		// Standard library: cannot touch the communication layer.
 	}
+}
+
+// applyCtxCall applies the effect of a shmem.Ctx method. Context writes live
+// under composite keys so only the owning context's Quiet releases them.
+func (w *syncWalker) applyCtxCall(call *ast.CallExpr, name string, st syncState) {
+	rk := w.ctxRecvKey(call)
+	switch name {
+	case "PutMemNBI": // (target, sym, off, data)
+		w.recordCtxWrite(call, 1, rk, st.nbi)
+		w.recordCtxNBISrc(call, 3, rk, st)
+	case "PutSignalNBI": // (target, sym, off, data, sig, sigIdx, sigVal)
+		w.recordCtxWrite(call, 1, rk, st.nbi)
+		w.recordCtxWrite(call, 4, rk, st.nbi)
+		w.recordCtxNBISrc(call, 3, rk, st)
+	case "GetMemNBI": // (target, sym, off, dst)
+		w.checkRead(call, 1, st)
+	case "Quiet", "QuietStat", "QuietTarget", "Destroy":
+		// QuietTarget completes one destination; without per-target precision
+		// it conservatively counts as the context's full quiet.
+		st.clearCtx(rk)
+	default:
+		// Fence (ordering only), PE, Outstanding: no completion effect.
+	}
+}
+
+// ctxRecvKey keys a context by its receiver expression; an unresolvable
+// receiver collapses to one shared key (distinct contexts then alias, which
+// can only mask findings, never invent them — a quiet on one clears both).
+func (w *syncWalker) ctxRecvKey(call *ast.CallExpr) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return w.pass.exprKey(sel.X)
+	}
+	return "?"
+}
+
+func (w *syncWalker) recordCtxWrite(call *ast.CallExpr, symArg int, recvKey string, m pendingWrites) {
+	if symArg >= len(call.Args) {
+		return
+	}
+	key := ctxKey(recvKey, w.pass.exprKey(call.Args[symArg]))
+	if _, ok := m[key]; !ok {
+		m[key] = call.Pos()
+	}
+}
+
+func (w *syncWalker) recordCtxNBISrc(call *ast.CallExpr, srcArg int, recvKey string, st syncState) {
+	if srcArg >= len(call.Args) {
+		return
+	}
+	base := bufBase(call.Args[srcArg])
+	if base == nil {
+		return
+	}
+	key := ctxKey(recvKey, w.pass.exprKey(base))
+	if _, ok := st.nbiSrc[key]; !ok {
+		st.nbiSrc[key] = call.Pos()
+	}
+}
+
+// findCtxEntry finds an outstanding context-scoped entry for plain key k
+// (stored as "ctx:<recv>|<k>") regardless of which context issued it.
+func findCtxEntry(m pendingWrites, k string) (token.Pos, bool) {
+	suffix := "|" + k
+	for key, pos := range m {
+		if strings.HasPrefix(key, ctxKeyPrefix) && strings.HasSuffix(key, suffix) {
+			return pos, true
+		}
+	}
+	return 0, false
 }
 
 func isNBIWriteMethod(name string) bool { _, ok := shmemNBIWriteMethods[name]; return ok }
@@ -432,6 +558,11 @@ func (w *syncWalker) checkBufWrite(lhs ast.Expr, st syncState) {
 	if putPos, ok := st.nbiSrc[key]; ok {
 		w.pass.Reportf(lhs.Pos(), "write to NBI source buffer %s before Quiet completes the nonblocking put at line %d",
 			types.ExprString(base), w.pass.Pkg.Fset.Position(putPos).Line)
+		return
+	}
+	if putPos, ok := findCtxEntry(st.nbiSrc, key); ok {
+		w.pass.Reportf(lhs.Pos(), "write to NBI source buffer %s before the owning context's Quiet completes the nonblocking put at line %d",
+			types.ExprString(base), w.pass.Pkg.Fset.Position(putPos).Line)
 	}
 }
 
@@ -448,6 +579,11 @@ func (w *syncWalker) checkRead(call *ast.CallExpr, symArg int, st syncState) {
 	}
 	if putPos, ok := st.nbi[key]; ok {
 		w.pass.Reportf(call.Pos(), "read of %s before completing the nonblocking write at line %d (missing Quiet)",
+			types.ExprString(sym), w.pass.Pkg.Fset.Position(putPos).Line)
+		return
+	}
+	if putPos, ok := findCtxEntry(st.nbi, key); ok {
+		w.pass.Reportf(call.Pos(), "read of %s before the owning context completes its nonblocking write at line %d (PE-level Quiet/Barrier never completes context ops)",
 			types.ExprString(sym), w.pass.Pkg.Fset.Position(putPos).Line)
 	}
 }

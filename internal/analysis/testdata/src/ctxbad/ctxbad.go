@@ -1,0 +1,69 @@
+// Package ctxbad seeds synccheck's communication-context violations: the
+// OpenSHMEM 1.4 contract that PE-level Quiet/Barrier never complete
+// context-scoped nonblocking ops, that one context's Quiet never completes
+// another's, and that a context put pins its source buffer until the OWNING
+// context's Quiet.
+package ctxbad
+
+import (
+	"cafshmem/internal/shmem"
+)
+
+func peQuietDoesNotCompleteCtx(pe *shmem.PE, data shmem.Sym) []byte {
+	ctx := pe.CtxCreate()
+	ctx.PutMemNBI(1, data, 0, []byte{1, 2, 3})
+	pe.Quiet() // completes the default context only
+	out := make([]byte, 3)
+	pe.GetMem(1, data, 0, out) // want "before the owning context completes its nonblocking write"
+	ctx.Destroy()
+	return out
+}
+
+func barrierDoesNotCompleteCtx(pe *shmem.PE, data shmem.Sym) []byte {
+	ctx := pe.CtxCreate()
+	ctx.PutMemNBI(1, data, 0, []byte{9})
+	pe.Barrier() // collectives quiet the default context, not created ones
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out) // want "nonblocking write at line 24"
+	ctx.Destroy()
+	return out
+}
+
+func wrongCtxQuiet(pe *shmem.PE, data shmem.Sym) []byte {
+	a := pe.CtxCreate()
+	b := pe.CtxCreate()
+	a.PutMemNBI(1, data, 0, []byte{1})
+	b.Quiet() // quiesces b's (empty) streams; a's put stays in flight
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out) // want "before the owning context completes its nonblocking write"
+	a.Destroy()
+	b.Destroy()
+	return out
+}
+
+func ctxSrcReuseBeforeCtxQuiet(pe *shmem.PE, data shmem.Sym) {
+	ctx := pe.CtxCreate()
+	buf := []byte{1, 2, 3, 4}
+	ctx.PutMemNBI(1, data, 0, buf)
+	pe.Quiet() // wrong completion environment: buf is still pinned
+	buf[0] = 9 // want "write to NBI source buffer buf before the owning context's Quiet"
+	ctx.Destroy()
+}
+
+func ctxFenceIsNotCompletion(pe *shmem.PE, data shmem.Sym) []byte {
+	ctx := pe.CtxCreate()
+	ctx.PutMemNBI(1, data, 0, []byte{7})
+	ctx.Fence() // orders the context's puts; completes nothing
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out) // want "before the owning context completes its nonblocking write"
+	ctx.Destroy()
+	return out
+}
+
+func ctxPutSignalRace(pe *shmem.PE, data, flag shmem.Sym) int64 {
+	ctx := pe.CtxCreate()
+	ctx.PutSignalNBI(1, data, 0, []byte{1, 2}, flag, 0, 1)
+	v := shmem.G[int64](pe, 1, flag, 0) // want "before the owning context completes its nonblocking write"
+	ctx.Destroy()
+	return v
+}

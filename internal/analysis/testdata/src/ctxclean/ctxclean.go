@@ -1,0 +1,103 @@
+// Package ctxclean exercises correct communication-context usage that
+// synccheck must accept: per-context Quiet as the completion point, Destroy's
+// implied quiet, per-destination QuietTarget, and the independence of the
+// default context from created ones.
+package ctxclean
+
+import (
+	"cafshmem/internal/shmem"
+)
+
+func ctxQuietThenRead(pe *shmem.PE, data shmem.Sym) []byte {
+	ctx := pe.CtxCreate()
+	ctx.PutMemNBI(1, data, 0, []byte{1, 2, 3})
+	ctx.Quiet()
+	out := make([]byte, 3)
+	pe.GetMem(1, data, 0, out)
+	ctx.Destroy()
+	return out
+}
+
+func destroyImpliesQuiet(pe *shmem.PE, data shmem.Sym) []byte {
+	ctx := pe.CtxCreate()
+	ctx.PutMemNBI(1, data, 0, []byte{9})
+	ctx.Destroy()
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out)
+	return out
+}
+
+func quietTargetCompletes(pe *shmem.PE, data shmem.Sym) []byte {
+	ctx := pe.CtxCreate()
+	ctx.PutMemNBI(1, data, 0, []byte{5})
+	ctx.QuietTarget(1)
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out)
+	ctx.Destroy()
+	return out
+}
+
+func ctxQuietReleasesSrc(pe *shmem.PE, data shmem.Sym) {
+	ctx := pe.CtxCreate()
+	buf := []byte{1, 2, 3, 4}
+	ctx.PutMemNBI(1, data, 0, buf)
+	ctx.Quiet()
+	buf[0] = 9 // the owning context completed; buf is free
+	ctx.Destroy()
+}
+
+func defaultCtxIndependent(pe *shmem.PE, data, other shmem.Sym) []byte {
+	// A created context's in-flight traffic to one symmetric object does not
+	// taint default-context completion of a DIFFERENT object.
+	ctx := pe.CtxCreate()
+	ctx.PutMemNBI(1, data, 0, []byte{1})
+	pe.PutMemNBI(1, other, 0, []byte{2})
+	pe.Quiet()
+	out := make([]byte, 1)
+	pe.GetMem(1, other, 0, out)
+	ctx.Destroy()
+	return out
+}
+
+func ctxQuietStatCompletes(pe *shmem.PE, data shmem.Sym) error {
+	ctx := pe.CtxCreate()
+	buf := []byte{5}
+	ctx.PutMemNBI(1, data, 0, buf)
+	err := ctx.QuietStat()
+	buf[0] = 6
+	ctx.Destroy()
+	return err
+}
+
+func ctxGetNBIThenQuiet(pe *shmem.PE, data shmem.Sym) []byte {
+	ctx := pe.CtxCreate()
+	dst := make([]byte, 4)
+	ctx.GetMemNBI(1, data, 0, dst)
+	ctx.Quiet()
+	ctx.Destroy()
+	return dst
+}
+
+func ctxPutSignalQuieted(pe *shmem.PE, data, flag shmem.Sym) int64 {
+	ctx := pe.CtxCreate()
+	ctx.PutSignalNBI(1, data, 0, []byte{1, 2}, flag, 0, 1)
+	ctx.Quiet()
+	v := shmem.G[int64](pe, 1, flag, 0)
+	ctx.Destroy()
+	return v
+}
+
+func overlapTwoContexts(pe *shmem.PE, data shmem.Sym) {
+	// Two traffic classes quiesce independently; neither read races: each
+	// waits for its own context first.
+	a := pe.CtxCreate()
+	b := pe.CtxCreate()
+	a.PutMemNBI(1, data, 0, []byte{1})
+	b.PutMemNBI(1, data, 8, []byte{2})
+	a.Quiet()
+	b.Quiet()
+	out := make([]byte, 2)
+	pe.GetMem(1, data, 0, out)
+	a.Destroy()
+	b.Destroy()
+}

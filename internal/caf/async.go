@@ -109,3 +109,35 @@ func (img *Image) SyncMemoryStat() Stat {
 	img.Stats.Quiets++
 	return statFromErr(err)
 }
+
+// SyncMemoryImage completes this image's outstanding communication toward
+// image j (1-based) only — the image-selective strengthening of SYNC MEMORY
+// that communication contexts make expressible. Transfers to other images
+// stay in flight, so a batch targeting one owner pays that owner's completion
+// horizon rather than the global one. On transports without per-destination
+// completion (GASNet) it degrades to the full SyncMemory, which is always
+// correct — just stronger.
+func (img *Image) SyncMemoryImage(j int) {
+	img.pollFault()
+	img.checkImage(j)
+	if img.nbi == nil {
+		img.quiet()
+		return
+	}
+	img.nbi.QuietImage(j - 1)
+	img.Stats.Quiets++
+}
+
+// SyncMemoryImageStat is SyncMemoryImage with failed-image reporting: it
+// returns StatFailedImage when image j had failed with transfers to it still
+// in flight (those writes were dropped).
+func (img *Image) SyncMemoryImageStat(j int) Stat {
+	img.pollFault()
+	img.checkImage(j)
+	if img.nbi == nil {
+		return img.SyncMemoryStat()
+	}
+	err := img.nbi.QuietImageStat(j - 1)
+	img.Stats.Quiets++
+	return statFromErr(err)
+}

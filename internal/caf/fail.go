@@ -129,6 +129,7 @@ func (img *Image) SyncAllStat() Stat {
 	}
 	img.pollFault()
 	img.quiet()
+	img.Stats.Barriers++
 	return statFromErr(img.fault.BarrierStat())
 }
 

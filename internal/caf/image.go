@@ -81,6 +81,10 @@ type Stats struct {
 	// AsyncPuts counts transfers issued through the nonblocking path
 	// (PutAsync / put_nbi, async.go); they complete at the next SyncMemory.
 	AsyncPuts int64
+	// Barriers counts whole-job barrier statements this image executed
+	// (SyncAll / SyncAllStat). Signal-driven schedules assert zero of these
+	// in steady state.
+	Barriers int64
 }
 
 // Run launches a CAF program: images copies of body, 1-based ranks, over the
@@ -198,6 +202,7 @@ func (img *Image) SyncAll() {
 	img.pollFault()
 	img.quiet()
 	img.tr.Barrier()
+	img.Stats.Barriers++
 }
 
 // SyncImages executes "sync images(list)": pairwise synchronisation with

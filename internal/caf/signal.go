@@ -1,0 +1,161 @@
+package caf
+
+import (
+	"errors"
+	"fmt"
+
+	"cafshmem/internal/pgas"
+)
+
+// Signal implements point-to-point signal-pair synchronisation over OpenSHMEM
+// 1.5 put-with-signal: a producer notifies a consumer that data it sent is
+// complete, and the consumer waits on its local flag — no barrier, no
+// collective, no remote polling. It is the runtime surface for the
+// notify/wait ("event post with data") style halo exchanges use to drop the
+// per-iteration SYNC ALL: each image waits only for the neighbours whose data
+// it actually needs.
+//
+// A Signal coarray holds NumImages inbound 8-byte slots per image, one per
+// possible sender, each carrying a monotone sequence number. Notify(j) bumps
+// the sequence this image sends to j; Wait(j) consumes the next sequence from
+// j. Sequences make repeated notify/wait pairs match up one-to-one even when
+// the producer runs far ahead of the consumer, exactly like SyncImages'
+// counters — but one-directional and barrier-free.
+type Signal struct {
+	img  *Image
+	off  int64   // base of the NumImages inbound slots
+	sent []int64 // last sequence sent toward each partner
+	seen []int64 // last sequence consumed from each partner
+}
+
+// NewSignal collectively creates a signal coarray, zero-initialised.
+func NewSignal(img *Image) *Signal {
+	n := int64(img.NumImages())
+	off := img.tr.Malloc(n * 8)
+	markRuntimeAlloc(img.tr, off, n*8) // no deallocator exists; not a leak
+	img.tr.(localMem).pgasPE().StoreLocal(off, make([]byte, n*8))
+	img.tr.Barrier()
+	return &Signal{img: img, off: off, sent: make([]int64, n), seen: make([]int64, n)}
+}
+
+// slotOff is the flag slot a given sender (1-based) writes — in the
+// receiver's partition, but offsets are symmetric.
+func (s *Signal) slotOff(sender int) int64 { return s.off + int64(sender-1)*8 }
+
+// Notify signals image j (1-based): one fused put-with-signal injection, no
+// quiet. Because the substrate applies writes in issue order per destination,
+// a consumer that observes the signal also observes this image's prior
+// *blocking* puts to j. Data sent with PutAsync is NOT ordered by a bare
+// Notify — use Coarray.PutSignalAsync so the flag rides the same completion
+// stream as the data, or SyncMemoryImage(j) first.
+func (s *Signal) Notify(j int) {
+	img := s.img
+	img.pollFault()
+	img.checkImage(j)
+	s.sent[j-1]++
+	me := img.ThisImage()
+	if img.nbi != nil {
+		img.nbi.PutSignal(j-1, 0, nil, s.slotOff(me), s.sent[j-1])
+		img.Stats.Puts++
+		return
+	}
+	// Degrade (GASNet): no fused signal exists, so complete everything first
+	// and post the flag as an ordinary put — always correct, just stronger.
+	img.quiet()
+	img.tr.PutMem(j-1, s.slotOff(me), pgas.EncodeOne(uint64(s.sent[j-1])))
+	img.quiet()
+	img.Stats.Puts++
+}
+
+// Wait blocks until the next Notify from image j (1-based) has arrived and
+// consumes it. On return, the data the notify advertises is visible.
+func (s *Signal) Wait(j int) {
+	img := s.img
+	img.pollFault()
+	img.checkImage(j)
+	want := s.seen[j-1] + 1
+	s.seen[j-1] = want
+	img.tr.WaitLocal64(s.slotOff(j), func(v int64) bool { return v >= want })
+}
+
+// WaitStat is Wait with Fortran 2018 failed-image semantics: if image j fails
+// (or stopped) before its notify arrives, the wait returns j's status instead
+// of hanging. A notify that already arrived wins even if j died afterwards —
+// the data it advertises is delivered. The sequence is consumed only on
+// success, so a recovering consumer can re-wait after repair.
+func (s *Signal) WaitStat(j int) Stat {
+	img := s.img
+	if img.fault == nil {
+		s.Wait(j)
+		return StatOK
+	}
+	img.pollFault()
+	img.checkImage(j)
+	want := s.seen[j-1] + 1
+	pw := img.fault.PgasWorld()
+	err := img.fault.WaitLocal64Stat(
+		s.slotOff(j),
+		func(v int64) bool { return v >= want },
+		func() error {
+			if !pw.Alive(j - 1) {
+				return errPeerDeparted
+			}
+			return nil
+		})
+	if err != nil {
+		if errors.Is(err, errPeerDeparted) {
+			return img.ImageStatus(j)
+		}
+		panic(err) // poisoned world (watchdog or unrelated PE panic)
+	}
+	s.seen[j-1] = want
+	return StatOK
+}
+
+// Pending reports how many notifies from image j have arrived but not been
+// consumed (observability; the signal analogue of event_query).
+func (s *Signal) Pending(j int) int64 {
+	s.img.checkImage(j)
+	p := s.img.tr.(localMem).pgasPE()
+	v := int64(pgas.DecodeOne[uint64](p.LocalBytes(s.slotOff(j), 8)))
+	return v - s.seen[j-1]
+}
+
+// PutSignalAsync writes vals into section sec of the coarray on image j and
+// notifies sig in the same breath: the data travels as nonblocking transfers
+// and the signal flag rides the same per-destination completion stream, so
+// the consumer's Wait observes the flag only at or after every element of the
+// section — signal-mediated completion with zero quiets on the critical path.
+// The producer still owes a SyncMemory/SyncMemoryImage(j) before reusing its
+// own view of the transfer (source-buffer hygiene), but the consumer needs
+// nothing beyond Wait.
+//
+// On transports without the fused path (GASNet) it degrades to a blocking put
+// section, a full quiet, and a plain Notify — the same observable ordering,
+// without the overlap.
+func (c *Coarray[T]) PutSignalAsync(j int, sec Section, vals []T, sig *Signal) {
+	img := c.img
+	img.pollFault()
+	img.checkImage(j)
+	if err := sec.validate(c.shape); err != nil {
+		panic(err)
+	}
+	if sec.NumElems() != len(vals) {
+		panic(fmt.Sprintf("caf: section selects %d elements but %d values given", sec.NumElems(), len(vals)))
+	}
+	if img.nbi == nil {
+		c.putSection(j-1, sec, vals)
+		sig.Notify(j) // degrade path quiets before posting the flag
+		return
+	}
+	c.putSectionNBI(j-1, sec, vals)
+	sig.sent[j-1]++
+	img.nbi.PutSignalNBI(j-1, 0, nil, sig.slotOff(img.ThisImage()), sig.sent[j-1])
+	img.Stats.AsyncPuts++
+}
+
+// PutFullSignalAsync sends the entire local-shape section with a fused
+// signal.
+func (c *Coarray[T]) PutFullSignalAsync(j int, vals []T, sig *Signal) {
+	c.PutSignalAsync(j, All(c.shape...), vals, sig)
+}

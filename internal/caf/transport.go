@@ -237,6 +237,23 @@ type nbiOps interface {
 	PutMemVNBI(target int, offs []int64, runBytes int, src []byte)
 	PutStrided1DNBI(target int, off, strideBytes int64, elemSize int, src []byte)
 	GetMemNBI(target int, off int64, dst []byte)
+	// PutSignal fuses a data payload and an 8-byte signal word into one
+	// blocking injection toward target (shmem_put_signal): local completion
+	// at return, no quiet needed before the consumer may trust the flag.
+	// PutSignalNBI is its nonblocking sibling (shmem_put_signal_nbi): the
+	// fused transfer rides the per-destination completion stream, so a
+	// consumer that observes the signal sees the payload and every transfer
+	// previously streamed to it (signal-mediated completion). data may be
+	// empty in both to send just the doorbell.
+	PutSignal(target int, off int64, data []byte, sigOff int64, sigVal int64)
+	PutSignalNBI(target int, off int64, data []byte, sigOff int64, sigVal int64)
+	// QuietImage completes outstanding operations toward one image only —
+	// the per-destination quiet communication contexts make expressible
+	// (SYNC MEMORY's image-selective strengthening). Other images' transfers
+	// stay in flight. QuietImageStat additionally reports whether that
+	// destination had failed.
+	QuietImage(target int)
+	QuietImageStat(target int) error
 	// QuietStat completes all outstanding operations (blocking and
 	// nonblocking) and reports whether any nonblocking target had failed —
 	// the STAT-bearing form chaos-mode SyncMemoryStat needs.
@@ -273,6 +290,18 @@ func (t *shmemTransport) PutStrided1DNBI(target int, off, strideBytes int64, ele
 func (t *shmemTransport) GetMemNBI(target int, off int64, dst []byte) {
 	t.pe.GetMemNBI(target, t.all, off, dst)
 }
+
+func (t *shmemTransport) PutSignal(target int, off int64, data []byte, sigOff int64, sigVal int64) {
+	t.pe.PutSignal(target, t.all, off, data, t.all, t.wordIdx(sigOff), sigVal)
+}
+
+func (t *shmemTransport) PutSignalNBI(target int, off int64, data []byte, sigOff int64, sigVal int64) {
+	t.pe.PutSignalNBI(target, t.all, off, data, t.all, t.wordIdx(sigOff), sigVal)
+}
+
+func (t *shmemTransport) QuietImage(target int) { t.pe.QuietTarget(target) }
+
+func (t *shmemTransport) QuietImageStat(target int) error { return t.pe.QuietTargetStat(target) }
 
 func (t *shmemTransport) QuietStat() error { return t.pe.QuietStat() }
 

@@ -177,10 +177,12 @@ func (t *Table) UpdateAt(image, slot int, delta int64) {
 // owning image under a single lock acquisition, pipelining the writes through
 // the nonblocking path: reads happen first (blocking gets quiet the put
 // stream, so they must precede the async puts), then every modified bucket is
-// written with PutAsync, and one SyncMemory completes the whole batch. With
-// the lock held throughout, atomicity matches len(slots) UpdateAt calls; the
-// modelled cost replaces per-update wire round-trips with max-of-transfers
-// plus one quiet.
+// written with PutAsync, and one SyncMemoryImage(image) completes the whole
+// batch — the per-destination quiet: the batch pays the owning image's
+// completion horizon only, never waiting for unrelated in-flight transfers
+// toward other images. With the lock held throughout, atomicity matches
+// len(slots) UpdateAt calls; the modelled cost replaces per-update wire
+// round-trips with max-of-transfers plus one per-target quiet.
 func (t *Table) UpdateBatchAt(image int, slots []int, deltas []int64) {
 	if len(slots) != len(deltas) {
 		panic(fmt.Sprintf("dht: batch of %d slots with %d deltas", len(slots), len(deltas)))
@@ -210,7 +212,7 @@ func (t *Table) UpdateBatchAt(image int, slots []int, deltas []int64) {
 		t.vals.PutAsync(image, caf.Idx(s), newVals[i:i+1])
 		t.used.PutAsync(image, caf.Idx(s), []int64{1})
 	}
-	t.img.SyncMemory()
+	t.img.SyncMemoryImage(image)
 }
 
 // Bench runs the paper's measurement: every image performs updates random

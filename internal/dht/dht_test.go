@@ -222,3 +222,51 @@ func TestUpdateBatchAtPipelines(t *testing.T) {
 		t.Errorf("batched %v ns saves under 25%% of sequential %v ns; pipelining not effective", batched, sequential)
 	}
 }
+
+// The batch's closing SyncMemoryImage is a per-destination quiet: a batch
+// toward image 2 must not pay the completion horizon of an unrelated large
+// in-flight transfer toward image 3 — that cost falls on the later full
+// SyncMemory.
+func TestUpdateBatchAtQuietsOnlyOwnTarget(t *testing.T) {
+	const big = 1 << 15
+	err := caf.Run(3, opts(), func(img *caf.Image) {
+		tab := New(img, 64)
+		decoy := caf.Allocate[int64](img, big)
+		img.SyncAll()
+		if img.ThisImage() == 1 {
+			decoy.PutAsync(3, caf.All(big), make([]int64, big))
+			t0 := img.Clock().Now()
+			tab.UpdateBatchAt(2, []int{0, 1, 2, 3}, []int64{1, 2, 3, 4})
+			mid := img.Clock().Now()
+			img.SyncMemory()
+			end := img.Clock().Now()
+			if mid-t0 >= end-t0 {
+				t.Errorf("batch toward image 2 waited for the decoy transfer toward image 3 (%g vs %g ns)",
+					mid-t0, end-t0)
+			}
+			if end <= mid {
+				t.Errorf("full SyncMemory added no wait (%g -> %g): the decoy was already drained", mid, end)
+			}
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Golden captured on the PR 4 tree: the disjoint bench's virtual time with
+// UpdateBatchAt completing through the (then-global) quiet. The batch path now
+// completes via a single per-target ctx-style quiet, but the disjoint pattern
+// has exactly one destination per image, so its modelled time must not move —
+// bit-identical, no tolerance. Drift means per-target completion changed the
+// single-destination cost model.
+func TestDHTVirtualTimeGolden(t *testing.T) {
+	r, err := BenchPattern(caf.UHCAFOverMV2XSHMEM(), 4, 64, 50, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TimeMs != 0.28665636363636365 {
+		t.Errorf("disjoint bench TimeMs = %v, want pre-context golden 0.28665636363636365", r.TimeMs)
+	}
+}

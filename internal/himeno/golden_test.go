@@ -1,0 +1,60 @@
+package himeno
+
+import (
+	"testing"
+
+	"cafshmem/internal/caf"
+	"cafshmem/internal/fabric"
+)
+
+// Goldens captured on the PR 4 tree, before contexts and signal-driven
+// waiting existed. The blocking schedule and the barrier-paced overlap
+// schedule (now Params.OverlapBarrier) never touch the new per-target
+// completion streams beyond the shared NIC pipe they already used, so their
+// modelled times must stay bit-identical — float64 equality, no tolerance.
+// A drift here means the contexts refactor changed the blocking-path cost
+// model, which the issue forbids.
+var goldenHimeno = []struct {
+	name          string
+	opts          caf.Options
+	blockingMs    float64
+	overlapBarrMs float64
+}{
+	{"stampede/mv2x", stampedeOpts(), 0.12599072727272725, 0.11405945454545442},
+	{"xc30/cray", naiveStrided(caf.UHCAFOverCraySHMEM(fabric.CrayXC30())), 0.11540400000000002, 0.10504199999999994},
+	{"titan/cray", naiveStrided(caf.UHCAFOverCraySHMEM(fabric.Titan())), 0.13988400000000026, 0.12952199999999991},
+}
+
+// All three schedules converge to the same residual on this grid; the value
+// predates this PR.
+const goldenHimenoGosa = 0.055324603606416084
+
+func TestHimenoVirtualTimeGoldens(t *testing.T) {
+	prm := Params{NX: 16, NY: 64, NZ: 12, Iters: 3}
+	for _, g := range goldenHimeno {
+		blk, err := Run(g.opts, 8, prm)
+		if err != nil {
+			t.Fatalf("%s blocking: %v", g.name, err)
+		}
+		if blk.TimeMs != g.blockingMs {
+			t.Errorf("%s: blocking TimeMs = %v, want pre-context golden %v", g.name, blk.TimeMs, g.blockingMs)
+		}
+		if blk.Gosa != goldenHimenoGosa {
+			t.Errorf("%s: blocking Gosa = %v, want %v", g.name, blk.Gosa, goldenHimenoGosa)
+		}
+
+		op := prm
+		op.Overlap = true
+		op.OverlapBarrier = true
+		ob, err := Run(g.opts, 8, op)
+		if err != nil {
+			t.Fatalf("%s overlap-barrier: %v", g.name, err)
+		}
+		if ob.TimeMs != g.overlapBarrMs {
+			t.Errorf("%s: OverlapBarrier TimeMs = %v, want PR 4 golden %v", g.name, ob.TimeMs, g.overlapBarrMs)
+		}
+		if ob.Gosa != goldenHimenoGosa {
+			t.Errorf("%s: OverlapBarrier Gosa = %v, want %v", g.name, ob.Gosa, goldenHimenoGosa)
+		}
+	}
+}

@@ -41,16 +41,29 @@ type Params struct {
 	// images have no fault points inside collectives, so an image that passed
 	// the pre-reduction barrier always completes the reduction.
 	FaultAware bool
-	// Overlap pipelines the halo exchange with the stencil computation using
-	// nonblocking puts: each iteration sweeps its two boundary j-planes
-	// first, launches them toward the neighbours with PutAsync, sweeps the
-	// interior while the transfers are in flight, and completes everything
-	// with one SyncMemory. The coarray serves purely as a ghost-plane
-	// mailbox (no per-iteration full-slab store), so an iteration costs one
-	// barrier instead of two and the halo wire time hides under the interior
-	// sweep. The numerical field is identical to the blocking schedule;
-	// only the residual's floating-point summation order differs.
+	// Overlap pipelines the halo exchange with the stencil computation and
+	// synchronises with signals instead of barriers: each iteration sweeps
+	// its two boundary j-planes first, launches each toward its neighbour as
+	// a fused put-with-signal (PutSignalAsync — data and doorbell on one
+	// per-destination completion stream), sweeps the interior while the
+	// transfers are in flight, then waits only on its own neighbours' signals
+	// before refreshing its ghost planes. The coarray serves purely as a
+	// ghost-plane mailbox. Steady state has ZERO barriers and zero quiets:
+	// signal-mediated completion replaces SyncMemory on the producer and the
+	// barrier on the consumer, and the per-iteration residual allreduce
+	// (CoSum) provides the write-after-read ordering that lets neighbours
+	// overwrite ghost slots next iteration. The numerical field is identical
+	// to the blocking schedule; only the residual's floating-point summation
+	// order differs. Under FaultAware, one SyncAllStat per iteration guards
+	// the reduction (signals alone cannot make CoSum fault-safe), and ghost
+	// waits use the STAT-bearing form so a dead neighbour surfaces as a
+	// status, never a hang.
 	Overlap bool
+	// OverlapBarrier selects the earlier barrier-paced overlap schedule
+	// (PutAsync halos, one SyncMemory and one barrier per iteration) — kept
+	// as the regression baseline the signal schedule is measured against.
+	// When both Overlap and OverlapBarrier are set, OverlapBarrier wins.
+	OverlapBarrier bool
 }
 
 // Result is the outcome of a distributed run.
@@ -68,6 +81,10 @@ type Result struct {
 	// none did).
 	Stat  caf.Stat
 	Iters int
+	// Barriers is image 1's total barrier count for the whole run (setup and
+	// teardown included). The signal schedule's count is independent of Iters;
+	// the blocking and barrier-overlap schedules grow linearly with it.
+	Barriers int64
 }
 
 func (p Params) validate(images int) error {
@@ -123,6 +140,7 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 	var gathered []float32
 	var statOut caf.Stat
 	var itersOut int
+	var barriersOut int64
 	err := caf.Run(images, opts, func(img *caf.Image) {
 		nx, ny, nz := prm.NX, prm.NY, prm.NZ
 		me := img.ThisImage()
@@ -157,6 +175,16 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 				return false
 			}
 			return true
+		}
+
+		// Schedule selection. sig carries the neighbour doorbells of the
+		// signal schedule; its creation is collective (and outside the timed
+		// region), so every image allocates it or none does.
+		barrierOverlap := prm.OverlapBarrier
+		signalOverlap := prm.Overlap && !barrierOverlap
+		var sig *caf.Signal
+		if signalOverlap {
+			sig = caf.NewSignal(img)
 		}
 
 		p.SetSlice(cur)
@@ -196,16 +224,16 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 			pts := float64((nx - 2) * planes * (nz - 2))
 			img.Clock().Advance(opts.Machine.ComputeNs(flopsPerPt * pts))
 		}
-		// tmp backs the ghost-only refresh in overlap mode (allocated once;
-		// the per-iteration refresh must not allocate).
+		// tmp backs the ghost-only refresh in the overlap modes (allocated
+		// once; the per-iteration refresh must not allocate).
 		var tmp []float32
-		if prm.Overlap {
+		if barrierOverlap || signalOverlap {
 			tmp = make([]float32, len(cur))
 		}
 		for it := 0; ok && it < prm.Iters; it++ {
 			copy(next, cur)
 			gosa = 0
-			if !prm.Overlap {
+			if !barrierOverlap && !signalOverlap {
 				// Blocking schedule (the paper's §IV-B translation): sweep
 				// everything, store the slab, exchange halos with a quiet per
 				// put and a barrier on either side.
@@ -242,10 +270,11 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 				// refresh is per-iteration on every image, so it must not
 				// allocate).
 				p.SliceInto(cur)
-			} else {
-				// Overlap schedule: boundary planes first, launch them
-				// nonblocking, hide the wire time under the interior sweep,
-				// complete with one SyncMemory and one barrier.
+			} else if barrierOverlap {
+				// Barrier-paced overlap schedule (the regression baseline):
+				// boundary planes first, launch them nonblocking, hide the wire
+				// time under the interior sweep, complete with one SyncMemory
+				// and one barrier.
 				boundary := 1
 				sweepPlanes(1, 1)
 				if nyLoc > 1 {
@@ -289,6 +318,81 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 				if me < images {
 					copyPlane(cur, tmp, nx, nyAlloc, nz, nyLoc+1)
 				}
+			} else {
+				// Signal-driven overlap schedule: same pipelining, but every
+				// halo travels as a fused put-with-signal and each image waits
+				// only for its own neighbours' doorbells — zero barriers and
+				// zero quiets in steady state. Write-after-read safety across
+				// iterations comes from the residual allreduce at the bottom of
+				// the loop: CoSum returns only after every image contributed,
+				// and each image's contribution follows its ghost reads in
+				// program order, so a neighbour's next-iteration halo can never
+				// land before this iteration's copy out of the mailbox.
+				boundary := 1
+				sweepPlanes(1, 1)
+				if nyLoc > 1 {
+					sweepPlanes(nyLoc, nyLoc)
+					boundary = 2
+				}
+				chargeCompute(boundary)
+
+				// Launch boundary planes with the doorbell riding the same
+				// per-destination completion stream as the data: the
+				// neighbour's Wait alone guarantees the plane arrived.
+				// extractPlane snapshots into a fresh buffer, so no producer
+				// quiet is owed before the next sweep.
+				if me > 1 {
+					plane := extractPlane(next, nx, nyAlloc, nz, 1)
+					leftNyLoc := planeCount(ny, images, me-1)
+					p.PutSignalAsync(me-1, sectionPlane(nx, nz, leftNyLoc+1), plane, sig)
+				}
+				if me < images {
+					plane := extractPlane(next, nx, nyAlloc, nz, nyLoc)
+					p.PutSignalAsync(me+1, sectionPlane(nx, nz, 0), plane, sig)
+				}
+
+				if nyLoc > 2 {
+					sweepPlanes(2, nyLoc-1)
+				}
+				chargeCompute(nyLoc - boundary)
+
+				cur, next = next, cur
+				// Wait for exactly the neighbours whose planes we need; under
+				// FaultAware a dead neighbour surfaces as a status, not a hang.
+				wait := func(j int) bool {
+					if !prm.FaultAware {
+						sig.Wait(j)
+						return true
+					}
+					if s := sig.WaitStat(j); s != caf.StatOK {
+						stat = s
+						return false
+					}
+					return true
+				}
+				if me > 1 && !wait(me-1) {
+					done = it
+					break
+				}
+				if me < images && !wait(me+1) {
+					done = it
+					break
+				}
+				// Ghost-only refresh, exactly as in the barrier schedule.
+				p.SliceInto(tmp)
+				if me > 1 {
+					copyPlane(cur, tmp, nx, nyAlloc, nz, 0)
+				}
+				if me < images {
+					copyPlane(cur, tmp, nx, nyAlloc, nz, nyLoc+1)
+				}
+				// Signals cannot make the reduction fault-safe (CoSum has no
+				// STAT form), so FaultAware pays one barrier per iteration to
+				// guard it; the fault-free steady state pays none.
+				if prm.FaultAware && !sync() {
+					done = it
+					break
+				}
 			}
 
 			// Residual reduction, as the reference code does every iteration.
@@ -297,7 +401,7 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 			// the reduction, so every participant completes it.
 			gosa = caf.CoSum(img, []float64{gosa}, 0)[0]
 		}
-		if prm.Overlap && prm.Gather && stat == caf.StatOK {
+		if (barrierOverlap || signalOverlap) && prm.Gather && stat == caf.StatOK {
 			// The coarray held only ghost planes during the run; publish the
 			// final slab for the gather below.
 			p.SetSlice(cur)
@@ -308,6 +412,7 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 			gosaOut = gosa
 			statOut = stat
 			itersOut = done
+			barriersOut = img.Stats.Barriers
 		}
 		if prm.Gather && stat == caf.StatOK {
 			if me == 1 {
@@ -334,6 +439,11 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 			}
 			sync()
 		}
+		if !prm.FaultAware {
+			// Collective teardown (skipped under FaultAware: a survivor cannot
+			// barrier with the dead). Keeps sanitized runs leak-clean.
+			p.Deallocate()
+		}
 	})
 	if err != nil {
 		return res, err
@@ -343,6 +453,7 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 	res.Gosa = gosaOut
 	res.Stat = statOut
 	res.Iters = itersOut
+	res.Barriers = barriersOut
 	iters := itersOut
 	if iters == 0 {
 		iters = 1 // avoid a zero MFLOPS numerator on an immediately-cut run

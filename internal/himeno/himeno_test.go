@@ -194,3 +194,106 @@ func naiveStrided(o caf.Options) caf.Options {
 	o.Strided = caf.StridedNaive
 	return o
 }
+
+// The barrier-paced overlap schedule (the PR4 baseline, kept under
+// OverlapBarrier) must still compute the exact serial field.
+func TestOverlapBarrierMatchesSerial(t *testing.T) {
+	prm := Params{NX: 12, NY: 16, NZ: 10, Iters: 4, Gather: true, OverlapBarrier: true}
+	wantGosa, wantField := Serial(Params{NX: 12, NY: 16, NZ: 10, Iters: 4, Gather: true})
+	for _, images := range []int{1, 2, 3, 5, 8, 16} {
+		res, err := Run(stampedeOpts(), images, prm)
+		if err != nil {
+			t.Fatalf("images=%d: %v", images, err)
+		}
+		for i := range wantField {
+			if res.Field[i] != wantField[i] {
+				t.Fatalf("images=%d: field[%d] = %v, want %v", images, i, res.Field[i], wantField[i])
+			}
+		}
+		if math.Abs(res.Gosa-wantGosa) > 1e-9*math.Abs(wantGosa)+1e-12 {
+			t.Fatalf("images=%d: gosa %v, want %v", images, res.Gosa, wantGosa)
+		}
+	}
+}
+
+// The signal schedule's steady state is barrier-free: the total barrier count
+// does not depend on the iteration count, while both barrier-paced schedules
+// grow linearly with it.
+func TestSignalOverlapZeroBarriersSteadyState(t *testing.T) {
+	base := Params{NX: 16, NY: 64, NZ: 12}
+	run := func(prm Params, iters int) Result {
+		prm.Iters = iters
+		res, err := Run(stampedeOpts(), 8, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	sig3 := run(Params{NX: base.NX, NY: base.NY, NZ: base.NZ, Overlap: true}, 3)
+	sig9 := run(Params{NX: base.NX, NY: base.NY, NZ: base.NZ, Overlap: true}, 9)
+	if sig9.Barriers != sig3.Barriers {
+		t.Errorf("signal schedule barriers grew with iterations: %d @3 iters vs %d @9 iters",
+			sig3.Barriers, sig9.Barriers)
+	}
+	bar3 := run(Params{NX: base.NX, NY: base.NY, NZ: base.NZ, OverlapBarrier: true}, 3)
+	bar9 := run(Params{NX: base.NX, NY: base.NY, NZ: base.NZ, OverlapBarrier: true}, 9)
+	if bar9.Barriers-bar3.Barriers != 6 {
+		t.Errorf("barrier-overlap schedule should pay one barrier per iteration: %d @3 vs %d @9",
+			bar3.Barriers, bar9.Barriers)
+	}
+	blk3 := run(Params{NX: base.NX, NY: base.NY, NZ: base.NZ}, 3)
+	blk9 := run(Params{NX: base.NX, NY: base.NY, NZ: base.NZ}, 9)
+	if blk9.Barriers-blk3.Barriers != 12 {
+		t.Errorf("blocking schedule should pay two barriers per iteration: %d @3 vs %d @9",
+			blk3.Barriers, blk9.Barriers)
+	}
+}
+
+// Dropping the per-iteration barrier must pay off: the signal schedule beats
+// the barrier-paced overlap schedule in modelled time on every machine profile
+// the paper evaluates.
+func TestSignalOverlapFasterThanBarrierOverlap(t *testing.T) {
+	prm := Params{NX: 16, NY: 64, NZ: 12, Iters: 3}
+	configs := map[string]caf.Options{
+		"stampede/mv2x": stampedeOpts(),
+		"xc30/cray":     naiveStrided(caf.UHCAFOverCraySHMEM(fabric.CrayXC30())),
+		"titan/cray":    naiveStrided(caf.UHCAFOverCraySHMEM(fabric.Titan())),
+	}
+	for name, o := range configs {
+		bp := prm
+		bp.OverlapBarrier = true
+		barrier, err := Run(o, 8, bp)
+		if err != nil {
+			t.Fatalf("%s barrier-overlap: %v", name, err)
+		}
+		sp := prm
+		sp.Overlap = true
+		signal, err := Run(o, 8, sp)
+		if err != nil {
+			t.Fatalf("%s signal-overlap: %v", name, err)
+		}
+		if signal.TimeMs >= barrier.TimeMs {
+			t.Errorf("%s: signal %.4f ms not faster than barrier-overlap %.4f ms",
+				name, signal.TimeMs, barrier.TimeMs)
+		}
+	}
+}
+
+// The signal schedule under the sanitizer: PutSignalAsync's transfers are
+// completed by the final barrier's quiet, and the ghost-plane reads race
+// nothing — a full clean run.
+func TestSignalOverlapSanitized(t *testing.T) {
+	o := stampedeOpts()
+	o.Sanitize = true
+	prm := Params{NX: 10, NY: 12, NZ: 8, Iters: 3, Gather: true, Overlap: true}
+	_, wantField := Serial(Params{NX: 10, NY: 12, NZ: 8, Iters: 3, Gather: true})
+	res, err := Run(o, 4, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantField {
+		if res.Field[i] != wantField[i] {
+			t.Fatalf("sanitized run diverges at %d", i)
+		}
+	}
+}

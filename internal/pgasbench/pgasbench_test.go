@@ -317,3 +317,53 @@ func TestFigOverlapSpeedupOnAllMachines(t *testing.T) {
 		}
 	}
 }
+
+// FigSignal's application panel must show the signal-driven schedule beating
+// the barrier-paced overlap on every machine profile whenever there is a
+// neighbour to signal (images >= 2), and its barrier panel must show a flat
+// signal series against linearly growing blocking/barrier-overlap series.
+func TestFigSignalBarrierFreeAndFaster(t *testing.T) {
+	fig := FigSignal(8)
+	if len(fig.Panels) != 2 {
+		t.Fatalf("FigSignal has %d panels, want 2", len(fig.Panels))
+	}
+	app := fig.Panels[0]
+	for _, m := range overlapMachines() {
+		b := app.FindSeries(m.Label + " barrier")
+		s := app.FindSeries(m.Label + " signal")
+		if b == nil || s == nil {
+			t.Fatalf("%s: missing series", m.Label)
+		}
+		for i := range b.Rows {
+			if b.Rows[i].X < 2 {
+				continue
+			}
+			if s.Rows[i].Value >= b.Rows[i].Value {
+				t.Errorf("%s images=%v: signal %.4f ms not faster than barrier-paced %.4f ms",
+					m.Label, b.Rows[i].X, s.Rows[i].Value, b.Rows[i].Value)
+			}
+		}
+	}
+
+	bars := fig.Panels[1]
+	sig := bars.FindSeries("signal overlap")
+	blk := bars.FindSeries("blocking")
+	bar := bars.FindSeries("barrier overlap")
+	if sig == nil || blk == nil || bar == nil {
+		t.Fatal("barrier panel: missing series")
+	}
+	for i := range sig.Rows {
+		if sig.Rows[i].Value != sig.Rows[0].Value {
+			t.Errorf("signal schedule barriers grew with iterations: %v at iters=%v, %v at iters=%v",
+				sig.Rows[0].Value, sig.Rows[0].X, sig.Rows[i].Value, sig.Rows[i].X)
+		}
+		if i > 0 {
+			if blk.Rows[i].Value <= blk.Rows[i-1].Value {
+				t.Errorf("blocking barriers did not grow between iters=%v and %v", blk.Rows[i-1].X, blk.Rows[i].X)
+			}
+			if bar.Rows[i].Value <= bar.Rows[i-1].Value {
+				t.Errorf("barrier-overlap barriers did not grow between iters=%v and %v", bar.Rows[i-1].X, bar.Rows[i].X)
+			}
+		}
+	}
+}

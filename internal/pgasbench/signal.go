@@ -1,0 +1,85 @@
+package pgasbench
+
+import (
+	"cafshmem/internal/himeno"
+)
+
+// Signal-driven synchronisation harness (beyond-paper extension): OpenSHMEM
+// 1.5 put-with-signal plus signal-wait replaces the barrier that paced the
+// PR 4 overlap schedule. Each image waits only on its own neighbours' flags,
+// so the steady state runs with zero barriers — the per-destination
+// completion the paper's global quiet/barrier mapping could not express.
+
+// SignalHimenoParams is the grid FigSignal sweeps — the same grid as the
+// overlap figure, so the two baselines line up.
+func SignalHimenoParams() himeno.Params { return OverlapHimenoParams() }
+
+// FigSignal builds the signal figure. Panel A sweeps the Himeno solver on
+// all three machine profiles, the barrier-paced overlap schedule (PR 4,
+// Params.OverlapBarrier) against the signal-driven one. Panel B counts the
+// barriers each schedule executes as the iteration count grows: blocking
+// pays two per iteration, barrier-paced overlap one, and the signal schedule
+// none — its count is flat at the setup/teardown constant.
+func FigSignal(maxImages int) Figure {
+	prm := SignalHimenoParams()
+	counts := []int{}
+	for _, n := range ImageSweep {
+		if n <= maxImages && n <= prm.NY {
+			counts = append(counts, n)
+		}
+	}
+	app := Panel{Title: "Himeno ghost refresh: barrier-paced vs signal-driven", XLabel: "images", YLabel: "time (ms)"}
+	for _, m := range overlapMachines() {
+		barSeries := Series{Label: m.Label + " barrier"}
+		sigSeries := Series{Label: m.Label + " signal"}
+		for _, n := range counts {
+			bp := prm
+			bp.Overlap, bp.OverlapBarrier = true, true
+			r, err := himeno.Run(m.Opts, n, bp)
+			if err != nil {
+				panic(err)
+			}
+			barSeries.Rows = append(barSeries.Rows, Row{X: float64(n), Value: r.TimeMs})
+			sp := prm
+			sp.Overlap = true
+			r2, err := himeno.Run(m.Opts, n, sp)
+			if err != nil {
+				panic(err)
+			}
+			sigSeries.Rows = append(sigSeries.Rows, Row{X: float64(n), Value: r2.TimeMs})
+		}
+		app.Series = append(app.Series, barSeries, sigSeries)
+	}
+
+	bars := Panel{Title: "barriers executed per run (image 1)", XLabel: "iterations", YLabel: "barriers"}
+	machine := overlapMachines()[0]
+	images := counts[len(counts)-1]
+	schedules := []struct {
+		label string
+		set   func(*himeno.Params)
+	}{
+		{"blocking", func(p *himeno.Params) {}},
+		{"barrier overlap", func(p *himeno.Params) { p.Overlap, p.OverlapBarrier = true, true }},
+		{"signal overlap", func(p *himeno.Params) { p.Overlap = true }},
+	}
+	for _, sc := range schedules {
+		s := Series{Label: sc.label}
+		for _, iters := range []int{1, 3, 6, 9} {
+			ip := prm
+			ip.Iters = iters
+			sc.set(&ip)
+			r, err := himeno.Run(machine.Opts, images, ip)
+			if err != nil {
+				panic(err)
+			}
+			s.Rows = append(s.Rows, Row{X: float64(iters), Value: float64(r.Barriers)})
+		}
+		bars.Series = append(bars.Series, s)
+	}
+
+	return Figure{
+		ID:     "FigSignal",
+		Title:  "Put-with-signal: barrier-free ghost refresh",
+		Panels: []Panel{app, bars},
+	}
+}

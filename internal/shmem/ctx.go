@@ -1,0 +1,143 @@
+package shmem
+
+import (
+	"cafshmem/internal/fabric"
+	"cafshmem/internal/pgas"
+)
+
+// Communication contexts — shmem_ctx_create / shmem_ctx_quiet (OpenSHMEM 1.4
+// §9.4). A context is an independent completion environment: nonblocking ops
+// issued on it are completed only by *its* Quiet, never by the PE-level
+// Quiet/Barrier, and vice versa. That lets a program quiesce one traffic
+// class (say, one neighbour's ghost plane) without waiting for unrelated
+// in-flight transfers.
+//
+// In the virtual-time model every context owns its own fabric.NBIStreams but
+// all of a PE's contexts share the PE's single NIC injection pipe
+// (fabric.NBINic), so contexts change *what a Quiet waits for*, never *when
+// bytes move*: op-for-op completion times are identical to a single shared
+// queue (see fabric/streams_test.go), which keeps the blocking path and all
+// PR 4 figures bit-identical.
+//
+// A Ctx is valid only on the goroutine of the PE that created it, like the PE
+// handle itself (OpenSHMEM contexts are private by default).
+
+// Ctx is a communication context created by CtxCreate.
+type Ctx struct {
+	pe *PE
+	// id scopes the context's ops in the sanitizer (0 is the default
+	// context, so created contexts number from 1).
+	id        int
+	nbi       fabric.NBIStreams
+	destroyed bool
+}
+
+func (c *Ctx) check() {
+	if c.destroyed {
+		panic("shmem: use of a destroyed context")
+	}
+}
+
+// CtxCreate creates a communication context (shmem_ctx_create). The context
+// shares the PE's NIC injection pipe but owns its own completion streams and
+// Quiet. Destroy it with Ctx.Destroy when done; a context with ops still in
+// flight at Finalize is reported by the sanitizer as an nbi-leak.
+func (pe *PE) CtxCreate() *Ctx {
+	pe.ctxSeq++
+	c := &Ctx{pe: pe, id: pe.ctxSeq}
+	c.nbi = fabric.NewNBIStreams(&pe.nic)
+	return c
+}
+
+// Destroy quiesces and releases the context (shmem_ctx_destroy — which per
+// the spec implies a quiet on the context). Further use panics.
+func (c *Ctx) Destroy() {
+	c.check()
+	c.Quiet()
+	c.destroyed = true
+}
+
+// PE returns the PE this context was created on.
+func (c *Ctx) PE() *PE { return c.pe }
+
+// PutMemNBI starts a nonblocking contiguous put on this context
+// (shmem_ctx_putmem_nbi). The source buffer must stay unmodified until this
+// context's Quiet — the PE-level Quiet does not complete it.
+func (c *Ctx) PutMemNBI(target int, sym Sym, off int64, data []byte) {
+	c.check()
+	c.pe.putMemNBI(&c.nbi, c.id, target, sym, off, data, nil)
+}
+
+// GetMemNBI starts a nonblocking contiguous get on this context
+// (shmem_ctx_getmem_nbi). dst is undefined until this context's Quiet.
+func (c *Ctx) GetMemNBI(target int, sym Sym, off int64, dst []byte) {
+	c.check()
+	c.pe.getMemNBI(&c.nbi, target, sym, off, dst)
+}
+
+// PutSignalNBI is the context-scoped fused data+signal put: data and the
+// 8-byte signal travel as one nonblocking injection on this context's stream
+// toward target, so a consumer that observes the signal (SignalWaitUntil)
+// sees every transfer this context previously streamed to it.
+func (c *Ctx) PutSignalNBI(target int, sym Sym, off int64, data []byte, sig Sym, sigIdx int, sigVal int64) {
+	c.check()
+	c.pe.putSignalNBI(&c.nbi, target, sym, off, data, sig, sigIdx, sigVal)
+}
+
+// Quiet completes all ops issued on this context (shmem_ctx_quiet) — and
+// nothing else: the default context's streams, the blocking horizon, and
+// other contexts all stay in flight.
+func (c *Ctx) Quiet() {
+	c.check()
+	pe := c.pe
+	pe.p.Clock.Advance(pe.world.prof.OverheadNs)
+	if done := c.nbi.Drain(); done > pe.p.Clock.Now() {
+		pe.p.Clock.MergeAtLeast(done)
+	}
+	if san := pe.world.san; san != nil {
+		san.quiesceCtx(pe.p.ID, c.id)
+	}
+}
+
+// QuietTarget completes this context's ops toward one destination only; the
+// context's other destinations stay in flight.
+func (c *Ctx) QuietTarget(target int) {
+	c.check()
+	pe := c.pe
+	pe.checkTarget(target)
+	pe.p.Clock.Advance(pe.world.prof.OverheadNs)
+	if done := c.nbi.DrainTarget(target); done > pe.p.Clock.Now() {
+		pe.p.Clock.MergeAtLeast(done)
+	}
+	if san := pe.world.san; san != nil {
+		san.quiesceTarget(pe.p.ID, c.id, target)
+	}
+}
+
+// QuietStat is Quiet with fault status: when any destination with in-flight
+// ops on this context has failed, the drain still completes and the fault is
+// returned. It completes exactly what Quiet completes — this context's
+// streams only — so the stat and non-stat forms always agree.
+func (c *Ctx) QuietStat() error {
+	c.check()
+	failed := c.pe.failedTargets(&c.nbi)
+	c.Quiet()
+	if len(failed) > 0 {
+		return &pgas.ImageFault{Failed: failed}
+	}
+	return nil
+}
+
+// Fence orders this context's puts per destination (shmem_ctx_fence). Like
+// the PE-level Fence it is weaker than Quiet — ordering, not completion —
+// and it is per-context: it says nothing about ops on other contexts, which
+// is exactly why it stays a method on Ctx rather than draining the shared
+// NIC. The substrate applies writes in issue order per target already, so
+// only the call overhead is charged.
+func (c *Ctx) Fence() {
+	c.check()
+	c.pe.p.Clock.Advance(c.pe.world.prof.OverheadNs)
+}
+
+// Outstanding returns the number of ops in flight on this context.
+func (c *Ctx) Outstanding() int { return c.nbi.Outstanding() }

@@ -1,0 +1,445 @@
+package shmem
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cafshmem/internal/pgas"
+)
+
+// The defining property of a context: the PE-level Quiet does not wait for
+// (or discharge) the context's in-flight ops, and the context's Quiet waits
+// for its own max completion only.
+func TestCtxQuietScopedToOwnOps(t *testing.T) {
+	cfg := stampedeCfg()
+	prof := cfg.Machine.MustProfile(cfg.Profile)
+	const n = 1 << 16
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(2 * n)
+		pe.Barrier()
+		defer pe.Barrier()
+		if pe.MyPE() != 0 {
+			return
+		}
+		intra, pairs := pe.intra(1), pe.pairs()
+		transfer := prof.NBITransferNs(n, intra, pairs)
+		delivery := prof.DeliveryNs(intra, pairs)
+		data := make([]byte, n)
+
+		// A big transfer in flight on the context; the default context idle.
+		ctx := pe.CtxCreate()
+		t0 := pe.Clock().Now()
+		ctx.PutMemNBI(1, sym, 0, data)
+		pe.Quiet() // must NOT wait for the context's transfer
+		if got, want := pe.Clock().Now()-t0, 2*prof.OverheadNs; !near(got, want) {
+			t.Errorf("PE Quiet over a busy context cost %g, want %g (context's op must stay in flight)", got, want)
+		}
+		if ctx.Outstanding() != 1 {
+			t.Errorf("context outstanding = %d after PE Quiet, want 1", ctx.Outstanding())
+		}
+		ctx.Quiet() // waits out the transfer
+		if got := pe.Clock().Now() - t0; got < transfer+delivery {
+			t.Errorf("ctx Quiet returned at %g, before the op's completion %g", got, transfer+delivery)
+		}
+		if ctx.Outstanding() != 0 {
+			t.Errorf("context outstanding = %d after its Quiet, want 0", ctx.Outstanding())
+		}
+
+		// The mirror image: default-context traffic in flight, a fresh
+		// context's Quiet is free.
+		t0 = pe.Clock().Now()
+		pe.PutMemNBI(1, sym, n, data)
+		ctx2 := pe.CtxCreate()
+		ctx2.Quiet()
+		if got, want := pe.Clock().Now()-t0, 2*prof.OverheadNs; !near(got, want) {
+			t.Errorf("idle ctx Quiet over busy default context cost %g, want %g", got, want)
+		}
+		ctx2.Destroy()
+		pe.Quiet()
+		ctx.Destroy()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (pinned against the PR 4 blocking decomposition): for random NBI
+// schedules spread across two contexts and the default context, each
+// context's Quiet lands exactly on the max completion of that context's own
+// ops — never on another context's horizon — while every op's completion is
+// identical to the single-shared-queue model because all streams serialise on
+// the PE's one NIC pipe.
+func TestCtxQuietIsOwnMaxProperty(t *testing.T) {
+	cfg := crayCfg()
+	prof := cfg.Machine.MustProfile(cfg.Profile)
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		err := Run(cfg, 4, func(pe *PE) {
+			sym := pe.Malloc(1 << 20)
+			pe.Barrier()
+			defer pe.Barrier()
+			if pe.MyPE() != 0 {
+				return
+			}
+			ctxA, ctxB := pe.CtxCreate(), pe.CtxCreate()
+			// Replay the schedule against fabric reference queues to compute
+			// each scope's expected horizon from the profile arithmetic alone.
+			maxDefault, maxA, maxB := 0.0, 0.0, 0.0
+			for i := 0; i < 60; i++ {
+				if c := rng.Float64() * 200; c > 0 {
+					pe.Clock().Advance(c)
+				}
+				target := 1 + rng.Intn(3)
+				size := 1 + rng.Intn(1<<14)
+				data := make([]byte, size)
+				intra, pairs := pe.intra(target), pe.pairs()
+				transfer := prof.NBITransferNs(size, intra, pairs)
+				delivery := prof.DeliveryNs(intra, pairs)
+				// Mirror the issue arithmetic: inject advances the clock, the
+				// transfer starts at max(now, nicFree).
+				switch rng.Intn(3) {
+				case 0:
+					pe.PutMemNBI(target, sym, int64(i)*(1<<14), data)
+					if done := pe.nic.FreeAt() + delivery; done > maxDefault {
+						maxDefault = done
+					}
+				case 1:
+					ctxA.PutMemNBI(target, sym, int64(i)*(1<<14), data)
+					if done := pe.nic.FreeAt() + delivery; done > maxA {
+						maxA = done
+					}
+				default:
+					ctxB.PutMemNBI(target, sym, int64(i)*(1<<14), data)
+					if done := pe.nic.FreeAt() + delivery; done > maxB {
+						maxB = done
+					}
+				}
+				_ = transfer
+			}
+			quiet := func(name string, f func(), horizon float64) {
+				before := pe.Clock().Now()
+				f()
+				after := pe.Clock().Now()
+				want := before + prof.OverheadNs
+				if horizon > want {
+					want = horizon
+				}
+				if !near(after, want) {
+					t.Errorf("seed %d %s: quiet landed at %g, want its own horizon %g", seed, name, after, want)
+				}
+			}
+			// Drain in a seed-dependent order: scoping must hold regardless.
+			order := rng.Perm(3)
+			for _, k := range order {
+				switch k {
+				case 0:
+					quiet("ctxA", ctxA.Quiet, maxA)
+				case 1:
+					quiet("ctxB", ctxB.Quiet, maxB)
+				default:
+					quiet("default", pe.Quiet, maxDefault)
+				}
+			}
+			ctxA.Destroy()
+			ctxB.Destroy()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// QuietTarget waits only for one destination's completion; other
+// destinations' transfers stay in flight and a later full Quiet still waits
+// for them.
+func TestQuietTargetWaitsForOneDestination(t *testing.T) {
+	cfg := stampedeCfg()
+	prof := cfg.Machine.MustProfile(cfg.Profile)
+	const small, big = 1 << 8, 1 << 18
+	err := Run(cfg, 3, func(pe *PE) {
+		sym := pe.Malloc(big)
+		pe.Barrier()
+		defer pe.Barrier()
+		if pe.MyPE() != 0 {
+			return
+		}
+		intra1, pairs := pe.intra(1), pe.pairs()
+		t0 := pe.Clock().Now()
+		pe.PutMemNBI(1, sym, 0, make([]byte, small)) // fast op first
+		pe.PutMemNBI(2, sym, 0, make([]byte, big))   // slow op behind it
+		// Per-target quiet on the small transfer: completes long before the
+		// big one would.
+		smallDone := prof.NBITransferNs(small, intra1, pairs) + prof.DeliveryNs(intra1, pairs)
+		bigDone := prof.NBITransferNs(small, intra1, pairs) + prof.NBITransferNs(big, intra1, pairs) + prof.DeliveryNs(intra1, pairs)
+		pe.QuietTarget(1)
+		if got := pe.Clock().Now() - t0; got >= bigDone {
+			t.Errorf("QuietTarget(1) waited %g, at or past the big transfer's completion %g", got, bigDone)
+		} else if got < smallDone {
+			t.Errorf("QuietTarget(1) returned at %g, before the small op's completion %g", got, smallDone)
+		}
+		if pe.NBIOutstanding() != 1 {
+			t.Errorf("outstanding after QuietTarget = %d, want 1 (the big op)", pe.NBIOutstanding())
+		}
+		// The full Quiet still waits for the rest.
+		pe.Quiet()
+		if got := pe.Clock().Now() - t0; got < bigDone {
+			t.Errorf("full Quiet returned at %g, before the big op's completion %g", got, bigDone)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// QuietTarget also completes the per-destination blocking horizon, and a
+// following full Quiet still honours other destinations' blocking puts.
+func TestQuietTargetCompletesBlockingHorizon(t *testing.T) {
+	cfg := crayCfg()
+	prof := cfg.Machine.MustProfile(cfg.Profile)
+	err := Run(cfg, 3, func(pe *PE) {
+		sym := pe.Malloc(1 << 16)
+		pe.Barrier()
+		defer pe.Barrier()
+		if pe.MyPE() != 0 {
+			return
+		}
+		intra, pairs := pe.intra(1), pe.pairs()
+		pe.PutMem(1, sym, 0, make([]byte, 1<<10))
+		vis1 := pe.Clock().Now() + prof.DeliveryNs(intra, pairs)
+		pe.PutMem(2, sym, 0, make([]byte, 1<<14))
+		vis2 := pe.Clock().Now() + prof.DeliveryNs(intra, pairs)
+		pe.QuietTarget(1)
+		if now := pe.Clock().Now(); now < vis1 {
+			t.Errorf("QuietTarget(1) at %g, before target 1's blocking visibility %g", now, vis1)
+		}
+		pe.Quiet()
+		if now := pe.Clock().Now(); now < vis2 {
+			t.Errorf("full Quiet at %g, before target 2's blocking visibility %g", now, vis2)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PutSignalNBI + SignalWaitUntil: the consumer that sees the signal sees all
+// data streamed to it beforehand on the same context (signal-mediated
+// completion), with no barrier and no quiet on the consumer side.
+func TestPutSignalNBISignalWaitUntil(t *testing.T) {
+	cfg := stampedeCfg()
+	err := Run(cfg, 2, func(pe *PE) {
+		data := pe.Malloc(256)
+		flag := pe.Malloc(8)
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			// Two plain NBI puts, then the fused data+signal put rides the
+			// same per-target stream: flag completion >= data completions.
+			pe.PutMemNBI(1, data, 0, []byte{1, 2, 3, 4})
+			pe.PutMemNBI(1, data, 64, []byte{5, 6, 7, 8})
+			pe.PutSignalNBI(1, data, 128, []byte{9, 10}, flag, 0, 42)
+			pe.Quiet() // initiator-side completion (contract hygiene)
+		} else {
+			if got := pe.SignalWaitUntil(flag, 0, CmpEQ, 42); got != 42 {
+				t.Errorf("SignalWaitUntil returned %d, want 42", got)
+			}
+			dst := make([]byte, 256)
+			pe.world.pw.Read(1, data.Off, dst)
+			want := map[int]byte{0: 1, 1: 2, 2: 3, 3: 4, 64: 5, 65: 6, 66: 7, 67: 8, 128: 9, 129: 10}
+			for off, w := range want {
+				if dst[off] != w {
+					t.Errorf("byte %d = %d, want %d (data must be visible once the signal is)", off, dst[off], w)
+				}
+			}
+		}
+		pe.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// WaitUntilStat: a failed producer surfaces as an ImageFault instead of a
+// hang; a signal that arrived before the failure wins.
+func TestWaitUntilStatFailedProducer(t *testing.T) {
+	err := Run(stampedeCfg(), 3, func(pe *PE) {
+		flag := pe.Malloc(16)
+		pe.Barrier()
+		switch pe.MyPE() {
+		case 2:
+			pe.p.Fail()
+		case 0:
+			// Producer 2 dies without ever signalling slot 0: the wait must
+			// return its fault, not hang.
+			got, err := pe.WaitUntilStat(flag, 0, CmpEQ, 1, 2)
+			fault, ok := err.(*pgas.ImageFault)
+			if !ok || len(fault.Failed) != 1 || fault.Failed[0] != 2 {
+				t.Errorf("WaitUntilStat = (%d, %v), want ImageFault{2}", got, err)
+			}
+		case 1:
+			// A signal that did arrive wins even if its producer then fails:
+			// signal slot 1 from PE 0 (alive) — plain success path.
+			pe.p.StoreLocal(flag.Off+8, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+			got, err := pe.WaitUntilStat(flag, 1, CmpEQ, 1, 0)
+			if err != nil || got != 1 {
+				t.Errorf("WaitUntilStat = (%d, %v), want (1, nil)", got, err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The sanitizer's context scoping: a PE-level Quiet must not discharge a
+// created context's in-flight op — reading its destination right after is
+// still the race.
+func TestSanitizerCatchesCrossContextQuiet(t *testing.T) {
+	cfg := stampedeCfg()
+	cfg.Sanitize = true
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			ctx := pe.CtxCreate()
+			ctx.PutMemNBI(1, sym, 0, []byte{1, 2, 3, 4})
+			pe.Quiet() // completes the DEFAULT context only — the bug
+			dst := make([]byte, 4)
+			pe.GetMem(1, sym, 0, dst) // races the still-in-flight ctx op
+			ctx.Destroy()
+		}
+		pe.Barrier()
+		pe.Free(sym)
+	})
+	if err == nil || !strings.Contains(err.Error(), "race") {
+		t.Fatalf("want race violation (PE Quiet must not complete ctx ops), got %v", err)
+	}
+}
+
+// And the symmetric scoping: a context's Quiet must not discharge the default
+// context's op, while its own op is properly completed.
+func TestSanitizerCtxQuietScoping(t *testing.T) {
+	cfg := stampedeCfg()
+	cfg.Sanitize = true
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			ctx := pe.CtxCreate()
+			pe.PutMemNBI(1, sym, 0, []byte{1, 2})
+			ctx.Quiet() // completes nothing of the default context
+			dst := make([]byte, 2)
+			pe.GetMem(1, sym, 0, dst) // still racing the default-context op
+			pe.Quiet()
+			ctx.Destroy()
+		}
+		pe.Barrier()
+		pe.Free(sym)
+	})
+	if err == nil || !strings.Contains(err.Error(), "race") {
+		t.Fatalf("want race violation (ctx Quiet must not complete default-context ops), got %v", err)
+	}
+}
+
+// Clean scoped use: each scope quiesces its own ops, source-buffer reuse
+// after the right Quiet is fine, and nothing leaks.
+func TestSanitizerCleanCtxUse(t *testing.T) {
+	cfg := stampedeCfg()
+	cfg.Sanitize = true
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			ctx := pe.CtxCreate()
+			buf := []byte{1, 2, 3, 4}
+			ctx.PutMemNBI(1, sym, 0, buf)
+			pe.PutMemNBI(1, sym, 32, []byte{9})
+			ctx.Quiet()
+			buf[0] = 99 // after the owning context's Quiet: fine
+			pe.Quiet()
+			ctx.Destroy()
+		}
+		pe.Barrier()
+		pe.Free(sym)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A context abandoned with ops still in flight is an nbi-leak: nothing ever
+// defines those ops' completion.
+func TestSanitizerReportsCtxLeak(t *testing.T) {
+	cfg := stampedeCfg()
+	cfg.Sanitize = true
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		if pe.MyPE() == 0 {
+			ctx := pe.CtxCreate()
+			ctx.PutMemNBI(1, sym, 0, []byte{1})
+			pe.Quiet() // does not complete the ctx op
+		}
+		// No ctx.Quiet/Destroy: leaked. (The final implicit checks run after
+		// image exit.)
+	})
+	if err == nil || !strings.Contains(err.Error(), "nbi-leak") {
+		t.Fatalf("want nbi-leak violation for the abandoned context, got %v", err)
+	}
+}
+
+// Destroy implies a quiet, and further use of a destroyed context panics.
+func TestCtxDestroySemantics(t *testing.T) {
+	cfg := crayCfg()
+	err := Run(cfg, 2, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		defer pe.Barrier()
+		if pe.MyPE() != 0 {
+			return
+		}
+		ctx := pe.CtxCreate()
+		ctx.PutMemNBI(1, sym, 0, []byte{1, 2, 3})
+		ctx.Destroy()
+		if ctx.Outstanding() != 0 {
+			t.Errorf("outstanding = %d after Destroy, want 0 (Destroy implies quiet)", ctx.Outstanding())
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("use after Destroy did not panic")
+			}
+		}()
+		ctx.PutMemNBI(1, sym, 0, []byte{4})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Ctx.QuietStat agrees with Ctx.Quiet on scope and surfaces failed
+// destinations among the context's own in-flight ops.
+func TestCtxQuietStatReportsFailedTarget(t *testing.T) {
+	err := Run(stampedeCfg(), 3, func(pe *PE) {
+		sym := pe.Malloc(64)
+		pe.Barrier()
+		switch pe.MyPE() {
+		case 2:
+			pe.p.Fail()
+		case 0:
+			for !pe.world.pw.Failed(2) {
+			}
+			ctx := pe.CtxCreate()
+			ctx.PutMemNBI(2, sym, 0, []byte{1})
+			if got := pe.QuietStat(); got != nil {
+				t.Errorf("PE QuietStat = %v, want nil (the dead target's op is the ctx's, not the default context's)", got)
+			}
+			if got := ctx.QuietStat(); got == nil {
+				t.Error("ctx QuietStat = nil, want ImageFault for failed target")
+			}
+			ctx.Destroy()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,16 +3,18 @@ package shmem
 import (
 	"fmt"
 
+	"cafshmem/internal/fabric"
 	"cafshmem/internal/pgas"
 )
 
 // Nonblocking RMA (OpenSHMEM 1.3 shmem_put_nbi / shmem_get_nbi and this
 // library's vectored/strided extensions). A nonblocking call charges only the
 // injection overhead on the initiator and hands the transfer to the PE's
-// in-flight queue (fabric.NBIQueue): the bytes occupy the NIC from its next
-// idle moment and complete one delivery latency later. Quiet advances the
-// clock to the latest outstanding completion, so compute issued between post
-// and Quiet genuinely overlaps communication.
+// per-destination completion streams (fabric.NBIStreams): the bytes occupy
+// the NIC from its next idle moment and complete one delivery latency later.
+// Quiet advances the clock to the latest outstanding completion (QuietTarget
+// to one destination's), so compute issued between post and Quiet genuinely
+// overlaps communication.
 //
 // Contract (the real library's, enforced by shmemvet and the sanitizer):
 //
@@ -25,16 +27,18 @@ import (
 // visibility timestamp equal to the op's completion time (the substrate's
 // deferred-visibility write), so WaitUntil/watch determinism is untouched.
 
-// PutMemNBI starts a nonblocking contiguous put (shmem_putmem_nbi). The
-// source buffer must stay unmodified until Quiet.
+// PutMemNBI starts a nonblocking contiguous put (shmem_putmem_nbi) on the
+// default context. The source buffer must stay unmodified until Quiet.
 func (pe *PE) PutMemNBI(target int, sym Sym, off int64, data []byte) {
-	pe.putMemNBI(target, sym, off, data, nil)
+	pe.putMemNBI(&pe.nbi, 0, target, sym, off, data, nil)
 }
 
-// putMemNBI is the shared nonblocking-put core. live, when non-nil, lets the
-// sanitizer re-materialise the caller's source buffer at Quiet so typed
-// wrappers get reuse detection against the buffer the user actually holds.
-func (pe *PE) putMemNBI(target int, sym Sym, off int64, data []byte, live func() []byte) {
+// putMemNBI is the shared nonblocking-put core for the default context and
+// created contexts: streams selects whose completion streams the op rides,
+// ctx its sanitizer scope. live, when non-nil, lets the sanitizer
+// re-materialise the caller's source buffer at Quiet so typed wrappers get
+// reuse detection against the buffer the user actually holds.
+func (pe *PE) putMemNBI(streams *fabric.NBIStreams, ctx int, target int, sym Sym, off int64, data []byte, live func() []byte) {
 	pe.checkTarget(target)
 	if len(data) == 0 {
 		return
@@ -47,25 +51,30 @@ func (pe *PE) putMemNBI(target int, sym Sym, off int64, data []byte, live func()
 			d := data
 			live = func() []byte { return d }
 		}
-		san.recordPutNBI(pe.p.ID, target, sym.Off+off, int64(len(data)), data, live)
+		san.recordPutNBI(pe.p.ID, ctx, target, sym.Off+off, int64(len(data)), data, live)
 	}
 	pe.linkPenalty()
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.NBIInjectNs())
-	done := pe.nbi.Issue(pe.p.Clock.Now(),
+	done := streams.Issue(target, pe.p.Clock.Now(),
 		prof.NBITransferNs(len(data), intra, pairs),
 		prof.DeliveryNs(intra, pairs))
 	pe.world.pw.Write(target, sym.Off+off, data, done)
-	pe.noteNBITarget(target)
 }
 
-// GetMemNBI starts a nonblocking contiguous get (shmem_getmem_nbi). dst is
-// undefined until Quiet. The modelled completion pays the request round trip
-// plus the data streaming back; the host-side copy happens at issue, which is
-// a legal serialisation of the undefined-until-quiet window (the simulator
-// always resolves it to "request served immediately").
+// GetMemNBI starts a nonblocking contiguous get (shmem_getmem_nbi) on the
+// default context. dst is undefined until Quiet.
 func (pe *PE) GetMemNBI(target int, sym Sym, off int64, dst []byte) {
+	pe.getMemNBI(&pe.nbi, target, sym, off, dst)
+}
+
+// getMemNBI is the shared nonblocking-get core. The modelled completion pays
+// the request round trip plus the data streaming back; the host-side copy
+// happens at issue, which is a legal serialisation of the
+// undefined-until-quiet window (the simulator always resolves it to "request
+// served immediately").
+func (pe *PE) getMemNBI(streams *fabric.NBIStreams, target int, sym Sym, off int64, dst []byte) {
 	pe.checkTarget(target)
 	if len(dst) == 0 {
 		return
@@ -80,11 +89,10 @@ func (pe *PE) GetMemNBI(target int, sym Sym, off int64, dst []byte) {
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.NBIInjectNs())
-	pe.nbi.Issue(pe.p.Clock.Now(),
+	streams.Issue(target, pe.p.Clock.Now(),
 		prof.NBITransferNs(len(dst), intra, pairs),
 		2*prof.DeliveryNs(intra, pairs))
 	pe.world.pw.Read(target, sym.Off+off, dst)
-	pe.noteNBITarget(target)
 }
 
 // PutMemVNBI is the nonblocking vectored multi-run put: the nonblocking
@@ -111,16 +119,15 @@ func (pe *PE) PutMemVNBI(target int, sym Sym, offs []int64, runBytes int, src []
 		}
 		if san != nil {
 			run := src[i*runBytes : (i+1)*runBytes]
-			san.recordPutNBI(pe.p.ID, target, sym.Off+off, int64(runBytes), run, func() []byte { return run })
+			san.recordPutNBI(pe.p.ID, 0, target, sym.Off+off, int64(runBytes), run, func() []byte { return run })
 		}
 		pe.linkPenalty()
 		pe.p.Clock.Advance(prof.NBIInjectNs())
-		visAt = append(visAt, pe.nbi.Issue(pe.p.Clock.Now(), transfer, delivery))
+		visAt = append(visAt, pe.nbi.Issue(target, pe.p.Clock.Now(), transfer, delivery))
 	}
 	pe.world.pw.WriteRuns(target, sym.Off, offs, runBytes, src, visAt)
 	*tp = visAt
 	pgas.PutTsScratch(tp)
-	pe.noteNBITarget(target)
 }
 
 // IPutMemNBI is the nonblocking byte-level 1-D strided put: the nonblocking
@@ -145,18 +152,17 @@ func (pe *PE) IPutMemNBI(target int, sym Sym, off, dstStrideBytes int64, elemSiz
 		panic(fmt.Sprintf("shmem: iputmem_nbi overflows symmetric object (need %d bytes, have %d)", need, sym.Size))
 	}
 	if san := pe.world.san; san != nil {
-		san.recordPutNBI(pe.p.ID, target, sym.Off+off, need-off, src, func() []byte { return src })
+		san.recordPutNBI(pe.p.ID, 0, target, sym.Off+off, need-off, src, func() []byte { return src })
 	}
 	pe.linkPenalty()
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.StridedNBIInjectNs(nelems) +
 		prof.StridedLocalityNs(nelems, elemSize, dstStrideBytes))
-	done := pe.nbi.Issue(pe.p.Clock.Now(),
+	done := pe.nbi.Issue(target, pe.p.Clock.Now(),
 		prof.StridedNBITransferNs(nelems, elemSize, intra, pairs),
 		prof.DeliveryNs(intra, pairs))
 	pe.world.pw.WriteV(target, sym.Off+off, dstStrideBytes, elemSize, src, done)
-	pe.noteNBITarget(target)
 }
 
 // IGetMemNBI is the nonblocking byte-level 1-D strided get. dst is undefined
@@ -185,11 +191,10 @@ func (pe *PE) IGetMemNBI(target int, sym Sym, off, srcStrideBytes int64, elemSiz
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.StridedNBIInjectNs(nelems) +
 		prof.StridedLocalityNs(nelems, elemSize, srcStrideBytes))
-	pe.nbi.Issue(pe.p.Clock.Now(),
+	pe.nbi.Issue(target, pe.p.Clock.Now(),
 		prof.StridedNBITransferNs(nelems, elemSize, intra, pairs),
 		2*prof.DeliveryNs(intra, pairs))
 	pe.world.pw.ReadV(target, sym.Off+off, srcStrideBytes, elemSize, dst)
-	pe.noteNBITarget(target)
 }
 
 // PutNBI starts a nonblocking typed put (the shmem_put_nbi family). vals must
@@ -202,7 +207,7 @@ func PutNBI[T pgas.Elem](pe *PE, target int, sym Sym, idx int, vals []T) {
 	if pe.world.san != nil {
 		live = func() []byte { return pgas.EncodeSlice[T](nil, vals) }
 	}
-	pe.putMemNBI(target, sym, int64(idx)*es, raw, live)
+	pe.putMemNBI(&pe.nbi, 0, target, sym, int64(idx)*es, raw, live)
 }
 
 // GetNBI starts a nonblocking typed get into dst (the shmem_get_nbi family).
@@ -214,37 +219,68 @@ func GetNBI[T pgas.Elem](pe *PE, target int, sym Sym, idx int, dst []T) {
 	pgas.DecodeSlice(dst, raw)
 }
 
-// NBIOutstanding returns the number of nonblocking ops issued since the last
-// Quiet (observability and tests).
+// NBIOutstanding returns the number of nonblocking ops issued on the default
+// context since the last Quiet (observability and tests).
 func (pe *PE) NBIOutstanding() int { return pe.nbi.Outstanding() }
-
-// noteNBITarget records target among the PEs with in-flight nonblocking ops.
-// The list is tiny (halo neighbours, a pipeline's partner), so a linear scan
-// beats any map and the backing array is reused across Quiets.
-func (pe *PE) noteNBITarget(target int) {
-	for _, t := range pe.nbiTargets {
-		if t == target {
-			return
-		}
-	}
-	pe.nbiTargets = append(pe.nbiTargets, target)
-}
 
 // QuietStat is Quiet with fault status: when any PE with in-flight
 // nonblocking ops has failed, the drain completes (writes to a frozen
 // partition were silently dropped by the substrate) and the fault is returned
 // instead of being lost — the hook the CAF runtime's SYNC MEMORY stat form
 // needs. A nil return means every outstanding op targeted a live PE.
+//
+// QuietStat completes exactly what Quiet completes: the default context's
+// streams and the blocking horizon — never a created context's streams (those
+// are Ctx.QuietStat's job). The two stat paths therefore agree with their
+// non-stat forms on which streams they drain.
 func (pe *PE) QuietStat() error {
-	var failed []int
-	for _, t := range pe.nbiTargets {
-		if pe.world.pw.Failed(t) {
-			failed = append(failed, t)
-		}
-	}
+	failed := pe.failedTargets(&pe.nbi)
 	pe.Quiet()
 	if len(failed) > 0 {
 		return &pgas.ImageFault{Failed: failed}
+	}
+	return nil
+}
+
+// failedTargets lists the failed PEs among a stream set's in-flight
+// destinations, in first-issue order.
+func (pe *PE) failedTargets(streams *fabric.NBIStreams) []int {
+	var failed []int
+	streams.Targets(func(t int) {
+		if pe.observedFailed(t) {
+			failed = append(failed, t)
+		}
+	})
+	return failed
+}
+
+// observedFailed reports whether this PE observes target as failed right now.
+// For a planned kill the observation is a pure function of virtual time — the
+// modelled fault detector notices the death as soon as the observer's own
+// clock passes the scheduled kill time — so the quiet-side stat paths replay
+// bit-identically regardless of host scheduling. (The victim's goroutine
+// processes its death at its next op boundary; querying its life-cycle state
+// directly would race that processing in real time, because unlike a
+// signal wait there is no happens-before edge between an origin's drain and
+// the target's death.) Deaths outside the plan (voluntary FailImage) fall
+// back to the life-cycle state, whose observers synchronise through barriers.
+func (pe *PE) observedFailed(target int) bool {
+	if fp := pe.world.fplan; fp != nil {
+		if at, ok := fp.KillTime(target); ok {
+			return pe.p.Clock.Now() >= at
+		}
+	}
+	return pe.world.pw.Failed(target)
+}
+
+// QuietTargetStat is QuietTarget with fault status, reporting whether the
+// drained destination had failed (its writes were dropped by the substrate).
+func (pe *PE) QuietTargetStat(target int) error {
+	pe.checkTarget(target)
+	dead := pe.nbi.OutstandingTarget(target) > 0 && pe.observedFailed(target)
+	pe.QuietTarget(target)
+	if dead {
+		return &pgas.ImageFault{Failed: []int{target}}
 	}
 	return nil
 }

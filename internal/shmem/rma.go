@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"cafshmem/internal/fabric"
 	"cafshmem/internal/pgas"
 )
 
@@ -30,9 +31,7 @@ func (pe *PE) PutMem(target int, sym Sym, off int64, data []byte) {
 	pe.p.Clock.Advance(prof.PutInjectNs(len(data), intra, pairs))
 	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
 	pe.world.pw.Write(target, sym.Off+off, data, vis)
-	if vis > pe.pendingT {
-		pe.pendingT = vis
-	}
+	pe.notePending(target, vis)
 }
 
 // GetMem copies len(dst) bytes from the symmetric object on the target PE
@@ -120,9 +119,7 @@ func IPut[T pgas.Elem](pe *PE, target int, sym Sym, dstIdx, dstStride int, src [
 	pe.world.pw.WriteV(target, sym.Off+int64(dstIdx)*es, int64(dstStride)*es, int(es), buf, vis)
 	*bp = buf
 	pgas.PutScratch(bp)
-	if vis > pe.pendingT {
-		pe.pendingT = vis
-	}
+	pe.notePending(target, vis)
 }
 
 // IGet performs the 1-D strided get — shmem_iget.
@@ -188,9 +185,7 @@ func (pe *PE) IPutMem(target int, sym Sym, off, dstStrideBytes int64, elemSize i
 		prof.StridedLocalityNs(nelems, elemSize, dstStrideBytes))
 	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
 	pe.world.pw.WriteV(target, sym.Off+off, dstStrideBytes, elemSize, src, vis)
-	if vis > pe.pendingT {
-		pe.pendingT = vis
-	}
+	pe.notePending(target, vis)
 }
 
 // IGetMem is the byte-level 1-D strided get: nelems elements are gathered
@@ -253,9 +248,7 @@ func (pe *PE) PutMemV(target int, sym Sym, offs []int64, runBytes int, src []byt
 		pe.p.Clock.Advance(prof.PutInjectNs(runBytes, intra, pairs))
 		vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
 		visAt = append(visAt, vis)
-		if vis > pe.pendingT {
-			pe.pendingT = vis
-		}
+		pe.notePending(target, vis)
 	}
 	pe.world.pw.WriteRuns(target, sym.Off, offs, runBytes, src, visAt)
 	*tp = visAt
@@ -323,9 +316,46 @@ func (pe *PE) PutSignal(target int, sym Sym, off int64, data []byte, sig Sym, si
 	var sigBytes [8]byte
 	binary.LittleEndian.PutUint64(sigBytes[:], uint64(sigVal))
 	pe.world.pw.Write(target, sigOff, sigBytes[:], vis)
-	if vis > pe.pendingT {
-		pe.pendingT = vis
+	pe.notePending(target, vis)
+}
+
+// PutSignalNBI is the nonblocking flavour of PutSignal (shmem_put_signal_nbi,
+// OpenSHMEM 1.5): data plus the 8-byte signal word travel as one nonblocking
+// injection on the default context's stream toward target. Because streams
+// serialise per destination on the NIC and the substrate applies writes in
+// issue order per target, the signal's completion is at or after every
+// previously-issued transfer to the same target — so a consumer that has seen
+// the signal (SignalWaitUntil) sees all data the producer streamed to it
+// beforehand, including earlier PutMemNBI/PutMemVNBI payloads on the same
+// context. That makes it the fused "data + doorbell" of the barrier-free
+// ghost exchange: no Quiet, no barrier on the critical path.
+//
+// As with PutSignal, the data is not tracked as an outstanding sanitizer put
+// (completion is signal-mediated); the initiator's own completion point is
+// its next Quiet/QuietTarget. data may be nil/empty to send just the signal.
+func (pe *PE) PutSignalNBI(target int, sym Sym, off int64, data []byte, sig Sym, sigIdx int, sigVal int64) {
+	pe.putSignalNBI(&pe.nbi, target, sym, off, data, sig, sigIdx, sigVal)
+}
+
+func (pe *PE) putSignalNBI(streams *fabric.NBIStreams, target int, sym Sym, off int64, data []byte, sig Sym, sigIdx int, sigVal int64) {
+	pe.checkTarget(target)
+	if len(data) > 0 && (off < 0 || off+int64(len(data)) > sym.Size) {
+		panic(fmt.Sprintf("shmem: put_signal_nbi of %d bytes at offset %d overflows %d-byte symmetric object", len(data), off, sym.Size))
 	}
+	sigOff := sig.At(int64(sigIdx) * 8) // bounds-checked absolute offset
+	pe.linkPenalty()
+	intra, pairs := pe.intra(target), pe.pairs()
+	prof := pe.world.prof
+	pe.p.Clock.Advance(prof.NBIInjectNs())
+	done := streams.Issue(target, pe.p.Clock.Now(),
+		prof.NBITransferNs(len(data)+8, intra, pairs),
+		prof.DeliveryNs(intra, pairs))
+	if len(data) > 0 {
+		pe.world.pw.Write(target, sym.Off+off, data, done)
+	}
+	var sigBytes [8]byte
+	binary.LittleEndian.PutUint64(sigBytes[:], uint64(sigVal))
+	pe.world.pw.Write(target, sigOff, sigBytes[:], done)
 }
 
 func (pe *PE) checkTarget(target int) {

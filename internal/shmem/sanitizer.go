@@ -53,6 +53,10 @@ type sanPut struct {
 	origin    int   // PE that issued the put
 	target    int   // PE whose partition it lands in
 	off, size int64 // absolute partition offsets
+	// ctx scopes nonblocking ops to a communication context: 0 is the default
+	// context (completed by pe.Quiet), >0 a created Ctx (completed only by
+	// that context's Quiet/Destroy). Blocking puts always carry ctx 0.
+	ctx int
 	// Nonblocking ops additionally carry the source-buffer contract: snap is
 	// the payload as it was at issue; live re-materialises the caller's
 	// buffer at Quiet. A mismatch means the program modified the source of an
@@ -131,26 +135,34 @@ func (s *sanitizer) checkRead(reader, target int, off, size int64) {
 }
 
 // recordPutNBI notes an outstanding nonblocking write together with its
-// source-buffer contract. snap is copied; live is evaluated at quiesce.
-func (s *sanitizer) recordPutNBI(origin, target int, off, size int64, snap []byte, live func() []byte) {
+// source-buffer contract. ctx is the issuing context (0 = default); snap is
+// copied; live is evaluated at quiesce.
+func (s *sanitizer) recordPutNBI(origin, ctx, target int, off, size int64, snap []byte, live func() []byte) {
 	if size <= 0 {
 		return
 	}
 	s.mu.Lock()
 	s.pending[origin] = append(s.pending[origin], sanPut{
-		origin: origin, target: target, off: off, size: size,
+		origin: origin, target: target, off: off, size: size, ctx: ctx,
 		nbi: true, snap: append([]byte(nil), snap...), live: live,
 	})
 	s.mu.Unlock()
 }
 
-// quiesce completes all outstanding puts of the origin PE (Quiet semantics).
-// Nonblocking entries verify their source-buffer contract on the way out: a
-// buffer that changed between issue and Quiet was reused while the NIC could
-// still be reading it.
-func (s *sanitizer) quiesce(origin int) {
+// completeWhere discharges the origin's outstanding puts for which keep
+// returns false, retaining the rest. Completed nonblocking entries verify
+// their source-buffer contract on the way out: a buffer that changed between
+// issue and the completing Quiet was reused while the NIC could still be
+// reading it.
+func (s *sanitizer) completeWhere(origin int, keep func(sanPut) bool) {
 	s.mu.Lock()
-	for _, p := range s.pending[origin] {
+	puts := s.pending[origin]
+	kept := puts[:0]
+	for _, p := range puts {
+		if keep != nil && keep(p) {
+			kept = append(kept, p)
+			continue
+		}
 		if !p.nbi || p.live == nil {
 			continue
 		}
@@ -163,8 +175,36 @@ func (s *sanitizer) quiesce(origin int) {
 			})
 		}
 	}
-	delete(s.pending, origin)
+	if len(kept) == 0 {
+		delete(s.pending, origin)
+	} else {
+		s.pending[origin] = kept
+	}
 	s.mu.Unlock()
+}
+
+// quiesce completes the origin PE's blocking puts and default-context
+// nonblocking ops (pe.Quiet semantics). Per OpenSHMEM, a PE-level Quiet does
+// NOT complete ops issued on created contexts — those entries stay pending
+// until their context's Quiet/Destroy, and surface as nbi-leaks if the
+// context is never quiesced.
+func (s *sanitizer) quiesce(origin int) {
+	s.completeWhere(origin, func(p sanPut) bool { return p.nbi && p.ctx != 0 })
+}
+
+// quiesceCtx completes the ops issued on one created context (Ctx.Quiet /
+// Ctx.Destroy semantics): nothing else — not the default context's ops, not
+// another context's.
+func (s *sanitizer) quiesceCtx(origin, ctx int) {
+	s.completeWhere(origin, func(p sanPut) bool { return !(p.nbi && p.ctx == ctx) })
+}
+
+// quiesceTarget completes one context's ops toward a single destination
+// (QuietTarget / Ctx.QuietTarget semantics). Blocking puts toward the target
+// complete too when ctx is 0: QuietTarget waits for the per-destination
+// blocking horizon as well.
+func (s *sanitizer) quiesceTarget(origin, ctx, target int) {
+	s.completeWhere(origin, func(p sanPut) bool { return !(p.ctx == ctx && p.target == target) })
 }
 
 // noteAcquire records that the PE now holds the named lock.

@@ -37,18 +37,53 @@ type PE struct {
 	p     *pgas.PE
 	// pendingT is the latest remote-visibility time of any put/atomic issued
 	// since the last Quiet: the virtual analogue of the NIC's outstanding
-	// operation queue.
-	pendingT float64
-	// nbi tracks in-flight nonblocking ops (PutNBI/GetNBI): issue charges
-	// only the injection overhead; Quiet drains the queue and merges the
-	// latest completion, so compute between post and quiet is hidden.
-	nbi fabric.NBIQueue
-	// nbiTargets lists the distinct PEs with outstanding nonblocking ops
-	// (reset at Quiet) — QuietStat reports failures against them.
-	nbiTargets []int
+	// operation queue. pendTargets/pendVis refine it per destination (the
+	// wait target of QuietTarget); both lists are tiny and reused across
+	// Quiets.
+	pendingT    float64
+	pendTargets []int
+	pendVis     []float64
+	// nic is the injection pipe every completion stream of this PE — the
+	// default context's and every created context's — serialises on.
+	nic fabric.NBINic
+	// nbi tracks in-flight nonblocking ops (PutNBI/GetNBI) of the default
+	// context, one completion stream per destination: issue charges only the
+	// injection overhead; Quiet drains all streams and merges the latest
+	// completion, QuietTarget drains one destination's stream only.
+	nbi fabric.NBIStreams
+	// ctxSeq numbers contexts created by this PE (sanitizer bookkeeping; the
+	// default context is 0).
+	ctxSeq int
 	// collSeq numbers this PE's collective operations; all PEs agree on it
 	// because collectives are globally ordered.
 	collSeq int64
+}
+
+// newPE wires a PE handle: the default context's completion streams share the
+// PE's injection pipe with any contexts created later.
+func newPE(w *World, p *pgas.PE) *PE {
+	pe := &PE{world: w, p: p}
+	pe.nbi = fabric.NewNBIStreams(&pe.nic)
+	return pe
+}
+
+// notePending records the visibility time of a blocking put/atomic toward
+// target: the global horizon (Quiet's wait target) and the per-destination
+// one (QuietTarget's).
+func (pe *PE) notePending(target int, vis float64) {
+	if vis > pe.pendingT {
+		pe.pendingT = vis
+	}
+	for i, t := range pe.pendTargets {
+		if t == target {
+			if vis > pe.pendVis[i] {
+				pe.pendVis[i] = vis
+			}
+			return
+		}
+	}
+	pe.pendTargets = append(pe.pendTargets, target)
+	pe.pendVis = append(pe.pendVis, vis)
 }
 
 // Config selects the modelled platform and library implementation.
@@ -78,7 +113,7 @@ func Run(cfg Config, n int, body func(*PE)) error {
 		return err
 	}
 	if err := w.pw.Run(func(p *pgas.PE) {
-		body(&PE{world: w, p: p})
+		body(newPE(w, p))
 	}); err != nil {
 		return err
 	}
@@ -112,7 +147,7 @@ func (w *World) FaultPlan() *fabric.FaultPlan { return w.fplan }
 
 // Attach creates the PE handle for a pgas PE in this world. Layered runtimes
 // use it; normal applications go through Run.
-func (w *World) Attach(p *pgas.PE) *PE { return &PE{world: w, p: p} }
+func (w *World) Attach(p *pgas.PE) *PE { return newPE(w, p) }
 
 // PgasWorld exposes the underlying substrate (for layered runtimes).
 func (w *World) PgasWorld() *pgas.World { return w.pw }

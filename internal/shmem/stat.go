@@ -80,9 +80,7 @@ func (pe *PE) PutMemRepair(target int, sym Sym, off int64, data []byte) {
 	pe.p.Clock.Advance(prof.PutInjectNs(len(data), intra, pairs))
 	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
 	pe.world.pw.RepairWrite(target, sym.Off+off, data, vis)
-	if vis > pe.pendingT {
-		pe.pendingT = vis
-	}
+	pe.notePending(target, vis)
 }
 
 // ReadWord64 reads a symmetric 64-bit word together with its visibility

@@ -1,16 +1,23 @@
 package shmem
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+
+	"cafshmem/internal/pgas"
+)
 
 // Quiet waits for remote completion of all puts and atomics this PE has
-// issued — shmem_quiet. In virtual time this merges the clock with the
-// latest outstanding visibility timestamp. The paper's translation inserts
-// Quiet after puts and before gets to restore CAF's ordering semantics
-// (§IV-B).
+// issued on the default context — shmem_quiet. In virtual time this merges
+// the clock with the latest outstanding visibility timestamp. The paper's
+// translation inserts Quiet after puts and before gets to restore CAF's
+// ordering semantics (§IV-B).
+//
+// Per OpenSHMEM 1.4 semantics, Quiet does NOT complete operations issued on
+// created contexts — each Ctx has its own Quiet.
 func (pe *PE) Quiet() {
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.OverheadNs)
-	// Drain the nonblocking in-flight queue: its latest completion joins the
+	// Drain the default context's streams: their latest completion joins the
 	// blocking ops' pendingT, and the merge below waits for whichever is
 	// later. With no NBI ops outstanding Drain returns 0 and the blocking
 	// path is bit-identical to the pre-NBI model.
@@ -21,9 +28,43 @@ func (pe *PE) Quiet() {
 		pe.p.Clock.MergeAtLeast(pe.pendingT)
 	}
 	pe.pendingT = 0
-	pe.nbiTargets = pe.nbiTargets[:0]
+	pe.pendTargets = pe.pendTargets[:0]
+	pe.pendVis = pe.pendVis[:0]
 	if san := pe.world.san; san != nil {
 		san.quiesce(pe.p.ID)
+	}
+}
+
+// QuietTarget waits for remote completion of this PE's default-context puts
+// and atomics toward target only — the per-destination quiet that contexts
+// make expressible (a shmem_ctx_quiet on a context carrying one destination's
+// traffic). Other destinations' transfers stay in flight: their completion
+// horizon, and the shared NIC pipe's residual occupancy, are untouched.
+func (pe *PE) QuietTarget(target int) {
+	pe.checkTarget(target)
+	prof := pe.world.prof
+	pe.p.Clock.Advance(prof.OverheadNs)
+	done := pe.nbi.DrainTarget(target)
+	for i, t := range pe.pendTargets {
+		if t == target {
+			if pe.pendVis[i] > done {
+				done = pe.pendVis[i]
+			}
+			// Ordered removal keeps first-issue iteration order deterministic.
+			pe.pendTargets = append(pe.pendTargets[:i], pe.pendTargets[i+1:]...)
+			pe.pendVis = append(pe.pendVis[:i], pe.pendVis[i+1:]...)
+			break
+		}
+	}
+	// pendingT (the global horizon) deliberately keeps its value: a later
+	// full Quiet still waits for every other destination, and waiting for the
+	// global max there is exactly what it did before — per-target completion
+	// never relaxes the blocking path.
+	if done > pe.p.Clock.Now() {
+		pe.p.Clock.MergeAtLeast(done)
+	}
+	if san := pe.world.san; san != nil {
+		san.quiesceTarget(pe.p.ID, 0, target)
 	}
 }
 
@@ -88,4 +129,54 @@ func (pe *PE) WaitUntil64(sym Sym, idx int, cmp Cmp, value int64) {
 	})
 	pe.p.Clock.MergeAtLeast(ts)
 	pe.p.Clock.Advance(pe.world.prof.OverheadNs) // poll loop exit cost
+}
+
+// SignalWaitUntil blocks until the local 64-bit signal word at element index
+// idx of sig satisfies cmp against value and returns the satisfying signal
+// value — shmem_signal_wait_until (OpenSHMEM 1.5). Combined with PutSignal /
+// PutSignalNBI it is the consumer half of signal-driven synchronisation: the
+// producer's data is visible once the signal is (signal-mediated completion),
+// so neither side needs a barrier or a global quiet.
+func (pe *PE) SignalWaitUntil(sig Sym, idx int, cmp Cmp, value int64) int64 {
+	off := sig.At(int64(idx) * 8)
+	var got int64
+	ts := pe.p.WaitUntil(off, 8, func(b []byte) bool {
+		got = int64(binary.LittleEndian.Uint64(b))
+		return cmp.holds(got, value)
+	})
+	pe.p.Clock.MergeAtLeast(ts)
+	pe.p.Clock.Advance(pe.world.prof.OverheadNs)
+	return got
+}
+
+// WaitUntilStat is SignalWaitUntil with Fortran-2018-style fault awareness:
+// it watches the listed producer PEs and, if any of them fails while the wait
+// is still unsatisfied, returns the fault instead of hanging on a signal that
+// can never arrive. A signal that did arrive wins even if its producer died
+// afterwards — the data it advertises is already delivered. The last observed
+// signal value is returned in both cases.
+func (pe *PE) WaitUntilStat(sig Sym, idx int, cmp Cmp, value int64, producers ...int) (int64, error) {
+	off := sig.At(int64(idx) * 8)
+	var got int64
+	ts, err := pe.p.WaitUntilStat(off, 8, func(b []byte) bool {
+		got = int64(binary.LittleEndian.Uint64(b))
+		return cmp.holds(got, value)
+	}, func() error {
+		var failed []int
+		for _, pr := range producers {
+			if pe.world.pw.Failed(pr) {
+				failed = append(failed, pr)
+			}
+		}
+		if len(failed) > 0 {
+			return &pgas.ImageFault{Failed: failed}
+		}
+		return nil
+	})
+	if err != nil {
+		return got, err
+	}
+	pe.p.Clock.MergeAtLeast(ts)
+	pe.p.Clock.Advance(pe.world.prof.OverheadNs)
+	return got, nil
 }
