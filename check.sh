@@ -9,14 +9,21 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> shmemvet (PGAS static analysis)"
-go run ./cmd/shmemvet ./...
+echo "==> shmemvet (PGAS static analysis; exit code gates, JSON artifact kept)"
+# The run is budgeted: the interprocedural pass over the whole module must
+# stay interactive (the baseline is ~2s; 60s leaves headroom for cold
+# build caches) or the gate fails even if no findings are reported.
+san_start=$(date +%s)
+go run ./cmd/shmemvet -json ./... > shmemvet.json
+san_elapsed=$(( $(date +%s) - san_start ))
+echo "    shmemvet clean in ${san_elapsed}s (artifact: shmemvet.json)"
+if [ "$san_elapsed" -gt 60 ]; then
+    echo "check.sh: shmemvet took ${san_elapsed}s, budget is 60s" >&2
+    exit 1
+fi
 
-echo "==> shmemvet NBI fixtures (quiet-contract positive + clean cases)"
-go test -run 'TestSyncCheck(FlagsNBIViolations|PassesCleanNBICode)' -count=1 ./internal/analysis
-
-echo "==> shmemvet context fixtures (per-context completion positive + clean cases)"
-go test -run 'TestSyncCheck(FlagsCtxViolations|PassesCleanCtxCode)' -count=1 ./internal/analysis
+echo "==> analyzer self-tests (all fixtures incl. interprocedural, shuffled)"
+go test -shuffle=on -count=1 ./internal/analysis
 
 echo "==> go test -race -count=1 ./..."
 go test -race -count=1 ./...

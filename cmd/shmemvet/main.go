@@ -15,8 +15,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -33,6 +35,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("shmemvet", flag.ContinueOnError)
 	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
 	verbose := fs.Bool("v", false, "list analyzed packages and type-check noise")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,7 +71,10 @@ func run(args []string) int {
 		return 2
 	}
 
+	// Load every requested package first so the interprocedural Program is
+	// built once over the whole set, then analyze.
 	exit := 0
+	var pkgs []*analysis.Package
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
@@ -82,14 +88,51 @@ func run(args []string) int {
 				fmt.Fprintf(os.Stderr, "shmemvet: %s: type-check: %v\n", pkg.Path, e)
 			}
 		}
-		for _, d := range analysis.RunAnalyzers(pkg, analyzers) {
+		pkgs = append(pkgs, pkg)
+	}
+	prog := analysis.NewProgram(loader)
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, analysis.RunAnalyzers(prog, pkg, analyzers)...)
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, cwd, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "shmemvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
 			fmt.Println(relativize(cwd, d))
-			if exit == 0 {
-				exit = 1
-			}
 		}
 	}
+	if len(diags) > 0 && exit == 0 {
+		exit = 1
+	}
 	return exit
+}
+
+// jsonDiag is the machine-readable diagnostic record: one object per finding,
+// with the file path relative to the working directory where possible.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, cwd string, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		out = append(out, jsonDiag{File: file, Line: d.Pos.Line, Column: d.Pos.Column, Analyzer: d.Analyzer, Message: d.Message})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func selectAnalyzers(checks string) ([]*analysis.Analyzer, error) {

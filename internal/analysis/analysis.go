@@ -12,12 +12,14 @@
 // imports go through the compiler's source importer, so no third-party
 // analysis framework is required.
 //
-// Diagnostics are heuristic and intraprocedural: the analyzers are tuned to
-// report only patterns that are wrong with high confidence, and a
-// "//shmemvet:allow <analyzer>" comment on (or immediately above) a line
-// suppresses its findings — used where a runtime layer legitimately breaks a
-// surface rule (e.g. the CAF transport viewing the whole partition as one
-// Sym).
+// Diagnostics are heuristic but tuned to report only patterns that are
+// wrong with high confidence. The analyzers see through module-local calls
+// via per-function effect summaries computed over the module call graph
+// (callgraph.go, summary.go); anything unresolvable stays conservative. A
+// "//shmemvet:allow <analyzer>" comment ("shmemvet:ignore" is an alias) on
+// (or immediately above) a line suppresses its findings — used where a
+// runtime layer legitimately breaks a surface rule (e.g. the CAF transport
+// viewing the whole partition as one Sym).
 package analysis
 
 import (
@@ -36,11 +38,25 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// Pass carries one package through one analyzer.
+// Pass carries one package through one analyzer. Prog, when non-nil, gives
+// the analyzer the interprocedural view (callgraph.go): per-function effect
+// summaries that let it see through module-local calls instead of treating
+// them as opaque completion points. A nil Prog degrades every analyzer to its
+// original intraprocedural behaviour.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Prog     *Program
 	diags    []Diagnostic
+}
+
+// summaryOf returns the effect summary for fn, or nil when fn's body is
+// unknown to the program (external code, interface methods, no Program).
+func (p *Pass) summaryOf(fn *types.Func) *Summary {
+	if p.Prog == nil || fn == nil {
+		return nil
+	}
+	return p.Prog.Summary(fn)
 }
 
 // Diagnostic is one finding.
@@ -65,16 +81,17 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // All returns every analyzer in the suite.
 func All() []*Analyzer {
-	return []*Analyzer{SyncCheck, LockCheck, CollectiveCheck, SymCheck}
+	return []*Analyzer{SyncCheck, LockCheck, CollectiveCheck, SymCheck, DeadlockCheck}
 }
 
 // RunAnalyzers applies the analyzers to the package and returns the findings
-// that survive suppression comments, sorted by position.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+// that survive suppression comments, sorted by position. prog supplies the
+// interprocedural summaries; nil runs the analyzers intraprocedurally.
+func RunAnalyzers(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	allowed := suppressions(pkg)
 	var out []Diagnostic
 	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Pkg: pkg}
+		pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog}
 		a.Run(pass)
 		for _, d := range pass.diags {
 			if allowed[suppKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] ||
@@ -115,9 +132,9 @@ type suppKey struct {
 	analyzer string
 }
 
-// suppressions collects "//shmemvet:allow name" comments. A comment
-// suppresses the named analyzer on its own line and on the following line
-// (so it can sit above the flagged statement).
+// suppressions collects "//shmemvet:allow name" comments ("shmemvet:ignore"
+// is an accepted alias). A comment suppresses the named analyzer on its own
+// line and on the following line (so it can sit above the flagged statement).
 func suppressions(pkg *Package) map[suppKey]bool {
 	out := map[suppKey]bool{}
 	for _, f := range pkg.Files {
@@ -126,6 +143,9 @@ func suppressions(pkg *Package) map[suppKey]bool {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
 				rest, ok := strings.CutPrefix(text, "shmemvet:allow")
+				if !ok {
+					rest, ok = strings.CutPrefix(text, "shmemvet:ignore")
+				}
 				if !ok {
 					continue
 				}
@@ -152,7 +172,13 @@ const (
 // indirect calls (function values, interface methods resolve to the
 // interface method object, which is still useful).
 func (p *Pass) callee(call *ast.CallExpr) *types.Func {
-	info := p.Pkg.Info
+	return calleeFunc(p.Pkg.Info, call)
+}
+
+// calleeFunc is Pass.callee without the Pass: callgraph construction and
+// summary computation resolve callees for packages other than the one under
+// analysis.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
 	var id *ast.Ident
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -220,9 +246,12 @@ func isMethodOf(fn *types.Func, path, typeName, name string) bool {
 }
 
 // exprKey renders an expression as a normalized string so that two
-// syntactically-identical references to the same lock or symmetric object
-// compare equal. Identifiers resolve through go/types objects where
-// possible, so shadowing does not conflate distinct variables.
+// references to the same lock or symmetric object compare equal. Identifiers
+// — including the qualifier and member of a package-qualified selector —
+// resolve through go/types object identity where they resolve at all, with a
+// purely syntactic rendering as the fallback, so neither a shadowed local in
+// a nested scope nor an aliased import conflates distinct objects (or splits
+// one object into distinct keys).
 func (p *Pass) exprKey(e ast.Expr) string {
 	var b strings.Builder
 	p.writeExprKey(&b, ast.Unparen(e))
@@ -238,6 +267,17 @@ func (p *Pass) writeExprKey(b *strings.Builder, e ast.Expr) {
 			b.WriteString(x.Name)
 		}
 	case *ast.SelectorExpr:
+		// A package-qualified reference (pkg.Var) keys on the member object
+		// itself: every import alias and every file's import declaration of
+		// the same package then yields one canonical key.
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := p.Pkg.Info.ObjectOf(id).(*types.PkgName); isPkg {
+				if obj := p.Pkg.Info.ObjectOf(x.Sel); obj != nil {
+					fmt.Fprintf(b, "%s@%d", x.Sel.Name, obj.Pos())
+					return
+				}
+			}
+		}
 		p.writeExprKey(b, ast.Unparen(x.X))
 		b.WriteByte('.')
 		b.WriteString(x.Sel.Name)
@@ -268,6 +308,20 @@ func (p *Pass) writeExprKey(b *strings.Builder, e ast.Expr) {
 	default:
 		fmt.Fprintf(b, "<%T@%d>", e, e.Pos())
 	}
+}
+
+// posInPackage reports whether pos falls in one of this package's files.
+func (p *Pass) posInPackage(pos token.Pos) bool {
+	if !pos.IsValid() {
+		return false
+	}
+	file := p.Pkg.Fset.Position(pos).Filename
+	for _, fn := range p.Pkg.filenames {
+		if fn == file {
+			return true
+		}
+	}
+	return false
 }
 
 // funcDecls yields every function declaration with a body in the package.

@@ -25,6 +25,27 @@ func TestCollectiveCheckPassesCleanCode(t *testing.T) { checkFixture(t, Collecti
 func TestSymCheckFlagsSeededViolations(t *testing.T) { checkFixture(t, SymCheck, "symbad") }
 func TestSymCheckPassesCleanCode(t *testing.T)       { checkFixture(t, SymCheck, "symclean") }
 
+// The interprocedural fixtures run the three summary-consuming analyzers as
+// a suite: each violation is laundered through a helper in a second file, so
+// the expectations only hold when summaries flow across function and file
+// boundaries.
+func TestInterproceduralFlagsSeededViolations(t *testing.T) {
+	checkFixtureSuite(t, []*Analyzer{SyncCheck, LockCheck, CollectiveCheck}, "interbad")
+}
+func TestInterproceduralPassesCleanCode(t *testing.T) {
+	checkFixtureSuite(t, []*Analyzer{SyncCheck, LockCheck, CollectiveCheck}, "interclean")
+}
+
+func TestDeadlockCheckFlagsSeededViolations(t *testing.T) {
+	checkFixture(t, DeadlockCheck, "deadbad")
+}
+func TestDeadlockCheckPassesCleanCode(t *testing.T) { checkFixture(t, DeadlockCheck, "deadclean") }
+
+// keyshadow is the regression fixture for the statVars shadowing fix: Stat
+// bindings are keyed by object identity, so a shadowed inner binding must
+// not corrupt the outer lock's path tracking.
+func TestLockCheckStatShadowingRegression(t *testing.T) { checkFixture(t, LockCheck, "keyshadow") }
+
 func TestAllAnalyzersRegistered(t *testing.T) {
 	names := map[string]bool{}
 	for _, a := range All() {
@@ -36,7 +57,7 @@ func TestAllAnalyzersRegistered(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"synccheck", "lockcheck", "collectivecheck", "symcheck"} {
+	for _, want := range []string{"synccheck", "lockcheck", "collectivecheck", "symcheck", "deadlockcheck"} {
 		if !names[want] {
 			t.Errorf("missing analyzer %q", want)
 		}
@@ -76,6 +97,7 @@ func TestRepoPackagesAreVetClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var pkgs []*Package
 	for _, rel := range []string{
 		"internal/shmem", "internal/caf", "internal/pgasbench", "internal/dht",
 	} {
@@ -83,8 +105,12 @@ func TestRepoPackagesAreVetClean(t *testing.T) {
 		if err != nil {
 			t.Fatalf("loading %s: %v", rel, err)
 		}
-		for _, d := range RunAnalyzers(pkg, All()) {
-			t.Errorf("unexpected finding in %s: %s", rel, d)
+		pkgs = append(pkgs, pkg)
+	}
+	prog := NewProgram(l)
+	for _, pkg := range pkgs {
+		for _, d := range RunAnalyzers(prog, pkg, All()) {
+			t.Errorf("unexpected finding in %s: %s", pkg.Path, d)
 		}
 	}
 }

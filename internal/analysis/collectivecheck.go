@@ -259,6 +259,16 @@ func (w *collWalker) checkCalls(n ast.Node, div token.Pos) {
 			w.pass.Reportf(call.Pos(),
 				"collective %s under the PE-dependent condition at line %d: not every PE reaches it (SPMD divergence)",
 				name, w.pass.Pkg.Fset.Position(div).Line)
+			return
+		}
+		// A helper whose summary shows an unconditionally-executed collective
+		// diverges the same way when only some PEs call it.
+		if fn := w.pass.callee(call); fn != nil {
+			if sum := w.pass.summaryOf(fn); sum != nil && len(sum.Collectives) > 0 {
+				w.pass.Reportf(call.Pos(),
+					"collective %s reached through the call to %s under the PE-dependent condition at line %d: not every PE reaches it (SPMD divergence)",
+					sum.Collectives[0].Name, fn.Name(), w.pass.Pkg.Fset.Position(div).Line)
+			}
 		}
 	})
 }

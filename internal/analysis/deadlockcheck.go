@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// DeadlockCheck is the purely interprocedural analyzer: it consumes the
+// effect summaries (summary.go) and the module-wide lock-order edges
+// (callgraph.go) to flag two whole-program deadlock shapes the
+// per-function checkers cannot see:
+//
+//  1. Unmatched waits. A signal-class wait (caf.Signal.Wait, caf.Event.Wait,
+//     shmem WaitUntil/SignalWaitUntil, and anything that reaches one through
+//     helpers) blocks until a partner image issues the matching notify. In an
+//     SPMD package where NO function — directly or transitively — issues a
+//     notify that can satisfy the wait's class, no partner ever will: every
+//     image parks forever. Notifies are matched per class (a caf.Event wait
+//     needs an Event.Post or the generic shmem signal machinery behind it;
+//     the counted SyncImages protocol only pairs with itself).
+//
+//  2. Lock-order cycles. Each function's summary carries the lock-order
+//     edges its acquisitions induce (holding A while acquiring B), with locks
+//     canonicalized to package-level variables or struct fields so edges
+//     compare across functions and packages. If the union of all edges
+//     contains a cycle, two images taking the two paths in opposite order
+//     deadlock on the MCS queue — the classic ABBA, invisible to any
+//     single-function view.
+//
+// Both rules only fire with the interprocedural Program available; without
+// summaries the analyzer stays silent rather than guess.
+var DeadlockCheck = &Analyzer{
+	Name: "deadlockcheck",
+	Doc:  "signal waits with no reachable notify; cross-function lock-order cycles",
+	Run:  runDeadlockCheck,
+}
+
+func runDeadlockCheck(pass *Pass) {
+	if pass.Prog == nil {
+		return
+	}
+	checkUnmatchedWaits(pass)
+	checkLockCycles(pass)
+}
+
+// checkUnmatchedWaits reports wait sites whose class no notify in the
+// package can satisfy. The notify set is package-wide: in SPMD code every
+// image runs the same binary, so the partner's notify — wherever it lives,
+// including inside helpers and escaping closures — appears somewhere in the
+// same package's call-reachable code.
+func checkUnmatchedWaits(pass *Pass) {
+	notifies := map[string]bool{}
+	pass.funcBodies(func(name string, body *ast.BlockStmt) {
+		collectSyncEffects(pass, body, false,
+			func(syncEffect) {},
+			func(e syncEffect) { notifies[e.Class] = true })
+	})
+	waitName := map[string]string{
+		"caf.Signal":   "caf signal (Signal.Notify or a put-with-signal)",
+		"caf.Event":    "caf event (Event.Post)",
+		"shmem.signal": "shmem signal (PutSignal or an atomic update)",
+		"syncimages":   "SyncImages on the partner image",
+	}
+	pass.funcBodies(func(name string, body *ast.BlockStmt) {
+		collectSyncEffects(pass, body, true,
+			func(e syncEffect) {
+				for n := range notifies {
+					if notifySatisfies(e.Class, n) {
+						return
+					}
+				}
+				pass.Reportf(e.Pos,
+					"wait on a %s class signal, but no code in this package ever issues the matching notify (%s): every image blocks forever",
+					e.Class, waitName[e.Class])
+			},
+			func(syncEffect) {})
+	})
+}
+
+// checkLockCycles reports acquisitions that complete a cycle in the
+// module-wide lock-order graph. Only edges whose acquiring side is in the
+// package under analysis are reported, so each cycle surfaces where the
+// code can be fixed and exactly once per package.
+func checkLockCycles(pass *Pass) {
+	edges := pass.Prog.LockEdges()
+	if len(edges) == 0 {
+		return
+	}
+	adj := map[string]map[string]bool{}
+	for _, e := range edges {
+		if adj[e.From] == nil {
+			adj[e.From] = map[string]bool{}
+		}
+		adj[e.From][e.To] = true
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{from: true}
+		work := []string{from}
+		for len(work) > 0 {
+			n := work[0]
+			work = work[1:]
+			for next := range adj[n] {
+				if next == to {
+					return true
+				}
+				if !seen[next] {
+					seen[next] = true
+					work = append(work, next)
+				}
+			}
+		}
+		return false
+	}
+	// Sort for deterministic reporting, dedupe by (From, To).
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	type pair struct{ from, to string }
+	seen := map[pair]bool{}
+	for _, e := range edges {
+		p := pair{e.From, e.To}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		if !pass.posInPackage(e.ToPos) {
+			continue
+		}
+		if reaches(e.To, e.From) {
+			pass.Reportf(e.ToPos,
+				"acquiring lock %s while holding lock %s completes a lock-order cycle across functions: two images taking the paths in opposite order deadlock",
+				e.ToName, e.FromName)
+		}
+	}
+}

@@ -20,7 +20,7 @@ import (
 
 var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 
-func loadFixture(t *testing.T, name string) *Package {
+func loadFixture(t *testing.T, name string) (*Package, *Program) {
 	t.Helper()
 	l, err := NewLoader(".")
 	if err != nil {
@@ -33,7 +33,7 @@ func loadFixture(t *testing.T, name string) *Package {
 	for _, e := range pkg.TypeErrs {
 		t.Errorf("fixture %s has type error: %v", name, e)
 	}
-	return pkg
+	return pkg, NewProgram(l)
 }
 
 type lineKey struct {
@@ -62,10 +62,19 @@ func fixtureWants(pkg *Package) map[lineKey][]string {
 	return wants
 }
 
+// checkFixture runs one analyzer over a fixture with the interprocedural
+// Program enabled; checkFixtureSuite runs several (multi-analyzer fixtures
+// assert the combined behaviour). Fixtures may span multiple files — wants
+// are keyed by (file, line) across the whole package.
 func checkFixture(t *testing.T, a *Analyzer, name string) {
 	t.Helper()
-	pkg := loadFixture(t, name)
-	diags := RunAnalyzers(pkg, []*Analyzer{a})
+	checkFixtureSuite(t, []*Analyzer{a}, name)
+}
+
+func checkFixtureSuite(t *testing.T, analyzers []*Analyzer, name string) {
+	t.Helper()
+	pkg, prog := loadFixture(t, name)
+	diags := RunAnalyzers(prog, pkg, analyzers)
 	wants := fixtureWants(pkg)
 
 	matched := map[lineKey][]bool{}

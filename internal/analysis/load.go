@@ -25,6 +25,7 @@ type Loader struct {
 	module  string // module path from go.mod
 	std     types.Importer
 	pkgs    map[string]*Package // by import path
+	order   []string            // import paths in completion order (callees first)
 	loading map[string]bool     // cycle detection
 }
 
@@ -178,7 +179,20 @@ func (l *Loader) loadPath(path, dir string) (*Package, error) {
 	}
 	pkg.Types = tpkg
 	l.pkgs[path] = pkg
+	l.order = append(l.order, path)
 	return pkg, nil
+}
+
+// Packages returns every package this loader has type-checked so far, in
+// completion order: a package's module-local imports always precede it. The
+// interprocedural layer (callgraph.go) builds its view of the module from
+// this list.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.order))
+	for _, path := range l.order {
+		out = append(out, l.pkgs[path])
+	}
+	return out
 }
 
 // chainImporter resolves module-local paths from source under the module

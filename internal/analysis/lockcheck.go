@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -30,9 +31,13 @@ import (
 //
 // Functions that contain releases but no acquires are treated as release
 // helpers and skipped, as are the caf.Lock methods themselves (the
-// implementation delegates between its own variants). The analysis is
-// intraprocedural and keyed by the (lock expression, index/image expression)
-// pair.
+// implementation delegates between its own variants). The per-function walk
+// is keyed by the (lock expression, index/image expression) pair; module-
+// local calls resolve through effect summaries (summary.go), so a helper
+// that acquires on the caller's behalf makes the caller accountable for the
+// release, a balanced helper contributes nothing, and holding one lock
+// across a call that acquires another records a lock-order edge for
+// deadlockcheck's cycle detection.
 var LockCheck = &Analyzer{
 	Name: "lockcheck",
 	Doc:  "unbalanced PGAS lock acquire/release paths",
@@ -40,8 +45,10 @@ var LockCheck = &Analyzer{
 }
 
 type lockInfo struct {
-	must bool // held on every path reaching here (vs. only some)
-	pos  token.Pos
+	must  bool // held on every path reaching here (vs. only some)
+	pos   token.Pos
+	canon string // cross-function lock identity ("" when not canonicalizable)
+	name  string // human-readable lock name for edge diagnostics
 }
 
 type lockState map[string]lockInfo
@@ -59,14 +66,17 @@ func joinLocks(a, b lockState) lockState {
 	out := lockState{}
 	for k, va := range a {
 		if vb, ok := b[k]; ok {
-			out[k] = lockInfo{must: va.must && vb.must, pos: va.pos}
+			va.must = va.must && vb.must
+			out[k] = va
 		} else {
-			out[k] = lockInfo{must: false, pos: va.pos}
+			va.must = false
+			out[k] = va
 		}
 	}
 	for k, vb := range b {
 		if _, ok := a[k]; !ok {
-			out[k] = lockInfo{must: false, pos: vb.pos}
+			vb.must = false
+			out[k] = vb
 		}
 	}
 	return out
@@ -80,13 +90,18 @@ func runLockCheck(pass *Pass) {
 			// intentionally return to their caller holding the lock.
 			return
 		}
-		w := &lockWalker{pass: pass, deferred: map[string]bool{}, statVars: map[string]statBind{}}
+		w := newLockWalker(pass, nil)
 		// Release-only functions are helpers operating on locks their callers
-		// hold; pairing is the caller's responsibility.
+		// hold; pairing is the caller's responsibility. A call to a helper
+		// whose summary shows a net acquisition counts as an acquire.
 		ast.Inspect(body, func(n ast.Node) bool {
 			if call, ok := n.(*ast.CallExpr); ok {
 				if kind, _ := w.classify(call); kind == lockAcquire || kind == lockTry || kind == lockAcquireStat {
 					w.hasAcquire = true
+				} else if kind == lockNone {
+					if sum := pass.summaryOf(pass.callee(call)); sum != nil && len(sum.Acquires) > 0 {
+						w.hasAcquire = true
+					}
 				}
 			}
 			return true
@@ -99,6 +114,66 @@ func runLockCheck(pass *Pass) {
 			w.reportHeld(out, body.Rbrace)
 		}
 	})
+}
+
+func newLockWalker(pass *Pass, sum *Summary) *lockWalker {
+	return &lockWalker{
+		pass:     pass,
+		sum:      sum,
+		deferred: map[string]bool{},
+		statVars: map[types.Object]statBind{},
+		keyEff:   map[string]lockEffect{},
+		paramObj: map[types.Object]int{},
+	}
+}
+
+// summarizeLocks computes a function's net lock effects: acquisitions still
+// held at return (must = held at every return), releases of locks the
+// function never acquired (performed on the caller's behalf), and the
+// lock-order edges its acquires induce.
+func summarizeLocks(pass *Pass, site *declSite, s *Summary) {
+	if site.pkg.Types != nil && site.pkg.Types.Path() == cafPath && lockImplMethods[site.fn.Name()] {
+		// The MCS protocol bodies delegate between their own variants; their
+		// net effect is modelled at the call site by classify, and walking
+		// them here would double-count the handoff.
+		s.HasLockOps = true
+		return
+	}
+	w := newLockWalker(pass, s)
+	for i, v := range virtualParams(site.fn) {
+		if v != nil && v.Name() != "" && v.Name() != "_" {
+			w.paramObj[v] = i
+		}
+	}
+	out := w.walkStmt(site.decl.Body, lockState{})
+	if !w.terminates(site.decl.Body) {
+		w.noteLockReturn(out)
+	}
+	// Intersect the per-return held states: a key held (with must) at every
+	// return is a must-acquire; held at any return is a may-acquire.
+	seenAt := map[string]int{}
+	mustAt := map[string]int{}
+	for _, ret := range w.returnStates {
+		for k, info := range ret {
+			if w.deferred[k] {
+				continue
+			}
+			seenAt[k]++
+			if info.must {
+				mustAt[k]++
+			}
+		}
+	}
+	for k, n := range seenAt {
+		eff, ok := w.keyEff[k]
+		if !ok {
+			continue
+		}
+		eff.Must = mustAt[k] == len(w.returnStates) && n == len(w.returnStates)
+		if eff.LockParam >= 0 || eff.Canon != "" {
+			s.Acquires = append(s.Acquires, eff)
+		}
+	}
 }
 
 // lockImplMethods names the caf.Lock methods (and their helpers) whose bodies
@@ -123,10 +198,20 @@ type lockWalker struct {
 	pass       *Pass
 	hasAcquire bool
 	deferred   map[string]bool // lock keys released by defer statements
-	// statVars maps a variable name bound to an AcquireStat result to the
+	// statVars maps the variable object bound to an AcquireStat result to the
 	// lock it conditionally holds, so "if stat != StatOK" branches refine the
-	// held-state.
-	statVars map[string]statBind
+	// held-state. Keyed by types.Object, not name: a shadowed "stat" in a
+	// nested scope is a different variable and must not overwrite the outer
+	// binding.
+	statVars map[types.Object]statBind
+
+	// Summarize mode (sum != nil, driven by summary.go): effects are recorded
+	// instead of reported.
+	sum          *Summary
+	paramObj     map[types.Object]int  // parameter object → virtual index
+	keyEff       map[string]lockEffect // state key → caller-mappable effect
+	returnStates []lockState
+	branchDepth  int // > 0 inside any branch/loop: effects become may, not must
 }
 
 // statBind records which lock acquisition a Stat-typed variable witnesses.
@@ -232,9 +317,9 @@ func (w *lockWalker) walkStmt(s ast.Stmt, st lockState) lockState {
 				elseSt[statInfo.key] = lockInfo{must: true, pos: statInfo.pos}
 			}
 		}
-		thenSt = w.walkStmt(x.Body, thenSt)
+		thenSt = w.walkBranch(x.Body, thenSt)
 		if x.Else != nil {
-			elseSt = w.walkStmt(x.Else, elseSt)
+			elseSt = w.walkBranch(x.Else, elseSt)
 		}
 		switch {
 		case w.terminates(x.Body):
@@ -249,14 +334,14 @@ func (w *lockWalker) walkStmt(s ast.Stmt, st lockState) lockState {
 			st = w.walkStmt(x.Init, st)
 		}
 		w.applyExprCalls(x.Cond, st)
-		body := w.walkStmt(x.Body, st.clone())
+		body := w.walkBranch(x.Body, st.clone())
 		if x.Post != nil {
-			body = w.walkStmt(x.Post, body)
+			body = w.walkBranch(x.Post, body)
 		}
 		return joinLocks(st, body)
 	case *ast.RangeStmt:
 		w.applyExprCalls(x.X, st)
-		body := w.walkStmt(x.Body, st.clone())
+		body := w.walkBranch(x.Body, st.clone())
 		return joinLocks(st, body)
 	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
 		return w.walkCases(s, st)
@@ -275,7 +360,9 @@ func (w *lockWalker) walkStmt(s ast.Stmt, st lockState) lockState {
 			if call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr); ok {
 				if kind, key := w.classify(call); kind == lockAcquireStat && key != "" {
 					if id, ok := x.Lhs[0].(*ast.Ident); ok {
-						w.statVars[id.Name] = statBind{key: key, pos: call.Pos()}
+						if obj := w.pass.Pkg.Info.ObjectOf(id); obj != nil {
+							w.statVars[obj] = statBind{key: key, pos: call.Pos()}
+						}
 					}
 				}
 			}
@@ -335,7 +422,7 @@ func (w *lockWalker) walkCases(s ast.Stmt, st lockState) lockState {
 			stmts = cl.Body
 		}
 		for _, sub := range stmts {
-			caseSt = w.walkStmt(sub, caseSt)
+			caseSt = w.walkBranch(sub, caseSt)
 		}
 		if merged == nil {
 			merged = caseSt
@@ -392,34 +479,318 @@ func (w *lockWalker) applyExprCalls(n ast.Node, st lockState) {
 
 func (w *lockWalker) applyCall(call *ast.CallExpr, st lockState) {
 	kind, key := w.classify(call)
-	if key == "" && kind != lockNone {
+	if kind == lockNone {
+		w.applyLockSummary(call, st)
+		return
+	}
+	if key == "" {
 		return // unresolvable key expression: stay silent
 	}
+	if w.sum != nil {
+		w.sum.HasLockOps = true
+	}
+	canon, cname := w.canonOfCall(call)
 	switch kind {
-	case lockAcquire:
+	case lockAcquire, lockAcquireStat:
+		// AcquireStat is held unless a StatOK comparison later proves
+		// otherwise; the branch refinement in walkStmt removes it from the
+		// failure path.
 		if info, held := st[key]; held && info.must {
 			w.pass.Reportf(call.Pos(), "lock %s acquired at line %d is acquired again without an intervening release",
 				lockName(call), w.pass.Pkg.Fset.Position(info.pos).Line)
 		}
-		st[key] = lockInfo{must: true, pos: call.Pos()}
+		w.noteAcquire(call, key, canon, cname, st)
+		st[key] = lockInfo{must: true, pos: call.Pos(), canon: canon, name: cname}
 	case lockRelease:
 		if _, held := st[key]; !held && !w.deferred[key] {
-			w.pass.Reportf(call.Pos(), "release of lock %s which is not acquired on this path", lockName(call))
+			if w.sum != nil {
+				w.noteCallerRelease(call, key)
+			} else {
+				w.pass.Reportf(call.Pos(), "release of lock %s which is not acquired on this path", lockName(call))
+			}
 		}
 		delete(st, key)
-	case lockAcquireStat:
-		// Held unless a StatOK comparison later proves otherwise; the branch
-		// refinement in walkStmt removes it from the failure path.
-		if info, held := st[key]; held && info.must {
-			w.pass.Reportf(call.Pos(), "lock %s acquired at line %d is acquired again without an intervening release",
-				lockName(call), w.pass.Pkg.Fset.Position(info.pos).Line)
-		}
-		st[key] = lockInfo{must: true, pos: call.Pos()}
 	case lockTry:
 		// Result not consumed as an if-condition: the lock is possibly held
 		// from here on; later releases are legitimate.
-		st[key] = lockInfo{must: false, pos: call.Pos()}
+		w.noteAcquire(call, key, canon, cname, st)
+		st[key] = lockInfo{must: false, pos: call.Pos(), canon: canon, name: cname}
 	}
+}
+
+// noteAcquire records, in summarize mode, the lock-order edges this
+// acquisition induces against every canonicalizable lock already held, plus
+// the caller-mappable effect for the state key.
+func (w *lockWalker) noteAcquire(call *ast.CallExpr, key, canon, cname string, st lockState) {
+	if w.sum == nil {
+		return
+	}
+	if canon != "" {
+		for _, info := range st {
+			if info.canon != "" && info.canon != canon {
+				w.sum.LockEdges = append(w.sum.LockEdges, lockEdge{
+					From: info.canon, To: canon,
+					FromPos: info.pos, ToPos: call.Pos(),
+					FromName: info.name, ToName: cname,
+				})
+			}
+		}
+	}
+	lockExpr, imgExpr := w.operands(call)
+	eff := lockEffect{LockParam: -1, ImgParam: -1, Canon: canon, Pos: call.Pos()}
+	if i, ok := w.exprParam(lockExpr); ok {
+		eff.LockParam = i
+	}
+	if i, ok := w.exprParam(imgExpr); ok {
+		eff.ImgParam = i
+	} else if imgExpr != nil {
+		if lit, ok := ast.Unparen(imgExpr).(*ast.BasicLit); ok {
+			eff.ImgConst = lit.Value
+		}
+	}
+	w.keyEff[key] = eff
+}
+
+// noteCallerRelease records a release of a lock this function never
+// acquired: the caller holds it and hands it down.
+func (w *lockWalker) noteCallerRelease(call *ast.CallExpr, key string) {
+	lockExpr, imgExpr := w.operands(call)
+	eff := lockEffect{LockParam: -1, ImgParam: -1, Must: w.branchDepth == 0, Pos: call.Pos()}
+	if i, ok := w.exprParam(lockExpr); ok {
+		eff.LockParam = i
+	}
+	if i, ok := w.exprParam(imgExpr); ok {
+		eff.ImgParam = i
+	} else if imgExpr != nil {
+		if lit, ok := ast.Unparen(imgExpr).(*ast.BasicLit); ok {
+			eff.ImgConst = lit.Value
+		}
+	}
+	if eff.LockParam >= 0 {
+		w.sum.Releases = append(w.sum.Releases, eff)
+	}
+	w.sum.HasLockOps = true
+}
+
+// applyLockSummary applies a summarized callee's net lock effects at a call
+// site: releases first (a helper that swaps locks releases before blocking),
+// then acquisitions, with lock-order edges against the held set.
+func (w *lockWalker) applyLockSummary(call *ast.CallExpr, st lockState) {
+	fn := w.pass.callee(call)
+	if fn == nil {
+		return
+	}
+	sum := w.pass.summaryOf(fn)
+	if sum == nil || (len(sum.Acquires) == 0 && len(sum.Releases) == 0) {
+		return
+	}
+	if w.sum != nil {
+		w.sum.HasLockOps = true
+	}
+	for _, eff := range sum.Releases {
+		key, _, _ := w.callerLockKey(call, eff)
+		if key == "" {
+			continue
+		}
+		if eff.Must {
+			delete(st, key)
+		} else if info, held := st[key]; held {
+			info.must = false
+			st[key] = info
+		}
+	}
+	for _, eff := range sum.Acquires {
+		key, canon, cname := w.callerLockKey(call, eff)
+		if canon != "" && w.sum != nil {
+			for _, info := range st {
+				if info.canon != "" && info.canon != canon {
+					w.sum.LockEdges = append(w.sum.LockEdges, lockEdge{
+						From: info.canon, To: canon,
+						FromPos: info.pos, ToPos: call.Pos(),
+						FromName: info.name, ToName: cname,
+					})
+				}
+			}
+		}
+		if key == "" {
+			continue
+		}
+		if info, held := st[key]; held && info.must && eff.Must {
+			w.pass.Reportf(call.Pos(), "lock held since line %d is acquired again inside the call to %s",
+				w.pass.Pkg.Fset.Position(info.pos).Line, fn.Name())
+		}
+		if w.sum != nil {
+			w.keyEff[key] = lockEffect{LockParam: w.remapParam(call, eff.LockParam), ImgParam: w.remapParam(call, eff.ImgParam),
+				ImgConst: eff.ImgConst, Canon: canon, Pos: call.Pos()}
+		}
+		st[key] = lockInfo{must: eff.Must, pos: call.Pos(), canon: canon, name: cname}
+	}
+}
+
+// callerLockKey maps a callee lock effect to the caller's state key and
+// canonical identity through the call's arguments.
+func (w *lockWalker) callerLockKey(call *ast.CallExpr, eff lockEffect) (key, canon, cname string) {
+	lockExpr := argForParam(call, eff.LockParam)
+	if eff.LockParam < 0 || lockExpr == nil {
+		// Not mappable into this frame; the canonical identity (a global or
+		// field lock) still supports edge recording.
+		if eff.Canon != "" {
+			return "", eff.Canon, "lock"
+		}
+		return "", "", ""
+	}
+	imgKey := eff.ImgConst
+	var imgExpr ast.Expr
+	if eff.ImgParam >= 0 {
+		imgExpr = argForParam(call, eff.ImgParam)
+		if imgExpr == nil {
+			return "", "", ""
+		}
+		imgKey = w.pass.exprKey(imgExpr)
+	}
+	key = w.pass.exprKey(lockExpr) + "/" + imgKey
+	canon, cname = canonLock(w.pass, lockExpr, imgExpr, eff.ImgConst)
+	if eff.Canon != "" {
+		canon, cname = eff.Canon, "lock"
+	}
+	return key, canon, cname
+}
+
+// remapParam translates a callee parameter index to the caller's own
+// parameter index when the caller forwards one of its parameters, -1
+// otherwise.
+func (w *lockWalker) remapParam(call *ast.CallExpr, calleeParam int) int {
+	if calleeParam < 0 {
+		return -1
+	}
+	if i, ok := w.exprParam(argForParam(call, calleeParam)); ok {
+		return i
+	}
+	return -1
+}
+
+// exprParam resolves an expression to one of the summarized function's
+// virtual parameter indices.
+func (w *lockWalker) exprParam(e ast.Expr) (int, bool) {
+	if e == nil || w.paramObj == nil {
+		return 0, false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return 0, false
+	}
+	obj := w.pass.Pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return 0, false
+	}
+	i, ok := w.paramObj[obj]
+	return i, ok
+}
+
+// operands returns the lock expression and image/index expression of a
+// classified lock call: receiver + first arg for caf.Lock methods, first two
+// args for the shmem PE lock API.
+func (w *lockWalker) operands(call *ast.CallExpr) (lockExpr, imgExpr ast.Expr) {
+	fn := w.pass.callee(call)
+	if fn == nil {
+		return nil, nil
+	}
+	if recvNamed(fn) != nil && recvNamed(fn).Obj().Name() == "Lock" {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && len(call.Args) >= 1 {
+			return sel.X, call.Args[0]
+		}
+		return nil, nil
+	}
+	if len(call.Args) >= 2 {
+		return call.Args[0], call.Args[1]
+	}
+	return nil, nil
+}
+
+func (w *lockWalker) canonOfCall(call *ast.CallExpr) (string, string) {
+	lockExpr, imgExpr := w.operands(call)
+	return canonLock(w.pass, lockExpr, imgExpr, "")
+}
+
+// canonLock derives a cross-function identity for a lock: the package-level
+// variable or struct field holding it (object identity survives across
+// functions and packages) plus the image/index when it is a constant, "*"
+// otherwise. Locks reached through plain locals or parameters have no
+// canonical identity here — the parameter mapping covers those.
+func canonLock(pass *Pass, lockExpr, imgExpr ast.Expr, imgConst string) (string, string) {
+	if lockExpr == nil {
+		return "", ""
+	}
+	obj := canonLockObj(pass, lockExpr)
+	if obj == nil {
+		return "", ""
+	}
+	img := "*"
+	if imgConst != "" {
+		img = imgConst
+	} else if imgExpr != nil {
+		switch x := ast.Unparen(imgExpr).(type) {
+		case *ast.BasicLit:
+			img = x.Value
+		case *ast.Ident:
+			if c, ok := pass.Pkg.Info.ObjectOf(x).(*types.Const); ok {
+				img = c.Val().String()
+			}
+		case *ast.SelectorExpr:
+			if c, ok := pass.Pkg.Info.ObjectOf(x.Sel).(*types.Const); ok {
+				img = c.Val().String()
+			}
+		}
+	}
+	return fmt.Sprintf("%s@%d/%s", obj.Name(), obj.Pos(), img), obj.Name()
+}
+
+// canonLockObj resolves the package-level variable or struct field at the
+// root of a lock expression, or nil.
+func canonLockObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := pass.Pkg.Info.ObjectOf(x)
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return obj
+			}
+			return nil
+		case *ast.SelectorExpr:
+			obj := pass.Pkg.Info.ObjectOf(x.Sel)
+			if v, ok := obj.(*types.Var); ok {
+				if v.IsField() {
+					return obj
+				}
+				if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+					return obj
+				}
+			}
+			return nil
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// walkBranch walks a statement that executes conditionally relative to the
+// function entry.
+func (w *lockWalker) walkBranch(s ast.Stmt, st lockState) lockState {
+	w.branchDepth++
+	out := w.walkStmt(s, st)
+	w.branchDepth--
+	return out
+}
+
+// noteLockReturn records the held-state at a return point in summarize mode.
+func (w *lockWalker) noteLockReturn(st lockState) {
+	w.returnStates = append(w.returnStates, st.clone())
 }
 
 // statCond recognises a StatOK comparison gating an AcquireStat result:
@@ -445,8 +816,10 @@ func (w *lockWalker) statCond(cond ast.Expr) (statBind, bool, bool) {
 			return statBind{key: key, pos: x.Pos()}, bin.Op == token.EQL, true
 		}
 	case *ast.Ident:
-		if b, bound := w.statVars[x.Name]; bound {
-			return b, bin.Op == token.EQL, true
+		if obj := w.pass.Pkg.Info.ObjectOf(x); obj != nil {
+			if b, bound := w.statVars[obj]; bound {
+				return b, bin.Op == token.EQL, true
+			}
 		}
 	}
 	return statBind{}, false, false
@@ -488,8 +861,13 @@ func (w *lockWalker) recordDefer(d *ast.DeferStmt) {
 }
 
 // reportHeld flags locks that are must-held at a function exit point and not
-// covered by a deferred release.
+// covered by a deferred release. In summarize mode the exit state is recorded
+// for the net-effect intersection instead.
 func (w *lockWalker) reportHeld(st lockState, at token.Pos) {
+	if w.sum != nil {
+		w.noteLockReturn(st)
+		return
+	}
 	for key, info := range st {
 		if !info.must || w.deferred[key] {
 			continue

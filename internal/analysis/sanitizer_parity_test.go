@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+
+	"cafshmem/internal/fabric"
+	"cafshmem/internal/pgas"
+	"cafshmem/internal/shmem"
+)
+
+// The static/dynamic parity property: synccheck (with summaries) must have
+// zero false negatives against the runtime sanitizer on the seeded fixtures.
+// Each scenario below executes, under shmem's sanitizer, the same operation
+// sequence as one function in the syncbad/nbibad/ctxbad fixtures. For every
+// scenario the test asserts BOTH halves of the tooling fire: the sanitizer
+// records a completion-contract violation (race, source-buffer reuse, or
+// in-flight NBI op) at runtime, and synccheck reports a diagnostic inside the
+// fixture function that spells the same bug. A scenario the sanitizer
+// catches but synccheck misses fails — that is a static false negative.
+
+type sanScenario struct {
+	fixture string // fixture package under testdata/src
+	fn      string // fixture function this scenario mirrors
+	body    func(pe *shmem.PE, data shmem.Sym)
+}
+
+var sanScenarios = []sanScenario{
+	{"syncbad", "readAfterPut", func(pe *shmem.PE, data shmem.Sym) {
+		pe.PutMem(1, data, 0, []byte{1, 2, 3})
+		out := make([]byte, 3)
+		pe.GetMem(1, data, 0, out)
+	}},
+	{"syncbad", "deferredQuietTooLate", func(pe *shmem.PE, data shmem.Sym) {
+		pe.PutMem(1, data, 0, []byte{9})
+		defer pe.Quiet() // runs at return, not before the read
+		out := make([]byte, 1)
+		pe.GetMem(1, data, 0, out)
+	}},
+	{"nbibad", "readAfterPutNBI", func(pe *shmem.PE, data shmem.Sym) {
+		pe.PutMemNBI(1, data, 0, []byte{1, 2, 3})
+		out := make([]byte, 3)
+		pe.GetMem(1, data, 0, out)
+		pe.Quiet()
+	}},
+	{"nbibad", "fenceDoesNotCompleteNBI", func(pe *shmem.PE, data shmem.Sym) {
+		pe.PutMemNBI(1, data, 0, []byte{9})
+		pe.Fence()
+		out := make([]byte, 1)
+		pe.GetMem(1, data, 0, out)
+		pe.Quiet()
+	}},
+	{"nbibad", "srcReuseBeforeQuiet", func(pe *shmem.PE, data shmem.Sym) {
+		buf := []byte{1, 2, 3, 4}
+		pe.PutMemNBI(1, data, 0, buf)
+		buf[0] = 9
+		pe.Quiet()
+	}},
+	{"ctxbad", "peQuietDoesNotCompleteCtx", func(pe *shmem.PE, data shmem.Sym) {
+		ctx := pe.CtxCreate()
+		ctx.PutMemNBI(1, data, 0, []byte{1, 2, 3})
+		pe.Quiet() // completes the default context only
+		out := make([]byte, 3)
+		pe.GetMem(1, data, 0, out)
+		ctx.Destroy()
+	}},
+	{"ctxbad", "ctxSrcReuseBeforeCtxQuiet", func(pe *shmem.PE, data shmem.Sym) {
+		ctx := pe.CtxCreate()
+		buf := []byte{1, 2, 3, 4}
+		ctx.PutMemNBI(1, data, 0, buf)
+		pe.Quiet() // wrong completion environment: buf is still pinned
+		buf[0] = 9
+		ctx.Destroy()
+	}},
+}
+
+// completionKinds are the sanitizer finding kinds synccheck models; leaks
+// and collective divergence belong to other analyzers.
+var completionKinds = map[string]bool{"race": true, "nbi-src-reuse": true, "nbi-leak": true}
+
+func runSanitized(t *testing.T, body func(pe *shmem.PE, data shmem.Sym)) []shmem.Violation {
+	t.Helper()
+	w, err := shmem.NewWorld(shmem.Config{
+		Machine: fabric.Stampede(), Profile: fabric.ProfMV2XSHMEM, Sanitize: true,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.PgasWorld().Run(func(p *pgas.PE) {
+		pe := w.Attach(p)
+		data := pe.Malloc(64)
+		if pe.MyPE() == 0 {
+			body(pe, data)
+		}
+		pe.Barrier()
+		pe.Free(data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []shmem.Violation
+	for _, v := range w.Finalize() {
+		if completionKinds[v.Kind] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// fixtureFuncRange locates the fixture function's source extent so static
+// diagnostics can be attributed to it.
+func fixtureFuncRange(pkg *Package, name string) (file string, lo, hi int) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				return start.Filename, start.Line, end.Line
+			}
+		}
+	}
+	return "", 0, 0
+}
+
+func TestSyncCheckHasNoFalseNegativesVsSanitizer(t *testing.T) {
+	type loaded struct {
+		pkg   *Package
+		diags []Diagnostic
+	}
+	cache := map[string]loaded{}
+	static := func(fixture string) loaded {
+		if got, ok := cache[fixture]; ok {
+			return got
+		}
+		pkg, prog := loadFixture(t, fixture)
+		cache[fixture] = loaded{pkg, RunAnalyzers(prog, pkg, []*Analyzer{SyncCheck})}
+		return cache[fixture]
+	}
+
+	for _, sc := range sanScenarios {
+		sc := sc
+		t.Run(sc.fixture+"/"+sc.fn, func(t *testing.T) {
+			vs := runSanitized(t, sc.body)
+			if len(vs) == 0 {
+				t.Fatalf("sanitizer found no completion violation for %s.%s; the scenario no longer mirrors the fixture", sc.fixture, sc.fn)
+			}
+			l := static(sc.fixture)
+			file, lo, hi := fixtureFuncRange(l.pkg, sc.fn)
+			if file == "" {
+				t.Fatalf("fixture %s has no function %s", sc.fixture, sc.fn)
+			}
+			for _, d := range l.diags {
+				if d.Pos.Filename == file && d.Pos.Line >= lo && d.Pos.Line <= hi {
+					return // statically caught: no false negative
+				}
+			}
+			t.Errorf("runtime sanitizer caught %s.%s (%s) but synccheck reported nothing in %s:%d-%d — static false negative",
+				sc.fixture, sc.fn, vs[0].Kind, file, lo, hi)
+		})
+	}
+}

@@ -25,11 +25,15 @@ import (
 //     Quiet. Any write to it (assignment, ++/--, append/copy into it) before
 //     the next completion point is reported as source-buffer reuse.
 //
-// The analysis is intraprocedural and keyed by the symmetric-handle
-// expression (for remote completion) or the source-buffer base expression
-// (for NBI pinning). Calls the analyzer cannot see through (module-local
-// helpers, function values) conservatively count as completion points, so
-// findings are high-confidence straight-line bugs.
+// The per-function walk is keyed by the symmetric-handle expression (for
+// remote completion) or the source-buffer base expression (for NBI pinning).
+// Module-local calls resolve through the interprocedural effect summaries
+// (summary.go): a helper's pending creations are rebound to the caller's
+// argument expressions, its completions clear the caller's state, and its
+// reads of symmetric parameters report at the call site. Calls that still
+// cannot be resolved (function values, non-module code, non-convergent
+// recursion) conservatively count as completion points, so findings remain
+// high-confidence bugs.
 var SyncCheck = &Analyzer{
 	Name: "synccheck",
 	Doc:  "reads of symmetric data racing un-quieted one-sided writes",
@@ -140,6 +144,14 @@ func (s syncState) clearCtx(recvKey string) {
 	clearPrefixEntries(s.nbiSrc, prefix)
 }
 
+// clearAnyCtx models a callee that quiets a context the caller cannot
+// identify: every context-scoped entry may have completed.
+func (s syncState) clearAnyCtx() {
+	clearPrefixEntries(s.writes, ctxKeyPrefix)
+	clearPrefixEntries(s.nbi, ctxKeyPrefix)
+	clearPrefixEntries(s.nbiSrc, ctxKeyPrefix)
+}
+
 func runSyncCheck(pass *Pass) {
 	pass.funcBodies(func(name string, body *ast.BlockStmt) {
 		w := &syncWalker{pass: pass}
@@ -147,8 +159,46 @@ func runSyncCheck(pass *Pass) {
 	})
 }
 
+// syncWalker walks one function body. In diagnose mode (sum == nil) it
+// reports findings for the package under analysis. In summarize mode
+// (sum != nil, driven by summary.go) diagnostics are discarded and the walker
+// instead records the function's effects: paramIdx maps seeded marker keys to
+// virtual parameter indices, ctxPut/ctxPin map context-scoped pending keys
+// back to parameter pairs, and defc accumulates deferred completion points
+// that run on every return path.
 type syncWalker struct {
-	pass *Pass
+	pass     *Pass
+	sum      *Summary
+	paramIdx map[string]int
+	ctxPut   map[string]ctxEffect
+	ctxPin   map[string]ctxEffect
+	defc     deferComp
+}
+
+// deferComp is the set of completion points among a function's deferred
+// calls; they execute before the caller resumes, on every return path.
+type deferComp struct {
+	all, def, fence, anyCtx bool
+	ctxKeys                 []string
+}
+
+func (d *deferComp) apply(st syncState) {
+	if d.all {
+		st.clearAll()
+		return
+	}
+	if d.def {
+		st.clearDefault()
+	}
+	if d.fence {
+		st.clearFence()
+	}
+	for _, k := range d.ctxKeys {
+		st.clearCtx(k)
+	}
+	if d.anyCtx {
+		st.clearAnyCtx()
+	}
 }
 
 // shmem.PE methods that issue one-sided writes needing Quiet for remote
@@ -283,6 +333,12 @@ func (w *syncWalker) walkStmt(s ast.Stmt, st syncState) syncState {
 		w.applyExpr(x.X, st)
 		w.checkBufWrite(x.X, st)
 		return st
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.applyExpr(r, st)
+		}
+		w.noteReturn(st)
+		return st
 	case *ast.DeferStmt, *ast.GoStmt:
 		// Deferred calls run at return, goroutines concurrently: neither
 		// completes writes at this program point. Argument evaluation happens
@@ -354,7 +410,7 @@ func (w *syncWalker) applyCall(call *ast.CallExpr, st syncState) {
 				return
 			}
 		}
-		st.clearAll()
+		w.clearAll(st)
 		return
 	}
 
@@ -401,25 +457,342 @@ func (w *syncWalker) applyCall(call *ast.CallExpr, st syncState) {
 	case pkgFunc && shmemReadFuncs[fn.Name()] > 0:
 		w.checkRead(call, shmemReadFuncs[fn.Name()], st)
 	case onPE && fn.Name() == "Fence":
-		st.clearFence()
+		w.clearFence(st)
 	case onPE && shmemSyncMethods[fn.Name()]:
-		st.clearDefault()
+		w.clearDefault(st)
 	case pkgFunc && shmemSyncFuncs[fn.Name()]:
-		st.clearDefault()
-	case onPE || pkgFunc || shmemBenignMethods[fn.Name()] && fn.Pkg() != nil && fn.Pkg().Path() == shmemPath:
-		// Other shmem API (WaitUntil64, locks, accessors): no effect on the
-		// caller's outstanding writes.
-	case fn.Pkg() == nil:
-		// Universe-scope methods (error.Error): no effect.
-	case pass.Pkg.Types != nil && fn.Pkg() == pass.Pkg.Types:
-		// A helper in the package under analysis may quiet internally.
-		st.clearAll()
-	case isModulePath(fn.Pkg().Path()):
-		// Other module packages (caf runtime, pgas substrate) may complete
-		// communication internally.
-		st.clearAll()
+		w.clearDefault(st)
+	case onPE || pkgFunc:
+		// Rest of the modelled shmem PE surface (WaitUntil64, locks,
+		// accessors): no effect on the caller's outstanding writes.
 	default:
-		// Standard library: cannot touch the communication layer.
+		w.applyUnknown(call, fn, st)
+	}
+}
+
+// applyUnknown handles a resolved call outside the modelled shmem API: a
+// module-local function is seen through via its effect summary; a Transport
+// interface method via its modelled effect; a module call with neither
+// (interface method without a body, or no Program) conservatively counts as a
+// completion point for everything, contexts included.
+func (w *syncWalker) applyUnknown(call *ast.CallExpr, fn *types.Func, st syncState) {
+	if fn.Pkg() == nil {
+		return // universe-scope methods (error.Error)
+	}
+	if sum := w.pass.summaryOf(fn); sum != nil {
+		w.applySummary(call, fn, sum, st)
+		return
+	}
+	if eff, ok := transportSyncEffect(fn); ok {
+		switch eff {
+		case "quiet":
+			w.clearDefault(st)
+		case "put":
+			if w.sum != nil {
+				w.sum.CreatesUnmapped = true
+			}
+		}
+		return
+	}
+	path := fn.Pkg().Path()
+	if shmemBenignMethods[fn.Name()] && path == shmemPath {
+		return
+	}
+	if (w.pass.Pkg.Types != nil && fn.Pkg() == w.pass.Pkg.Types) || isModulePath(path) {
+		w.clearAll(st)
+		return
+	}
+	// Standard library: cannot touch the communication layer.
+}
+
+// transportSyncEffect models the caf Transport interface, whose methods have
+// no bodies to summarize: Quiet/Barrier and the allocation collectives are
+// completion points; the one-sided writes and AMOs create pending state the
+// checker cannot key (offset-based, no Sym handle); everything else is inert.
+func transportSyncEffect(fn *types.Func) (string, bool) {
+	if !isMethodOf(fn, cafPath, "Transport", fn.Name()) {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Quiet", "Barrier", "Malloc", "Free":
+		return "quiet", true
+	case "PutMem", "PutMemV", "PutStrided1D", "DirectWrite",
+		"Swap64", "CompareSwap64", "FetchAdd64", "FetchAnd64", "FetchOr64", "FetchXor64":
+		return "put", true
+	}
+	return "benign", true
+}
+
+// applySummary applies a summarized callee's effects to the caller's state:
+// first its reads of caller-pending objects (checked against the pre-call
+// state), then its completion points, then the pending operations it leaves
+// outstanding, mapped through the call's arguments.
+func (w *syncWalker) applySummary(call *ast.CallExpr, fn *types.Func, sum *Summary, st syncState) {
+	via := fn.Name()
+	for _, e := range sum.ReadsSym {
+		if arg := argForParam(call, e.Param); arg != nil {
+			w.checkSymRead(call.Pos(), arg, st, via)
+		}
+	}
+	for _, e := range sum.WritesBuf {
+		if arg := argForParam(call, e.Param); arg != nil {
+			w.checkBufWriteVia(call.Pos(), arg, st, via)
+		}
+	}
+	if sum.CompletesAll {
+		w.clearAll(st)
+		return
+	}
+	if sum.QuietsDefault {
+		w.clearDefault(st)
+	}
+	if sum.Fences {
+		w.clearFence(st)
+	}
+	for _, e := range sum.QuietsCtx {
+		if arg := argForParam(call, e.Param); arg != nil {
+			w.clearCtxKey(w.pass.exprKey(arg), st)
+		}
+	}
+	if sum.QuietsAnyCtx {
+		w.clearAnyCtx(st)
+	}
+	for _, e := range sum.PutsBlocking {
+		if arg := argForParam(call, e.Param); arg != nil {
+			w.recordPending(w.pass.exprKey(arg), call.Pos(), st.writes)
+		}
+	}
+	for _, e := range sum.PutsNBI {
+		if arg := argForParam(call, e.Param); arg != nil {
+			w.recordPending(w.pass.exprKey(arg), call.Pos(), st.nbi)
+		}
+	}
+	for _, e := range sum.PinsNBISrc {
+		if arg := argForParam(call, e.Param); arg != nil {
+			if base := bufBase(arg); base != nil {
+				w.recordPending(w.pass.exprKey(base), call.Pos(), st.nbiSrc)
+			}
+		}
+	}
+	for _, e := range sum.PutsCtx {
+		ctxArg, objArg := argForParam(call, e.CtxParam), argForParam(call, e.ObjParam)
+		if ctxArg != nil && objArg != nil {
+			w.recordCtxPending(w.pass.exprKey(ctxArg), w.pass.exprKey(objArg), call.Pos(), st.nbi, false)
+		}
+	}
+	for _, e := range sum.PinsCtxSrc {
+		ctxArg, objArg := argForParam(call, e.CtxParam), argForParam(call, e.ObjParam)
+		if ctxArg == nil || objArg == nil {
+			continue
+		}
+		if base := bufBase(objArg); base != nil {
+			w.recordCtxPending(w.pass.exprKey(ctxArg), w.pass.exprKey(base), call.Pos(), st.nbiSrc, true)
+		}
+	}
+	if sum.CreatesUnmapped && w.sum != nil {
+		w.sum.CreatesUnmapped = true
+	}
+}
+
+// Completion wrappers: clear caller state and, in summarize mode, record the
+// completion point in the summary. Recording a may-completion can only mask
+// findings in callers, never invent them.
+
+func (w *syncWalker) clearAll(st syncState) {
+	if w.sum != nil {
+		w.sum.CompletesAll = true
+	}
+	st.clearAll()
+}
+
+func (w *syncWalker) clearDefault(st syncState) {
+	if w.sum != nil {
+		w.sum.QuietsDefault = true
+	}
+	st.clearDefault()
+}
+
+func (w *syncWalker) clearFence(st syncState) {
+	if w.sum != nil {
+		w.sum.Fences = true
+	}
+	st.clearFence()
+}
+
+func (w *syncWalker) clearCtxKey(recvKey string, st syncState) {
+	if w.sum != nil {
+		if i, ok := w.paramIdx[recvKey]; ok {
+			w.sum.QuietsCtx = append(w.sum.QuietsCtx, effect{Param: i, Pos: token.NoPos})
+		} else {
+			w.sum.QuietsAnyCtx = true
+		}
+	}
+	st.clearCtx(recvKey)
+}
+
+func (w *syncWalker) clearAnyCtx(st syncState) {
+	if w.sum != nil {
+		w.sum.QuietsAnyCtx = true
+	}
+	st.clearAnyCtx()
+}
+
+// noteReturn harvests, in summarize mode, the pending operations still
+// outstanding at a return point — after applying deferred completions — into
+// the summary, mapped back to parameters where possible.
+func (w *syncWalker) noteReturn(st syncState) {
+	if w.sum == nil {
+		return
+	}
+	end := st.clone()
+	w.defc.apply(end)
+	harvest := func(m pendingWrites, plain func(i int, pos token.Pos), ctxm map[string]ctxEffect, ctx func(ctxEffect)) {
+		for k, pos := range m {
+			if _, isMarker := markerParam(pos); isMarker {
+				continue // the caller's own pre-existing pending state
+			}
+			if strings.HasPrefix(k, ctxKeyPrefix) {
+				if e, ok := ctxm[k]; ok && e.CtxParam >= 0 && e.ObjParam >= 0 && ctx != nil {
+					ctx(e)
+				} else {
+					w.sum.CreatesUnmapped = true
+				}
+				continue
+			}
+			if i, ok := w.paramIdx[k]; ok {
+				plain(i, pos)
+			} else {
+				w.sum.CreatesUnmapped = true
+			}
+		}
+	}
+	harvest(end.writes, func(i int, pos token.Pos) {
+		w.sum.PutsBlocking = append(w.sum.PutsBlocking, effect{Param: i, Pos: pos})
+	}, nil, nil)
+	harvest(end.nbi, func(i int, pos token.Pos) {
+		w.sum.PutsNBI = append(w.sum.PutsNBI, effect{Param: i, Pos: pos})
+	}, w.ctxPut, func(e ctxEffect) {
+		w.sum.PutsCtx = append(w.sum.PutsCtx, e)
+	})
+	harvest(end.nbiSrc, func(i int, pos token.Pos) {
+		w.sum.PinsNBISrc = append(w.sum.PinsNBISrc, effect{Param: i, Pos: pos})
+	}, w.ctxPin, func(e ctxEffect) {
+		w.sum.PinsCtxSrc = append(w.sum.PinsCtxSrc, e)
+	})
+}
+
+// collectDeferredCompletions records the completion effects of every deferred
+// call in body (outside nested function literals, whose defers are their
+// own). A deferred completion the walker cannot resolve counts as completing
+// everything — the masking direction.
+func (w *syncWalker) collectDeferredCompletions(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if fl, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			// defer func() { ... }(): the literal's statements run at return.
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					w.deferCompletionOf(call)
+				}
+				return true
+			})
+			return true
+		}
+		w.deferCompletionOf(d.Call)
+		return true
+	})
+}
+
+func (w *syncWalker) deferCompletionOf(call *ast.CallExpr) {
+	pass := w.pass
+	fn := pass.callee(call)
+	if fn == nil {
+		if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+			return
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return
+			}
+		}
+		w.defc.all = true
+		if w.sum != nil {
+			w.sum.CompletesAll = true
+		}
+		return
+	}
+	onPE := isMethodOf(fn, shmemPath, "PE", fn.Name())
+	switch {
+	case onPE && shmemSyncMethods[fn.Name()]:
+		w.defc.def = true
+		if w.sum != nil {
+			w.sum.QuietsDefault = true
+		}
+	case onPE && fn.Name() == "Fence":
+		w.defc.fence = true
+		if w.sum != nil {
+			w.sum.Fences = true
+		}
+	case isMethodOf(fn, shmemPath, "Ctx", fn.Name()):
+		switch fn.Name() {
+		case "Quiet", "QuietStat", "QuietTarget", "Destroy":
+			rk := w.ctxRecvKey(call)
+			w.defc.ctxKeys = append(w.defc.ctxKeys, rk)
+			if w.sum != nil {
+				if i, ok := w.paramIdx[rk]; ok {
+					w.sum.QuietsCtx = append(w.sum.QuietsCtx, effect{Param: i, Pos: token.NoPos})
+				} else {
+					w.sum.QuietsAnyCtx = true
+				}
+			}
+		}
+	case fn.Pkg() == nil || onPE:
+	default:
+		if sum := pass.summaryOf(fn); sum != nil {
+			if sum.CompletesAll {
+				w.defc.all = true
+			}
+			if sum.QuietsDefault {
+				w.defc.def = true
+			}
+			if sum.Fences {
+				w.defc.fence = true
+			}
+			if sum.QuietsAnyCtx || len(sum.QuietsCtx) > 0 {
+				w.defc.anyCtx = true
+			}
+			if w.sum != nil {
+				w.sum.CompletesAll = w.sum.CompletesAll || sum.CompletesAll
+				w.sum.QuietsDefault = w.sum.QuietsDefault || sum.QuietsDefault
+				w.sum.Fences = w.sum.Fences || sum.Fences
+				w.sum.QuietsAnyCtx = w.sum.QuietsAnyCtx || sum.QuietsAnyCtx || len(sum.QuietsCtx) > 0
+			}
+			return
+		}
+		if eff, ok := transportSyncEffect(fn); ok {
+			if eff == "quiet" {
+				w.defc.def = true
+				if w.sum != nil {
+					w.sum.QuietsDefault = true
+				}
+			}
+			return
+		}
+		if (pass.Pkg.Types != nil && fn.Pkg() == pass.Pkg.Types) || isModulePath(fn.Pkg().Path()) {
+			w.defc.all = true
+			if w.sum != nil {
+				w.sum.CompletesAll = true
+			}
+		}
 	}
 }
 
@@ -440,7 +813,7 @@ func (w *syncWalker) applyCtxCall(call *ast.CallExpr, name string, st syncState)
 	case "Quiet", "QuietStat", "QuietTarget", "Destroy":
 		// QuietTarget completes one destination; without per-target precision
 		// it conservatively counts as the context's full quiet.
-		st.clearCtx(rk)
+		w.clearCtxKey(rk, st)
 	default:
 		// Fence (ordering only), PE, Outstanding: no completion effect.
 	}
@@ -460,10 +833,7 @@ func (w *syncWalker) recordCtxWrite(call *ast.CallExpr, symArg int, recvKey stri
 	if symArg >= len(call.Args) {
 		return
 	}
-	key := ctxKey(recvKey, w.pass.exprKey(call.Args[symArg]))
-	if _, ok := m[key]; !ok {
-		m[key] = call.Pos()
-	}
+	w.recordCtxPending(recvKey, w.pass.exprKey(call.Args[symArg]), call.Pos(), m, false)
 }
 
 func (w *syncWalker) recordCtxNBISrc(call *ast.CallExpr, srcArg int, recvKey string, st syncState) {
@@ -474,9 +844,31 @@ func (w *syncWalker) recordCtxNBISrc(call *ast.CallExpr, srcArg int, recvKey str
 	if base == nil {
 		return
 	}
-	key := ctxKey(recvKey, w.pass.exprKey(base))
-	if _, ok := st.nbiSrc[key]; !ok {
-		st.nbiSrc[key] = call.Pos()
+	w.recordCtxPending(recvKey, w.pass.exprKey(base), call.Pos(), st.nbiSrc, true)
+}
+
+// recordCtxPending records a context-scoped pending entry and, in summarize
+// mode, remembers the (ctx, object) parameter mapping so noteReturn can map
+// the entry back to the caller's arguments.
+func (w *syncWalker) recordCtxPending(recvKey, objKey string, pos token.Pos, m pendingWrites, pin bool) {
+	full := ctxKey(recvKey, objKey)
+	if old, ok := m[full]; !ok || old < 0 {
+		m[full] = pos
+	}
+	if w.sum == nil {
+		return
+	}
+	eff := ctxEffect{CtxParam: -1, ObjParam: -1, Pos: pos}
+	if i, ok := w.paramIdx[recvKey]; ok {
+		eff.CtxParam = i
+	}
+	if i, ok := w.paramIdx[objKey]; ok {
+		eff.ObjParam = i
+	}
+	if pin {
+		w.ctxPin[full] = eff
+	} else {
+		w.ctxPut[full] = eff
 	}
 }
 
@@ -503,9 +895,15 @@ func (w *syncWalker) recordWrite(call *ast.CallExpr, symArg int, m pendingWrites
 	if symArg >= len(call.Args) {
 		return
 	}
-	key := w.pass.exprKey(call.Args[symArg])
-	if _, ok := m[key]; !ok {
-		m[key] = call.Pos()
+	w.recordPending(w.pass.exprKey(call.Args[symArg]), call.Pos(), m)
+}
+
+// recordPending records a pending operation, keeping the oldest real
+// position but always displacing a parameter marker (a real put on a
+// parameter must be harvested as a create, not skipped as caller state).
+func (w *syncWalker) recordPending(key string, pos token.Pos, m pendingWrites) {
+	if old, ok := m[key]; !ok || old < 0 {
+		m[key] = pos
 	}
 }
 
@@ -520,10 +918,7 @@ func (w *syncWalker) recordNBISrc(call *ast.CallExpr, srcArg int, st syncState) 
 	if base == nil {
 		return
 	}
-	key := w.pass.exprKey(base)
-	if _, ok := st.nbiSrc[key]; !ok {
-		st.nbiSrc[key] = call.Pos()
-	}
+	w.recordPending(w.pass.exprKey(base), call.Pos(), st.nbiSrc)
 }
 
 // bufBase strips slicing/indexing/parens down to the underlying buffer
@@ -550,19 +945,32 @@ func bufBase(e ast.Expr) ast.Expr {
 // checkBufWrite reports a mutation of a buffer still pinned by an outstanding
 // nonblocking put.
 func (w *syncWalker) checkBufWrite(lhs ast.Expr, st syncState) {
+	w.checkBufWriteVia(lhs.Pos(), lhs, st, "")
+}
+
+// checkBufWriteVia is checkBufWrite with an optional callee name: via != ""
+// reports a summarized callee's write to the caller's pinned buffer argument.
+func (w *syncWalker) checkBufWriteVia(pos token.Pos, lhs ast.Expr, st syncState, via string) {
 	base := bufBase(lhs)
 	if base == nil {
 		return
 	}
 	key := w.pass.exprKey(base)
+	subject := "write to"
+	if via != "" {
+		subject = "call to " + via + " writes"
+	}
 	if putPos, ok := st.nbiSrc[key]; ok {
-		w.pass.Reportf(lhs.Pos(), "write to NBI source buffer %s before Quiet completes the nonblocking put at line %d",
-			types.ExprString(base), w.pass.Pkg.Fset.Position(putPos).Line)
+		if w.noteMarkerWrite(putPos, pos) {
+			return
+		}
+		w.pass.Reportf(pos, "%s NBI source buffer %s before Quiet completes the nonblocking put at line %d",
+			subject, types.ExprString(base), w.pass.Pkg.Fset.Position(putPos).Line)
 		return
 	}
 	if putPos, ok := findCtxEntry(st.nbiSrc, key); ok {
-		w.pass.Reportf(lhs.Pos(), "write to NBI source buffer %s before the owning context's Quiet completes the nonblocking put at line %d",
-			types.ExprString(base), w.pass.Pkg.Fset.Position(putPos).Line)
+		w.pass.Reportf(pos, "%s NBI source buffer %s before the owning context's Quiet completes the nonblocking put at line %d",
+			subject, types.ExprString(base), w.pass.Pkg.Fset.Position(putPos).Line)
 	}
 }
 
@@ -570,20 +978,61 @@ func (w *syncWalker) checkRead(call *ast.CallExpr, symArg int, st syncState) {
 	if symArg >= len(call.Args) {
 		return
 	}
-	sym := call.Args[symArg]
+	w.checkSymRead(call.Pos(), call.Args[symArg], st, "")
+}
+
+// checkSymRead checks a read of sym against the outstanding-write state. In
+// summarize mode a hit on a parameter marker records a ReadsSym/WritesBuf
+// effect instead of a diagnostic. via != "" attributes the read to a
+// summarized callee.
+func (w *syncWalker) checkSymRead(pos token.Pos, sym ast.Expr, st syncState, via string) {
 	key := w.pass.exprKey(sym)
+	subject := "read of"
+	if via != "" {
+		subject = "call to " + via + " reads"
+	}
 	if putPos, ok := st.writes[key]; ok {
-		w.pass.Reportf(call.Pos(), "read of %s before completing the one-sided write at line %d (missing Quiet/Fence/Barrier)",
-			types.ExprString(sym), w.pass.Pkg.Fset.Position(putPos).Line)
+		if w.noteMarkerRead(putPos, pos) {
+			return
+		}
+		w.pass.Reportf(pos, "%s %s before completing the one-sided write at line %d (missing Quiet/Fence/Barrier)",
+			subject, types.ExprString(sym), w.pass.Pkg.Fset.Position(putPos).Line)
 		return
 	}
 	if putPos, ok := st.nbi[key]; ok {
-		w.pass.Reportf(call.Pos(), "read of %s before completing the nonblocking write at line %d (missing Quiet)",
-			types.ExprString(sym), w.pass.Pkg.Fset.Position(putPos).Line)
+		if w.noteMarkerRead(putPos, pos) {
+			return
+		}
+		w.pass.Reportf(pos, "%s %s before completing the nonblocking write at line %d (missing Quiet)",
+			subject, types.ExprString(sym), w.pass.Pkg.Fset.Position(putPos).Line)
 		return
 	}
 	if putPos, ok := findCtxEntry(st.nbi, key); ok {
-		w.pass.Reportf(call.Pos(), "read of %s before the owning context completes its nonblocking write at line %d (PE-level Quiet/Barrier never completes context ops)",
-			types.ExprString(sym), w.pass.Pkg.Fset.Position(putPos).Line)
+		w.pass.Reportf(pos, "%s %s before the owning context completes its nonblocking write at line %d (PE-level Quiet/Barrier never completes context ops)",
+			subject, types.ExprString(sym), w.pass.Pkg.Fset.Position(putPos).Line)
 	}
+}
+
+// noteMarkerRead records a read of a still-pending parameter in summarize
+// mode; reports true when putPos was a marker (no diagnostic wanted).
+func (w *syncWalker) noteMarkerRead(putPos, readPos token.Pos) bool {
+	i, isMarker := markerParam(putPos)
+	if !isMarker {
+		return false
+	}
+	if w.sum != nil {
+		w.sum.ReadsSym = append(w.sum.ReadsSym, effect{Param: i, Pos: readPos})
+	}
+	return true
+}
+
+func (w *syncWalker) noteMarkerWrite(putPos, writePos token.Pos) bool {
+	i, isMarker := markerParam(putPos)
+	if !isMarker {
+		return false
+	}
+	if w.sum != nil {
+		w.sum.WritesBuf = append(w.sum.WritesBuf, effect{Param: i, Pos: writePos})
+	}
+	return true
 }

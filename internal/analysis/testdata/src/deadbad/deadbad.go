@@ -1,0 +1,25 @@
+// Package deadbad seeds the deadlockcheck violations: signal-class waits
+// that no code in the package can ever satisfy. In SPMD execution every
+// image runs this same code, so if no function — directly or through a
+// helper — issues the matching notify, the partner image never will either
+// and every wait parks forever.
+package deadbad
+
+import (
+	"cafshmem/internal/caf"
+)
+
+// waitForPost blocks on an event that nothing in this package ever posts.
+func waitForPost(ev *caf.Event) {
+	ev.Wait(1) // want "wait on a caf.Event class signal, but no code in this package ever issues the matching notify"
+}
+
+// waitViaHelper launders the wait through a call: the summary carries the
+// blocked class to the caller, which is reported too.
+func waitViaHelper(s *caf.Signal, j int) {
+	blockOn(s, j) // want "wait on a caf.Signal class signal"
+}
+
+func blockOn(s *caf.Signal, j int) {
+	s.Wait(j) // want "wait on a caf.Signal class signal"
+}

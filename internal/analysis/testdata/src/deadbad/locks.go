@@ -1,0 +1,29 @@
+// The lock-order half of deadbad: two functions take the same pair of
+// package-level locks in opposite orders. Each order is locally balanced and
+// locally fine — only the module-wide union of lock-order edges exposes the
+// ABBA cycle: image 1 in forward holds lockA and queues on lockB while
+// image 2 in backward holds lockB and queues on lockA.
+package deadbad
+
+import (
+	"cafshmem/internal/caf"
+)
+
+var (
+	lockA *caf.Lock
+	lockB *caf.Lock
+)
+
+func forward(j int) {
+	lockA.Acquire(j)
+	lockB.Acquire(j) // want "completes a lock-order cycle"
+	lockB.Release(j)
+	lockA.Release(j)
+}
+
+func backward(j int) {
+	lockB.Acquire(j)
+	lockA.Acquire(j) // want "completes a lock-order cycle"
+	lockA.Release(j)
+	lockB.Release(j)
+}

@@ -1,0 +1,52 @@
+// Package deadclean is the negative control for deadlockcheck: every wait
+// has a matching notify somewhere in the package (any function, including
+// escaping closures — SPMD means the partner image runs that code too), and
+// nested locks are taken in one consistent order everywhere.
+package deadclean
+
+import (
+	"cafshmem/internal/caf"
+)
+
+var (
+	lockA *caf.Lock
+	lockB *caf.Lock
+)
+
+// consumer blocks on the event that producer posts: matched, not flagged.
+func consumer(ev *caf.Event) {
+	ev.Wait(1)
+}
+
+func producer(ev *caf.Event, j int) {
+	ev.Post(j)
+}
+
+// The signal notify lives inside an escaping goroutine body. Waits inside
+// literals are excluded from summaries (they may never run), but notifies
+// still count as producers — the partner image can reach them.
+func signalConsumer(s *caf.Signal, j int) {
+	s.Wait(j)
+}
+
+func signalProducer(s *caf.Signal, j int) {
+	go func() {
+		s.Notify(j)
+	}()
+}
+
+// Both nesting sites take lockA before lockB: the lock-order graph has a
+// single edge and no cycle.
+func nested(j int) {
+	lockA.Acquire(j)
+	lockB.Acquire(j)
+	lockB.Release(j)
+	lockA.Release(j)
+}
+
+func nestedElsewhere(j int) {
+	lockA.Acquire(j)
+	lockB.Acquire(j)
+	lockB.Release(j)
+	lockA.Release(j)
+}

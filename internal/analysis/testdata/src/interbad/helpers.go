@@ -1,0 +1,59 @@
+// The helpers half of the interbad fixture: module-local functions whose
+// effect summaries callers must see through. None of these are flagged on
+// their own (the pending ops they create surface in the caller), except
+// lockIt, whose by-design leak is suppressed with the ignore directive.
+package interbad
+
+import (
+	"cafshmem/internal/shmem"
+)
+
+// putHelper launders a blocking put through a call frame: the caller's state
+// must record data as pending after the call returns.
+func putHelper(pe *shmem.PE, data shmem.Sym) {
+	pe.PutMem(1, data, 0, []byte{1})
+}
+
+// nbiHelper issues a nonblocking put: the target stays pending and the
+// source buffer stays pinned when it returns.
+func nbiHelper(pe *shmem.PE, data shmem.Sym, buf []byte) {
+	pe.PutMemNBI(1, data, 0, buf)
+}
+
+// fenceOnly orders blocking puts but never completes nonblocking ones.
+func fenceOnly(pe *shmem.PE) {
+	pe.Fence()
+}
+
+// readsHelper reads its symmetric argument without completing anything
+// first: callers with a pending write to data race through this call.
+func readsHelper(pe *shmem.PE, data shmem.Sym) []byte {
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out)
+	return out
+}
+
+// quietHelper is a genuine completion point for the default context.
+func quietHelper(pe *shmem.PE) {
+	pe.Quiet()
+}
+
+// barrierHelper executes a collective unconditionally: calling it from a
+// PE-dependent branch diverges the SPMD execution.
+func barrierHelper(pe *shmem.PE) {
+	pe.Barrier()
+}
+
+// lockIt acquires on behalf of its caller; the caller owns the release, so
+// the intraprocedural leak report is suppressed here and the summary makes
+// the caller accountable instead.
+func lockIt(pe *shmem.PE, lck shmem.Sym) {
+	pe.SetLock(lck, 0)
+	//shmemvet:ignore lockcheck
+}
+
+// unlockIt releases a lock its caller holds (release-only helpers are the
+// caller's responsibility and are not flagged here).
+func unlockIt(pe *shmem.PE, lck shmem.Sym) {
+	pe.ClearLock(lck, 0)
+}

@@ -1,0 +1,55 @@
+// Package interbad seeds the interprocedural violations: completion-contract
+// breaks, lock leaks, and collective divergence that only become visible when
+// the analyzers consume the helpers' effect summaries (helpers.go) instead of
+// treating every module-local call as an opaque completion point.
+package interbad
+
+import (
+	"cafshmem/internal/shmem"
+)
+
+func launderedPut(pe *shmem.PE, data shmem.Sym) []byte {
+	putHelper(pe, data)
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out) // want "read of data before completing the one-sided write"
+	return out
+}
+
+func launderedNBI(pe *shmem.PE, data shmem.Sym) {
+	buf := []byte{1}
+	nbiHelper(pe, data, buf)
+	fenceOnly(pe) // a fence through a helper still leaves the NBI put in flight
+	buf[0] = 2    // want "write to NBI source buffer buf"
+	pe.Quiet()
+}
+
+func readThroughHelper(pe *shmem.PE, data shmem.Sym) {
+	pe.PutMem(1, data, 0, []byte{3})
+	_ = readsHelper(pe, data) // want "call to readsHelper reads data before completing the one-sided write"
+	pe.Quiet()
+}
+
+// quietedThroughHelper is the control: the helper's Quiet completes the put,
+// so the read is clean — proving the summaries clear state, not just add it.
+func quietedThroughHelper(pe *shmem.PE, data shmem.Sym) []byte {
+	pe.PutMem(1, data, 0, []byte{1})
+	quietHelper(pe)
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out)
+	return out
+}
+
+func leakThroughHelper(pe *shmem.PE, lck shmem.Sym, fail bool) {
+	lockIt(pe, lck)
+	if fail {
+		return // want "still holding the lock"
+	}
+	unlockIt(pe, lck)
+}
+
+func collectiveThroughHelper(pe *shmem.PE) {
+	if pe.MyPE() == 0 {
+		barrierHelper(pe) // want "collective PE.Barrier reached through the call to barrierHelper"
+	}
+	pe.Barrier()
+}

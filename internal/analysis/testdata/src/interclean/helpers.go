@@ -1,0 +1,47 @@
+// The helpers half of the interclean fixture: the same call-laundering
+// shapes as interbad, but every helper leaves its caller in a completed,
+// balanced state — so the summary-aware analyzers must stay silent.
+package interclean
+
+import (
+	"cafshmem/internal/caf"
+	"cafshmem/internal/shmem"
+)
+
+// putAndQuiet completes its own put before returning: no pending state
+// escapes into the caller.
+func putAndQuiet(pe *shmem.PE, data shmem.Sym) {
+	pe.PutMem(1, data, 0, []byte{1})
+	pe.Quiet()
+}
+
+// nbiHelper issues a nonblocking put; pairing with quietHelper in the caller
+// must clear both the target and the pinned source buffer.
+func nbiHelper(pe *shmem.PE, data shmem.Sym, buf []byte) {
+	pe.PutMemNBI(1, data, 0, buf)
+}
+
+func quietHelper(pe *shmem.PE) {
+	pe.Quiet()
+}
+
+// quietThenRead quiesces before reading: the read happens after the internal
+// completion, so the summary records the Quiet but no racy read of data.
+func quietThenRead(pe *shmem.PE, data shmem.Sym) []byte {
+	pe.Quiet()
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out)
+	return out
+}
+
+// lockedUpdate acquires and releases internally: its summary shows no net
+// acquisition, so callers are not treated as lock holders.
+func lockedUpdate(l *caf.Lock, j int) {
+	l.Acquire(j)
+	l.Release(j)
+}
+
+// barrierHelper is collective; callers must reach it on every PE.
+func barrierHelper(pe *shmem.PE) {
+	pe.Barrier()
+}

@@ -1,0 +1,41 @@
+// Package interclean is the negative control for the interprocedural
+// analyzers: helper calls that genuinely complete, balance, or synchronize
+// must not be flagged just because the work crosses a function boundary.
+package interclean
+
+import (
+	"cafshmem/internal/caf"
+	"cafshmem/internal/shmem"
+)
+
+func readAfterCompletedHelper(pe *shmem.PE, data shmem.Sym) []byte {
+	putAndQuiet(pe, data)
+	out := make([]byte, 1)
+	pe.GetMem(1, data, 0, out)
+	return out
+}
+
+func nbiQuietedThroughHelper(pe *shmem.PE, data shmem.Sym) {
+	buf := []byte{1}
+	nbiHelper(pe, data, buf)
+	quietHelper(pe)
+	buf[0] = 2
+}
+
+func putThenHelperReadsAfterQuiet(pe *shmem.PE, data shmem.Sym) []byte {
+	pe.PutMem(1, data, 0, []byte{7})
+	return quietThenRead(pe, data)
+}
+
+func balancedLockHelper(l *caf.Lock, j int) {
+	lockedUpdate(l, j)
+}
+
+func collectiveOnAllPEs(pe *shmem.PE) {
+	barrierHelper(pe)
+	if pe.MyPE() == 0 {
+		// PE-dependent work that is NOT collective is fine.
+		_ = pe.MyPE()
+	}
+	pe.Barrier()
+}

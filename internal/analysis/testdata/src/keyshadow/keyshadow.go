@@ -1,0 +1,33 @@
+// Package keyshadow pins the object-identity fix in lockcheck's Stat
+// tracking: bindings named "stat" are keyed by their types.Object, not their
+// spelling, so a shadowed inner binding for a DIFFERENT lock's AcquireStat
+// must not hijack branches taken on the outer binding. Under the old
+// name-keyed map, the final branch on the outer stat resolved to lockB's
+// binding and the analyzer reported lockA as leaked. The fixture is clean.
+package keyshadow
+
+import (
+	"cafshmem/internal/caf"
+)
+
+func shadowedStat(a, b *caf.Lock, j int) caf.Stat {
+	stat := a.AcquireStat(j)
+	if stat != caf.StatOK {
+		return stat
+	}
+	{
+		stat := b.AcquireStat(j) // shadows the outer binding; tracks lock b
+		if stat != caf.StatOK {
+			a.ReleaseStat(j)
+			return stat
+		}
+		b.ReleaseStat(j)
+	}
+	if stat != caf.StatOK {
+		// Branch on the OUTER stat: on this path lock a's acquire failed,
+		// so returning without ReleaseStat is correct.
+		return stat
+	}
+	a.ReleaseStat(j)
+	return caf.StatOK
+}
