@@ -41,6 +41,14 @@ go test -run 'TestOverlapFasterOnAllMachines' -count=1 ./internal/himeno
 echo "==> signal smoke (barrier-free Himeno beats the barrier-paced overlap)"
 go test -run 'TestSignalOverlapFasterThanBarrierOverlap' -count=1 ./internal/himeno
 
+echo "==> chaos-loss smoke (lossy fabric: retransmit/dup/kill replays, bounded wall time)"
+# A retry-exhaustion or watchdog bug would show up as a hang; the timeout
+# turns that into a failure instead of a stuck gate.
+timeout 120 go test -race -run 'TestChaosLoss|TestRetryExhaustion|TestLossyReplayIdentical' -count=1 ./internal/caf ./internal/shmem
+
+echo "==> loss-free golden gate (nil plan vs loss-free plan: bit-identical virtual times)"
+go test -run 'TestLossFreePlanBitIdentical|TestIssueAtMatchesIssue|TestLinkPenaltyWindowBackCompat' -count=1 ./internal/shmem ./internal/fabric
+
 echo "==> wall-clock bench smoke (one iteration per benchmark, incl. Himeno overlap)"
 go test -run '^$' -bench '^BenchmarkWallclock' -benchtime 1x .
 

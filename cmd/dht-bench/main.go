@@ -1,12 +1,22 @@
 // dht-bench regenerates the paper's Figure 9: the distributed hash table
 // benchmark on the Titan model, comparing Cray-CAF, UHCAF-over-GASNet and
 // UHCAF-over-Cray-SHMEM.
+//
+// With -faultplan or -faultseed it instead runs one deterministic chaos
+// replay: every image performs its locked random updates through the
+// STAT-bearing path under a lossy-fabric fault plan, and the run reports each
+// image's final STAT, the virtual time, and the per-link reliability
+// forensics. The same plan — file or seed — replays bit-identically.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"cafshmem/internal/caf"
+	"cafshmem/internal/dht"
+	"cafshmem/internal/fabric"
 	"cafshmem/internal/pgasbench"
 )
 
@@ -14,7 +24,20 @@ func main() {
 	maxImages := flag.Int("images", 1024, "maximum image count")
 	buckets := flag.Int("buckets", 128, "hash buckets per image")
 	updates := flag.Int("updates", 50, "random locked updates per image")
+	faultPlan := flag.String("faultplan", "", "JSON fault-plan file: run one chaos replay under the plan instead of Figure 9")
+	faultSeed := flag.Uint64("faultseed", 0, "nonzero: chaos replay under a seeded lossy plan (drops, delay jitter, dups, one kill)")
+	chaosImages := flag.Int("chaos-images", 8, "image count for the chaos replay")
 	flag.Parse()
+
+	if *faultPlan != "" || *faultSeed != 0 {
+		plan, err := loadPlan(*faultPlan, *faultSeed, *chaosImages)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dht-bench:", err)
+			os.Exit(1)
+		}
+		chaosReplay(plan, *chaosImages, *buckets, *updates)
+		return
+	}
 
 	f := pgasbench.Fig9(*maxImages, *buckets, *updates)
 	fmt.Print(f.Render())
@@ -28,4 +51,89 @@ func main() {
 		pgasbench.GeoMeanRatio(*cray, *shm))
 	fmt.Printf("  UHCAF-GASNet / UHCAF-Cray-SHMEM  = %.2f  (paper: UHCAF-SHMEM 18%% faster)\n",
 		pgasbench.GeoMeanRatio(*gas, *shm))
+}
+
+// loadPlan resolves the chaos fault plan: a JSON file when given, otherwise a
+// seeded lossy plan (one kill plus drop/jitter/dup rules on every link).
+func loadPlan(path string, seed uint64, images int) (*fabric.FaultPlan, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return fabric.DecodeFaultPlan(data)
+	}
+	return fabric.RandomLossPlan(seed, images, 1, 20_000, 2_000_000), nil
+}
+
+// chaosReplay runs the locked-update workload once under plan, every image on
+// the STAT-bearing path, and reports what the fault machinery observed.
+func chaosReplay(plan *fabric.FaultPlan, images, buckets, updates int) {
+	opts := caf.UHCAFOverCraySHMEM(fabric.CrayXC30())
+	opts.FaultPlan = plan
+
+	stats := make([]caf.Stat, images)
+	applied := make([]int, images)
+	var timeMs float64
+	var forensics []caf.LinkReport
+	fmt.Printf("chaos replay: %d images, plan %v\n", images, plan)
+	err := caf.Run(images, opts, func(img *caf.Image) {
+		me := img.ThisImage()
+		t := dht.New(img, buckets)
+		if s := img.SyncAllStat(); s != caf.StatOK {
+			stats[me-1] = s
+			return
+		}
+		rng := uint64(0x9e3779b9*me + 7)
+		for i := 0; i < updates; i++ {
+			rng = splitmix64(rng)
+			s, err := t.UpdateStat(rng%uint64(images*buckets/2), 1)
+			if err != nil {
+				panic(err) // table full: a sizing error, not a fault
+			}
+			if s != caf.StatOK {
+				stats[me-1] = s
+				break
+			}
+			applied[me-1]++
+			if (i+1)%10 == 0 {
+				if s := img.SyncAllStat(); s != caf.StatOK {
+					stats[me-1] = s
+					break
+				}
+			}
+		}
+		if me == 1 {
+			timeMs = img.Clock().Now() / 1e6
+			forensics = img.LinkReports()
+		}
+	})
+	if err != nil {
+		// A legacy (non-STAT) op that hit an exhausted link error-terminates
+		// the job — the designed escalation, and a deterministic outcome of
+		// this plan, so report it as the replay's result rather than a tool
+		// failure.
+		fmt.Printf("outcome: error termination — %v\n", err)
+		return
+	}
+	for i, s := range stats {
+		fmt.Printf("image %d: stat=%v applied=%d/%d\n", i+1, s, applied[i], updates)
+	}
+	fmt.Printf("time=%.3fms (image 1)\n", timeMs)
+	if len(forensics) == 0 {
+		fmt.Println("forensics: no lossy links exercised")
+		return
+	}
+	fmt.Println("forensics (per directed link):")
+	for _, r := range forensics {
+		fmt.Printf("  %v\n", r)
+	}
+}
+
+// splitmix64 spreads the per-image key stream (same mix as the dht package).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }

@@ -1,11 +1,20 @@
 // himeno-bench regenerates the paper's Figure 10: the CAF Himeno benchmark
 // on the Stampede model, UHCAF over GASNet vs UHCAF over MVAPICH2-X SHMEM.
+//
+// With -faultplan or -faultseed it instead runs one deterministic chaos
+// replay of the fault-aware signal-overlap solver under a lossy-fabric fault
+// plan, reporting the final STAT, completed iterations, virtual time, and the
+// per-link reliability forensics (retransmits, drops, given-up links). The
+// same plan — from the same file or seed — replays bit-identically.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"cafshmem/internal/caf"
+	"cafshmem/internal/fabric"
 	"cafshmem/internal/himeno"
 	"cafshmem/internal/pgasbench"
 )
@@ -16,9 +25,23 @@ func main() {
 	ny := flag.Int("ny", 256, "global grid extent in y (decomposed dimension)")
 	nz := flag.Int("nz", 16, "global grid extent in z")
 	iters := flag.Int("iters", 3, "Jacobi iterations")
+	faultPlan := flag.String("faultplan", "", "JSON fault-plan file: run one chaos replay under the plan instead of Figure 10")
+	faultSeed := flag.Uint64("faultseed", 0, "nonzero: chaos replay under a seeded lossy plan (drops, delay jitter, dups, one kill)")
+	chaosImages := flag.Int("chaos-images", 8, "image count for the chaos replay")
 	flag.Parse()
 
 	prm := himeno.Params{NX: *nx, NY: *ny, NZ: *nz, Iters: *iters}
+
+	if *faultPlan != "" || *faultSeed != 0 {
+		plan, err := loadPlan(*faultPlan, *faultSeed, *chaosImages)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "himeno-bench:", err)
+			os.Exit(1)
+		}
+		chaosReplay(plan, *chaosImages, prm)
+		return
+	}
+
 	f := pgasbench.Fig10(*maxImages, prm)
 	fmt.Print(f.Render())
 
@@ -27,4 +50,46 @@ func main() {
 	gas := p.FindSeries("UHCAF-GASNet")
 	fmt.Printf("\nsummary (geometric-mean MFLOPS ratio, SHMEM/GASNet): %.3f  (paper: ~6%% avg, 22%% max)\n",
 		pgasbench.GeoMeanRatio(*shm, *gas))
+}
+
+// loadPlan resolves the chaos fault plan: a JSON file when given, otherwise a
+// seeded lossy plan (one kill plus drop/jitter/dup rules on every link).
+func loadPlan(path string, seed uint64, images int) (*fabric.FaultPlan, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return fabric.DecodeFaultPlan(data)
+	}
+	return fabric.RandomLossPlan(seed, images, 1, 200_000, 2_000_000), nil
+}
+
+// chaosReplay runs the fault-aware signal-overlap solver once under plan and
+// reports what the fault machinery observed.
+func chaosReplay(plan *fabric.FaultPlan, images int, prm himeno.Params) {
+	prm.FaultAware = true
+	prm.Overlap = true
+	opts := caf.UHCAFOverCraySHMEM(fabric.CrayXC30())
+	opts.FaultPlan = plan
+
+	fmt.Printf("chaos replay: %d images, plan %v\n", images, plan)
+	res, err := himeno.Run(opts, images, prm)
+	if err != nil {
+		// A legacy (non-STAT) op that hit an exhausted link error-terminates
+		// the job — the designed escalation, and a deterministic outcome of
+		// this plan, so report it as the replay's result.
+		fmt.Printf("outcome: error termination — %v\n", err)
+		return
+	}
+	fmt.Printf("stat=%v iters=%d/%d gosa=%.6e time=%.3fms\n",
+		res.Stat, res.Iters, prm.Iters, res.Gosa, res.TimeMs)
+	if len(res.Forensics) == 0 {
+		fmt.Println("forensics: no lossy links exercised")
+		return
+	}
+	fmt.Println("forensics (per directed link):")
+	for _, r := range res.Forensics {
+		fmt.Printf("  %v\n", r)
+	}
 }

@@ -107,6 +107,20 @@ func (img *Image) ImageStatus(j int) Stat {
 	}
 }
 
+// LinkReport is the per-directed-link reliability forensics record of the
+// lossy-fabric reliability layer (re-exported from pgas): message, attempt,
+// drop and duplicate-suppression counters, plus whether the sender declared
+// the link unreachable after retry exhaustion.
+type LinkReport = pgas.LinkReport
+
+// LinkReports returns the world's per-link reliability forensics, sorted by
+// (src, dst) — empty on a loss-free fabric. Counters are world-global (every
+// image sees the same list), so benchmarks conventionally have image 1
+// capture them after the final synchronisation.
+func (img *Image) LinkReports() []LinkReport {
+	return img.tr.(localMem).pgasPE().World().LinkReports()
+}
+
 // pollFault is the fault-injection hook: runtime entry points call it so a
 // scheduled kill fires at the first operation boundary at or after its
 // virtual time. One predictable branch when no kill is scheduled (always the
@@ -128,9 +142,31 @@ func (img *Image) SyncAllStat() Stat {
 		return StatOK
 	}
 	img.pollFault()
-	img.quiet()
+	img.quietTolerant()
 	img.Stats.Barriers++
 	return statFromErr(img.fault.BarrierStat())
+}
+
+// quietTolerant is the stat-bearing paths' drain: the same completion work
+// and accounting as quiet, but a destination given up after retry exhaustion
+// (lossy fabric) is left for the caller's stat merge to report instead of
+// error-terminating here, which is the legacy Quiet's escalation.
+func (img *Image) quietTolerant() {
+	if n := asNBIOps(img.tr); n != nil {
+		_ = n.QuietStat() // the fault resurfaces in the caller's stat merge
+		img.Stats.Quiets++
+		return
+	}
+	img.quiet()
+}
+
+// linkDown reports whether either direction of the link with image j has been
+// given up after retry exhaustion: an alive image behind a dead link — which
+// STAT= can only describe as failed.
+func (img *Image) linkDown(j int) bool {
+	pw := img.fault.PgasWorld()
+	me := img.ThisImage()
+	return pw.Unreachable(me-1, j-1) || pw.Unreachable(j-1, me-1)
 }
 
 // SyncImagesStat executes "sync images(list, stat=...)": pairwise
@@ -145,7 +181,7 @@ func (img *Image) SyncImagesStat(list ...int) Stat {
 		return StatOK
 	}
 	img.pollFault()
-	img.quiet()
+	img.quietTolerant()
 	me := img.ThisImage()
 	stat := StatOK
 	live := make([]int, 0, len(list))
@@ -156,6 +192,10 @@ func (img *Image) SyncImagesStat(list ...int) Stat {
 		}
 		if s := img.ImageStatus(j); s != StatOK {
 			stat = worseStat(stat, s)
+			continue
+		}
+		if img.linkDown(j) {
+			stat = worseStat(stat, StatFailedImage)
 			continue
 		}
 		live = append(live, j)
@@ -181,6 +221,10 @@ func worseStat(a, b Stat) Stat {
 
 // errPeerDeparted interrupts a pairwise wait when the awaited image departs.
 var errPeerDeparted = errors.New("caf: awaited image departed")
+
+// errLinkDown interrupts a pairwise wait when the awaited image is alive but
+// declared its link to this image dead after retry exhaustion (lossy fabric).
+var errLinkDown = errors.New("caf: link from awaited image exhausted retries")
 
 // awaitImageStat is awaitImage with fault awareness: if image j fails or
 // stops before its signal arrives, the wait aborts with j's status and the

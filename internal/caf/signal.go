@@ -83,6 +83,12 @@ func (s *Signal) Wait(j int) {
 // of hanging. A notify that already arrived wins even if j died afterwards —
 // the data it advertises is delivered. The sequence is consumed only on
 // success, so a recovering consumer can re-wait after repair.
+//
+// A lossy-fabric link that j gave up after retry exhaustion counts too: j is
+// alive but its messages to this image can no longer arrive, so the wait
+// reports StatFailedImage — the sender is failed *from this image's
+// perspective*, which is the only perspective STAT= has. (ImageStatus(j)
+// would say StatOK: the image is fine, the link is not.)
 func (s *Signal) WaitStat(j int) Stat {
 	img := s.img
 	if img.fault == nil {
@@ -92,6 +98,7 @@ func (s *Signal) WaitStat(j int) Stat {
 	img.pollFault()
 	img.checkImage(j)
 	want := s.seen[j-1] + 1
+	me := img.ThisImage()
 	pw := img.fault.PgasWorld()
 	err := img.fault.WaitLocal64Stat(
 		s.slotOff(j),
@@ -100,11 +107,17 @@ func (s *Signal) WaitStat(j int) Stat {
 			if !pw.Alive(j - 1) {
 				return errPeerDeparted
 			}
+			if pw.Unreachable(j-1, me-1) {
+				return errLinkDown
+			}
 			return nil
 		})
 	if err != nil {
 		if errors.Is(err, errPeerDeparted) {
 			return img.ImageStatus(j)
+		}
+		if errors.Is(err, errLinkDown) {
+			return StatFailedImage
 		}
 		panic(err) // poisoned world (watchdog or unrelated PE panic)
 	}

@@ -15,37 +15,61 @@ import (
 type FaultPlan struct {
 	// Seed identifies the plan when it was drawn by RandomPlan; zero for
 	// hand-written plans. Recorded so failures in randomized chaos tests can
-	// be reproduced exactly.
-	Seed uint64
+	// be reproduced exactly. It also seeds the per-message fault draws of
+	// Losses, so two plans with the same rules but different seeds drop
+	// different messages.
+	Seed uint64 `json:"seed,omitempty"`
 
 	// Kills schedules image failures (Fortran's FAIL IMAGE).
-	Kills []FaultEvent
+	Kills []FaultEvent `json:"kills,omitempty"`
 
 	// Links schedules link degradations: from AtNs onward, remote operations
 	// issued by PE acquire extra per-operation latency.
-	Links []LinkDegrade
+	Links []LinkDegrade `json:"links,omitempty"`
+
+	// Losses schedules message-level faults — drop, delay jitter,
+	// duplication — on directed links, engaging the reliability layer
+	// (see lossy.go). An empty list leaves every message on the native
+	// reliable path: virtual times stay bit-identical to a nil plan.
+	Losses []LinkLoss `json:"losses,omitempty"`
+
+	// Retry configures the ack/retransmit protocol used on lossy links.
+	// The zero value selects the defaults (see RetryPolicy).
+	Retry RetryPolicy `json:"retry"`
 }
 
 // FaultEvent schedules one PE's failure at a virtual time. The PE executes
 // normally until its clock first reaches AtNs at an operation boundary, then
 // fails there.
 type FaultEvent struct {
-	PE   int
-	AtNs float64
+	PE   int     `json:"pe"`
+	AtNs float64 `json:"at_ns"`
 }
 
 // LinkDegrade schedules a latency penalty on every remote operation a PE
 // issues once its clock reaches AtNs. It models a flaky or congested link
-// rather than a dead one: traffic still flows, only slower.
+// rather than a dead one: traffic still flows, only slower. UntilNs bounds
+// the episode: with UntilNs > 0 the penalty applies only while
+// AtNs <= now < UntilNs (a zero-width window is never active); UntilNs == 0
+// keeps the pre-window open-ended semantics.
 type LinkDegrade struct {
-	PE        int
-	AtNs      float64
-	PenaltyNs float64
+	PE        int     `json:"pe"`
+	AtNs      float64 `json:"at_ns"`
+	UntilNs   float64 `json:"until_ns,omitempty"`
+	PenaltyNs float64 `json:"penalty_ns"`
+}
+
+// active reports whether the degradation applies at virtual time nowNs.
+func (l *LinkDegrade) active(nowNs float64) bool {
+	if nowNs < l.AtNs {
+		return false
+	}
+	return l.UntilNs == 0 || nowNs < l.UntilNs
 }
 
 // Empty reports whether the plan schedules nothing (nil plans are empty).
 func (fp *FaultPlan) Empty() bool {
-	return fp == nil || (len(fp.Kills) == 0 && len(fp.Links) == 0)
+	return fp == nil || (len(fp.Kills) == 0 && len(fp.Links) == 0 && len(fp.Losses) == 0)
 }
 
 // KillTime returns the scheduled failure time for pe, or (0, false) when the
@@ -65,15 +89,16 @@ func (fp *FaultPlan) KillTime(pe int) (float64, bool) {
 
 // LinkPenaltyNs returns the extra latency, in virtual nanoseconds, a remote
 // operation issued by pe at time nowNs suffers. Multiple active degradations
-// on one PE accumulate.
+// on one PE accumulate; windowed degradations (UntilNs > 0) contribute only
+// while AtNs <= nowNs < UntilNs.
 func (fp *FaultPlan) LinkPenaltyNs(pe int, nowNs float64) float64 {
 	if fp == nil {
 		return 0
 	}
 	pen := 0.0
-	for _, l := range fp.Links {
-		if l.PE == pe && nowNs >= l.AtNs {
-			pen += l.PenaltyNs
+	for i := range fp.Links {
+		if fp.Links[i].PE == pe && fp.Links[i].active(nowNs) {
+			pen += fp.Links[i].PenaltyNs
 		}
 	}
 	return pen
@@ -100,7 +125,7 @@ func (fp *FaultPlan) String() string {
 	if fp.Empty() {
 		return "FaultPlan{}"
 	}
-	return fmt.Sprintf("FaultPlan{seed=%#x kills=%v links=%v}", fp.Seed, fp.Kills, fp.Links)
+	return fmt.Sprintf("FaultPlan{seed=%#x kills=%v links=%v losses=%v}", fp.Seed, fp.Kills, fp.Links, fp.Losses)
 }
 
 // splitmix64 is the PRNG behind RandomPlan: tiny, seedable, and with

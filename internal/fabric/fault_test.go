@@ -60,6 +60,66 @@ func TestFaultPlanLinkPenalty(t *testing.T) {
 	}
 }
 
+// TestLinkPenaltyWindows pins the window semantics of bounded degradations:
+// active iff AtNs <= now < UntilNs, zero-width windows never active,
+// overlapping windows on the same instant accumulate.
+func TestLinkPenaltyWindows(t *testing.T) {
+	fp := &FaultPlan{Links: []LinkDegrade{
+		{PE: 1, AtNs: 1000, UntilNs: 2000, PenaltyNs: 50},
+		{PE: 1, AtNs: 1500, UntilNs: 2500, PenaltyNs: 30}, // overlaps the first
+		{PE: 1, AtNs: 3000, UntilNs: 3000, PenaltyNs: 99}, // zero-width
+		{PE: 1, AtNs: 4000, PenaltyNs: 7},                 // open-ended
+	}}
+	cases := []struct {
+		now  float64
+		want float64
+	}{
+		{999.9999, 0},  // just before onset
+		{1000, 50},     // inclusive lower boundary
+		{1499, 50},     // only first window
+		{1500, 80},     // overlap: both accumulate on the same ns
+		{1999, 80},     // still overlapping
+		{2000, 30},     // exclusive upper boundary: first window closed
+		{2499, 30},     // second window alone
+		{2500, 0},      // both closed
+		{3000, 0},      // zero-width window never fires, even at its instant
+		{4000, 7},      // open-ended onset
+		{1e15, 7},      // open-ended never closes
+	}
+	for _, c := range cases {
+		if got := fp.LinkPenaltyNs(1, c.now); got != c.want {
+			t.Errorf("LinkPenaltyNs(1, %v) = %v, want %v", c.now, got, c.want)
+		}
+	}
+	// Property sweep: the penalty is always the sum of active windows, and
+	// boundary behaviour is half-open everywhere on a dense grid.
+	for now := 0.0; now <= 5000; now += 12.5 {
+		want := 0.0
+		for _, l := range fp.Links {
+			if now >= l.AtNs && (l.UntilNs == 0 || now < l.UntilNs) {
+				want += l.PenaltyNs
+			}
+		}
+		if got := fp.LinkPenaltyNs(1, now); got != want {
+			t.Fatalf("LinkPenaltyNs(1, %v) = %v, want %v", now, got, want)
+		}
+	}
+}
+
+// TestLinkPenaltyWindowBackCompat: plans written before UntilNs existed
+// (zero value) keep their open-ended from-AtNs-onward meaning.
+func TestLinkPenaltyWindowBackCompat(t *testing.T) {
+	old := &FaultPlan{Links: []LinkDegrade{{PE: 2, AtNs: 100, PenaltyNs: 5}}}
+	for _, now := range []float64{100, 101, 1e6, 1e12} {
+		if got := old.LinkPenaltyNs(2, now); got != 5 {
+			t.Fatalf("open-ended penalty at %v = %v, want 5", now, got)
+		}
+	}
+	if got := old.LinkPenaltyNs(2, 99.999); got != 0 {
+		t.Fatalf("penalty before onset = %v, want 0", got)
+	}
+}
+
 func TestRandomPlanDeterministic(t *testing.T) {
 	a := RandomPlan(0xdecafbad, 8, 3, 1000, 50000)
 	b := RandomPlan(0xdecafbad, 8, 3, 1000, 50000)

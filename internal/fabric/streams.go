@@ -32,6 +32,19 @@ type NBINic struct {
 // schedules against the profile arithmetic using it).
 func (n *NBINic) FreeAt() float64 { return n.freeAt }
 
+// Reserve claims the pipe for transferNs starting no earlier than now and
+// returns the wire-out time — when the op's last byte leaves the NIC. This
+// is the pipe recurrence Issue uses, exposed so the reliability layer can
+// compute a lossy op's first-attempt send time from the same schedule.
+func (n *NBINic) Reserve(now, transferNs float64) float64 {
+	start := now
+	if n.freeAt > start {
+		start = n.freeAt
+	}
+	n.freeAt = start + transferNs
+	return n.freeAt
+}
+
 // nbiStream is one per-target completion record.
 type nbiStream struct {
 	target int
@@ -60,23 +73,36 @@ func NewNBIStreams(nic *NBINic) NBIStreams {
 // after leaving the pipe. It returns the op's completion timestamp. The pipe
 // recurrence is identical to NBIQueue.Issue.
 func (s *NBIStreams) Issue(target int, now, transferNs, latencyNs float64) float64 {
-	start := now
-	if s.nic.freeAt > start {
-		start = s.nic.freeAt
-	}
-	s.nic.freeAt = start + transferNs
-	done := s.nic.freeAt + latencyNs
+	done := s.nic.Reserve(now, transferNs) + latencyNs
+	s.record(target, done)
+	return done
+}
+
+// IssueAt posts a nonblocking op whose completion timestamp is computed by
+// the caller from the wire-out time: the pipe is reserved exactly as Issue
+// does, then complete(wireOutNs) returns the op's completion time, which is
+// recorded on target's stream and returned. This is the reliability layer's
+// entry point — on a lossy link an op completes at its successful attempt's
+// ack time, not wire-out + latency, but it still occupies the shared pipe
+// like any other op.
+func (s *NBIStreams) IssueAt(target int, now, transferNs float64, complete func(wireOutNs float64) float64) float64 {
+	done := complete(s.nic.Reserve(now, transferNs))
+	s.record(target, done)
+	return done
+}
+
+// record books a completion timestamp on target's stream.
+func (s *NBIStreams) record(target int, done float64) {
 	for i := range s.recs {
 		if s.recs[i].target == target {
 			if done > s.recs[i].doneAt {
 				s.recs[i].doneAt = done
 			}
 			s.recs[i].count++
-			return done
+			return
 		}
 	}
 	s.recs = append(s.recs, nbiStream{target: target, doneAt: done, count: 1})
-	return done
 }
 
 // DrainTarget completes the stream toward target only: it returns the latest

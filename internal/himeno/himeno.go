@@ -85,6 +85,10 @@ type Result struct {
 	// teardown included). The signal schedule's count is independent of Iters;
 	// the blocking and barrier-overlap schedules grow linearly with it.
 	Barriers int64
+	// Forensics is the per-link reliability record of the run — retransmits,
+	// drops, duplicate suppressions, given-up links — captured by image 1 at
+	// the end. Empty unless the fault plan carried loss rules.
+	Forensics []caf.LinkReport
 }
 
 func (p Params) validate(images int) error {
@@ -141,6 +145,7 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 	var statOut caf.Stat
 	var itersOut int
 	var barriersOut int64
+	var forensicsOut []caf.LinkReport
 	err := caf.Run(images, opts, func(img *caf.Image) {
 		nx, ny, nz := prm.NX, prm.NY, prm.NZ
 		me := img.ThisImage()
@@ -413,6 +418,7 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 			statOut = stat
 			itersOut = done
 			barriersOut = img.Stats.Barriers
+			forensicsOut = img.LinkReports()
 		}
 		if prm.Gather && stat == caf.StatOK {
 			if me == 1 {
@@ -460,6 +466,7 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 	}
 	res.MFLOPS = flopsPerPt * interior * float64(iters) / (worst / 1e9) / 1e6
 	res.Field = gathered
+	res.Forensics = forensicsOut
 	return res, nil
 }
 

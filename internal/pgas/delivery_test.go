@@ -1,0 +1,106 @@
+package pgas
+
+import (
+	"reflect"
+	"testing"
+
+	"cafshmem/internal/fabric"
+)
+
+func deliveryWorld(t *testing.T, n int) *World {
+	t.Helper()
+	w, err := NewWorld(fabric.Stampede(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestDeliverWriteExactlyOnce(t *testing.T) {
+	w := deliveryWorld(t, 2)
+	applied := 0
+	for _, seq := range []uint64{0, 1, 2} {
+		if !w.DeliverWrite(0, 1, seq, func() { applied++ }) {
+			t.Fatalf("first delivery of seq %d suppressed", seq)
+		}
+	}
+	// Replayed sequence numbers (fabric duplicates, retransmits) are
+	// suppressed without running apply.
+	for _, seq := range []uint64{0, 2, 1, 2} {
+		if w.DeliverWrite(0, 1, seq, func() { applied++ }) {
+			t.Fatalf("duplicate seq %d applied", seq)
+		}
+	}
+	if applied != 3 {
+		t.Fatalf("applied %d payloads, want 3", applied)
+	}
+	// The reverse direction has its own window.
+	if !w.DeliverWrite(1, 0, 0, func() { applied++ }) {
+		t.Fatal("reverse link shares the forward window")
+	}
+	reps := w.LinkReports()
+	if len(reps) != 2 {
+		t.Fatalf("want 2 link reports, got %v", reps)
+	}
+	if reps[0].Src != 0 || reps[0].Dst != 1 || reps[0].DupsSuppressed != 4 {
+		t.Fatalf("0->1 report = %+v, want 4 suppressed dups", reps[0])
+	}
+}
+
+func TestNoteDeliveryCounters(t *testing.T) {
+	w := deliveryWorld(t, 2)
+	d := &fabric.Delivery{Delivered: true, Acked: true, Attempts: 3, Drops: 2, AckDrops: 1, Dups: 1}
+	w.NoteDelivery(1, 0, d)
+	w.NoteDelivery(1, 0, &fabric.Delivery{Delivered: true, Acked: true, Attempts: 1})
+	reps := w.LinkReports()
+	want := LinkReport{Src: 1, Dst: 0, Msgs: 2, Attempts: 4, Retries: 2, Drops: 2, AckDrops: 1, DupsSuppressed: 1}
+	if len(reps) != 1 || !reflect.DeepEqual(reps[0], want) {
+		t.Fatalf("reports = %+v, want [%+v]", reps, want)
+	}
+}
+
+func TestMarkUnreachable(t *testing.T) {
+	w := deliveryWorld(t, 3)
+	if w.AnyUnreachable() || w.Unreachable(0, 1) {
+		t.Fatal("fresh world has unreachable links")
+	}
+	w.MarkUnreachable(0, 1)
+	w.MarkUnreachable(0, 1) // sticky, idempotent
+	if !w.AnyUnreachable() || !w.Unreachable(0, 1) {
+		t.Fatal("mark did not stick")
+	}
+	if w.Unreachable(1, 0) || w.Unreachable(0, 2) {
+		t.Fatal("mark leaked to other links")
+	}
+	if got := w.unreachableLinks(); !reflect.DeepEqual(got, []string{"0->1"}) {
+		t.Fatalf("unreachableLinks = %v, want [0->1]", got)
+	}
+}
+
+// TestMarkUnreachableWakesWaiter: a consumer blocked in WaitUntilStat whose
+// onEvent watches the link must observe the mark instead of hanging — the
+// escalation path WaitStat and QuietStat rely on.
+func TestMarkUnreachableWakesWaiter(t *testing.T) {
+	w := deliveryWorld(t, 2)
+	errLink := &ImageFault{Failed: []int{0}}
+	err := w.Run(func(p *PE) {
+		if p.ID == 0 {
+			// Producer: its message to PE 1 exhausts retries.
+			p.Clock.Advance(100)
+			w.MarkUnreachable(0, 1)
+			return
+		}
+		_, err := p.WaitUntilStat(0, 8, func(b []byte) bool { return b[0] != 0 }, func() error {
+			if w.Unreachable(0, 1) {
+				return errLink
+			}
+			return nil
+		})
+		if err != errLink {
+			t.Errorf("wait returned %v, want the link fault", err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

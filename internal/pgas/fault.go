@@ -216,6 +216,9 @@ func (w *World) stallDetect(epoch uint64) {
 	if fe := w.imageFaultErr(); fe != nil {
 		msg += " (" + fe.Error() + ")"
 	}
+	if ur := w.unreachableLinks(); len(ur) > 0 {
+		msg += fmt.Sprintf(" (unreachable links after retry exhaustion: %v)", ur)
+	}
 	w.poison(fmt.Errorf("%s", msg))
 }
 

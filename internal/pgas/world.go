@@ -50,6 +50,11 @@ type World struct {
 	blockedN    atomic.Int32
 	eventEpoch  atomic.Uint64
 	departEpoch atomic.Uint64
+
+	// dlv is the lossy-fabric reliability bookkeeping: receiver dedup
+	// windows, per-link forensic counters, unreachable-link marks. See
+	// delivery.go. Zero-cost until a reliable message is recorded.
+	dlv delivery
 }
 
 // PE is one processing element. The goroutine running the PE's body is the

@@ -2,7 +2,6 @@ package shmem
 
 import (
 	"cafshmem/internal/fabric"
-	"cafshmem/internal/pgas"
 )
 
 // Communication contexts — shmem_ctx_create / shmem_ctx_quiet (OpenSHMEM 1.4
@@ -86,8 +85,16 @@ func (c *Ctx) PutSignalNBI(target int, sym Sym, off int64, data []byte, sig Sym,
 
 // Quiet completes all ops issued on this context (shmem_ctx_quiet) — and
 // nothing else: the default context's streams, the blocking horizon, and
-// other contexts all stay in flight.
+// other contexts all stay in flight. Like the PE-level Quiet it is a legacy
+// escalation point: destinations given up after retry exhaustion
+// error-terminate here (QuietStat reports them instead).
 func (c *Ctx) Quiet() {
+	c.quiet()
+	c.pe.checkReachable()
+}
+
+// quiet is Quiet's drain, shared with QuietStat.
+func (c *Ctx) quiet() {
 	c.check()
 	pe := c.pe
 	pe.p.Clock.Advance(pe.world.prof.OverheadNs)
@@ -118,14 +125,13 @@ func (c *Ctx) QuietTarget(target int) {
 // ops on this context has failed, the drain still completes and the fault is
 // returned. It completes exactly what Quiet completes — this context's
 // streams only — so the stat and non-stat forms always agree.
+// Destinations the PE has declared unreachable are folded in like failed
+// PEs, as in the PE-level QuietStat.
 func (c *Ctx) QuietStat() error {
 	c.check()
 	failed := c.pe.failedTargets(&c.nbi)
-	c.Quiet()
-	if len(failed) > 0 {
-		return &pgas.ImageFault{Failed: failed}
-	}
-	return nil
+	c.quiet()
+	return c.pe.unreachFault(failed)
 }
 
 // Fence orders this context's puts per destination (shmem_ctx_fence). Like

@@ -57,9 +57,21 @@ func (pe *PE) putMemNBI(streams *fabric.NBIStreams, ctx int, target int, sym Sym
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.NBIInjectNs())
-	done := streams.Issue(target, pe.p.Clock.Now(),
-		prof.NBITransferNs(len(data), intra, pairs),
-		prof.DeliveryNs(intra, pairs))
+	transfer := prof.NBITransferNs(len(data), intra, pairs)
+	lat := prof.DeliveryNs(intra, pairs)
+	if pe.lossy(target) {
+		// The op occupies the shared pipe exactly as on the native path; its
+		// completion (what Quiet waits for) is the protocol's ack horizon,
+		// and the payload lands at its first successful delivery.
+		streams.IssueAt(target, pe.p.Clock.Now(), transfer, func(wire float64) float64 {
+			done, _ := pe.reliableSend(target, wire, lat, func(at float64) {
+				pe.world.pw.Write(target, sym.Off+off, data, at)
+			})
+			return done
+		})
+		return
+	}
+	done := streams.Issue(target, pe.p.Clock.Now(), transfer, lat)
 	pe.world.pw.Write(target, sym.Off+off, data, done)
 }
 
@@ -89,8 +101,20 @@ func (pe *PE) getMemNBI(streams *fabric.NBIStreams, target int, sym Sym, off int
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.NBIInjectNs())
-	streams.Issue(target, pe.p.Clock.Now(),
-		prof.NBITransferNs(len(dst), intra, pairs),
+	transfer := prof.NBITransferNs(len(dst), intra, pairs)
+	if pe.lossy(target) {
+		// Request/response both ride the protocol (the response is the ack);
+		// on exhaustion the give-up horizon is recorded and the next legacy
+		// Quiet error-terminates (QuietStat reports instead).
+		lat := prof.DeliveryNs(intra, pairs)
+		streams.IssueAt(target, pe.p.Clock.Now(), transfer, func(wire float64) float64 {
+			done, _ := pe.reliableSend(target, wire, lat, nil)
+			return done
+		})
+		pe.world.pw.Read(target, sym.Off+off, dst)
+		return
+	}
+	streams.Issue(target, pe.p.Clock.Now(), transfer,
 		2*prof.DeliveryNs(intra, pairs))
 	pe.world.pw.Read(target, sym.Off+off, dst)
 }
@@ -111,6 +135,29 @@ func (pe *PE) PutMemVNBI(target int, sym Sym, offs []int64, runBytes int, src []
 	prof := pe.world.prof
 	transfer := prof.NBITransferNs(runBytes, intra, pairs)
 	delivery := prof.DeliveryNs(intra, pairs)
+	if pe.lossy(target) {
+		// Each run is its own reliable message; the batched WriteRuns gives
+		// way to per-run delivery through the receiver's duplicate window.
+		for i, off := range offs {
+			if off < 0 || off+int64(runBytes) > sym.Size {
+				panic(fmt.Sprintf("shmem: putmemv_nbi run of %d bytes at offset %d overflows %d-byte symmetric object", runBytes, off, sym.Size))
+			}
+			run := src[i*runBytes : (i+1)*runBytes]
+			if san != nil {
+				san.recordPutNBI(pe.p.ID, 0, target, sym.Off+off, int64(runBytes), run, func() []byte { return run })
+			}
+			pe.linkPenalty()
+			pe.p.Clock.Advance(prof.NBIInjectNs())
+			runOff := sym.Off + off
+			pe.nbi.IssueAt(target, pe.p.Clock.Now(), transfer, func(wire float64) float64 {
+				done, _ := pe.reliableSend(target, wire, delivery, func(at float64) {
+					pe.world.pw.Write(target, runOff, run, at)
+				})
+				return done
+			})
+		}
+		return
+	}
 	tp := pgas.GetTsScratch()
 	visAt := (*tp)[:0]
 	for i, off := range offs {
@@ -159,9 +206,18 @@ func (pe *PE) IPutMemNBI(target int, sym Sym, off, dstStrideBytes int64, elemSiz
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.StridedNBIInjectNs(nelems) +
 		prof.StridedLocalityNs(nelems, elemSize, dstStrideBytes))
-	done := pe.nbi.Issue(target, pe.p.Clock.Now(),
-		prof.StridedNBITransferNs(nelems, elemSize, intra, pairs),
-		prof.DeliveryNs(intra, pairs))
+	transfer := prof.StridedNBITransferNs(nelems, elemSize, intra, pairs)
+	lat := prof.DeliveryNs(intra, pairs)
+	if pe.lossy(target) {
+		pe.nbi.IssueAt(target, pe.p.Clock.Now(), transfer, func(wire float64) float64 {
+			done, _ := pe.reliableSend(target, wire, lat, func(at float64) {
+				pe.world.pw.WriteV(target, sym.Off+off, dstStrideBytes, elemSize, src, at)
+			})
+			return done
+		})
+		return
+	}
+	done := pe.nbi.Issue(target, pe.p.Clock.Now(), transfer, lat)
 	pe.world.pw.WriteV(target, sym.Off+off, dstStrideBytes, elemSize, src, done)
 }
 
@@ -191,8 +247,17 @@ func (pe *PE) IGetMemNBI(target int, sym Sym, off, srcStrideBytes int64, elemSiz
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.StridedNBIInjectNs(nelems) +
 		prof.StridedLocalityNs(nelems, elemSize, srcStrideBytes))
-	pe.nbi.Issue(target, pe.p.Clock.Now(),
-		prof.StridedNBITransferNs(nelems, elemSize, intra, pairs),
+	transfer := prof.StridedNBITransferNs(nelems, elemSize, intra, pairs)
+	if pe.lossy(target) {
+		lat := prof.DeliveryNs(intra, pairs)
+		pe.nbi.IssueAt(target, pe.p.Clock.Now(), transfer, func(wire float64) float64 {
+			done, _ := pe.reliableSend(target, wire, lat, nil)
+			return done
+		})
+		pe.world.pw.ReadV(target, sym.Off+off, srcStrideBytes, elemSize, dst)
+		return
+	}
+	pe.nbi.Issue(target, pe.p.Clock.Now(), transfer,
 		2*prof.DeliveryNs(intra, pairs))
 	pe.world.pw.ReadV(target, sym.Off+off, srcStrideBytes, elemSize, dst)
 }
@@ -233,13 +298,15 @@ func (pe *PE) NBIOutstanding() int { return pe.nbi.Outstanding() }
 // streams and the blocking horizon — never a created context's streams (those
 // are Ctx.QuietStat's job). The two stat paths therefore agree with their
 // non-stat forms on which streams they drain.
+//
+// Destinations this PE has declared unreachable (retry exhaustion on a lossy
+// link) are folded into the returned fault as failed PEs — the sender cannot
+// distinguish a dead link from a dead peer, and both map to
+// STAT_FAILED_IMAGE upstairs.
 func (pe *PE) QuietStat() error {
 	failed := pe.failedTargets(&pe.nbi)
-	pe.Quiet()
-	if len(failed) > 0 {
-		return &pgas.ImageFault{Failed: failed}
-	}
-	return nil
+	pe.quiet()
+	return pe.unreachFault(failed)
 }
 
 // failedTargets lists the failed PEs among a stream set's in-flight
@@ -274,12 +341,13 @@ func (pe *PE) observedFailed(target int) bool {
 }
 
 // QuietTargetStat is QuietTarget with fault status, reporting whether the
-// drained destination had failed (its writes were dropped by the substrate).
+// drained destination had failed (its writes were dropped by the substrate)
+// or had been declared unreachable after retry exhaustion.
 func (pe *PE) QuietTargetStat(target int) error {
 	pe.checkTarget(target)
 	dead := pe.nbi.OutstandingTarget(target) > 0 && pe.observedFailed(target)
-	pe.QuietTarget(target)
-	if dead {
+	pe.quietTarget(target)
+	if dead || pe.isUnreach(target) {
 		return &pgas.ImageFault{Failed: []int{target}}
 	}
 	return nil

@@ -29,7 +29,15 @@ func (pe *PE) PutMem(target int, sym Sym, off int64, data []byte) {
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.PutInjectNs(len(data), intra, pairs))
-	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
+	lat := prof.DeliveryNs(intra, pairs)
+	if pe.lossy(target) {
+		vis, _ := pe.reliableSend(target, pe.p.Clock.Now(), lat, func(at float64) {
+			pe.world.pw.Write(target, sym.Off+off, data, at)
+		})
+		pe.notePending(target, vis)
+		return
+	}
+	vis := pe.p.Clock.Now() + lat
 	pe.world.pw.Write(target, sym.Off+off, data, vis)
 	pe.notePending(target, vis)
 }
@@ -49,7 +57,11 @@ func (pe *PE) GetMem(target int, sym Sym, off int64, dst []byte) {
 	}
 	pe.linkPenalty()
 	intra, pairs := pe.intra(target), pe.pairs()
+	start := pe.p.Clock.Now()
 	pe.p.Clock.Advance(pe.world.prof.GetNs(len(dst), intra, pairs))
+	if pe.lossy(target) {
+		pe.reliableGet(target, start, pe.world.prof.DeliveryNs(intra, pairs))
+	}
 	pe.world.pw.Read(target, sym.Off+off, dst)
 }
 
@@ -108,7 +120,7 @@ func IPut[T pgas.Elem](pe *PE, target int, sym Sym, dstIdx, dstStride int, src [
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, int(es), intra, pairs))
-	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
+	lat := prof.DeliveryNs(intra, pairs)
 	// Gather the strided source elements densely into a pooled buffer, then
 	// scatter them with one vectored write (one target-lock acquisition).
 	bp := pgas.GetScratch()
@@ -116,7 +128,17 @@ func IPut[T pgas.Elem](pe *PE, target int, sym Sym, dstIdx, dstStride int, src [
 	for k := 0; k < nelems; k++ {
 		buf = pgas.EncodeSlice[T](buf, src[srcIdx+k*srcStride:srcIdx+k*srcStride+1])
 	}
-	pe.world.pw.WriteV(target, sym.Off+int64(dstIdx)*es, int64(dstStride)*es, int(es), buf, vis)
+	var vis float64
+	if pe.lossy(target) {
+		// One descriptor, one reliable message; apply runs synchronously so
+		// the pooled buffer is still live.
+		vis, _ = pe.reliableSend(target, pe.p.Clock.Now(), lat, func(at float64) {
+			pe.world.pw.WriteV(target, sym.Off+int64(dstIdx)*es, int64(dstStride)*es, int(es), buf, at)
+		})
+	} else {
+		vis = pe.p.Clock.Now() + lat
+		pe.world.pw.WriteV(target, sym.Off+int64(dstIdx)*es, int64(dstStride)*es, int(es), buf, vis)
+	}
 	*bp = buf
 	pgas.PutScratch(bp)
 	pe.notePending(target, vis)
@@ -142,7 +164,11 @@ func IGet[T pgas.Elem](pe *PE, target int, sym Sym, srcIdx, srcStride int, dst [
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	// Symmetric cost model to IPut plus the request round trip of a get.
+	start := pe.p.Clock.Now()
 	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, int(es), intra, pairs) + 2*prof.DeliveryNs(intra, pairs))
+	if pe.lossy(target) {
+		pe.reliableGet(target, start, prof.DeliveryNs(intra, pairs))
+	}
 	// Gather with one vectored read into a pooled buffer, then scatter into
 	// the caller's strided destination.
 	bp := pgas.GetScratch()
@@ -183,7 +209,15 @@ func (pe *PE) IPutMem(target int, sym Sym, off, dstStrideBytes int64, elemSize i
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, elemSize, intra, pairs) +
 		prof.StridedLocalityNs(nelems, elemSize, dstStrideBytes))
-	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
+	lat := prof.DeliveryNs(intra, pairs)
+	if pe.lossy(target) {
+		vis, _ := pe.reliableSend(target, pe.p.Clock.Now(), lat, func(at float64) {
+			pe.world.pw.WriteV(target, sym.Off+off, dstStrideBytes, elemSize, src, at)
+		})
+		pe.notePending(target, vis)
+		return
+	}
+	vis := pe.p.Clock.Now() + lat
 	pe.world.pw.WriteV(target, sym.Off+off, dstStrideBytes, elemSize, src, vis)
 	pe.notePending(target, vis)
 }
@@ -211,8 +245,12 @@ func (pe *PE) IGetMem(target int, sym Sym, off, srcStrideBytes int64, elemSize i
 	}
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
+	start := pe.p.Clock.Now()
 	pe.p.Clock.Advance(prof.StridedInjectNs(nelems, elemSize, intra, pairs) +
 		prof.StridedLocalityNs(nelems, elemSize, srcStrideBytes) + 2*prof.DeliveryNs(intra, pairs))
+	if pe.lossy(target) {
+		pe.reliableGet(target, start, prof.DeliveryNs(intra, pairs))
+	}
 	pe.world.pw.ReadV(target, sym.Off+off, srcStrideBytes, elemSize, dst)
 }
 
@@ -235,6 +273,28 @@ func (pe *PE) PutMemV(target int, sym Sym, offs []int64, runBytes int, src []byt
 	san := pe.world.san
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
+	if pe.lossy(target) {
+		// Each run is its own reliable message: same per-run cost
+		// arithmetic, but delivery goes through the protocol and the
+		// receiver's duplicate window instead of one batched WriteRuns.
+		for i, off := range offs {
+			if off < 0 || off+int64(runBytes) > sym.Size {
+				panic(fmt.Sprintf("shmem: putmemv run of %d bytes at offset %d overflows %d-byte symmetric object", runBytes, off, sym.Size))
+			}
+			if san != nil {
+				san.recordPut(pe.p.ID, target, sym.Off+off, int64(runBytes))
+			}
+			pe.linkPenalty()
+			pe.p.Clock.Advance(prof.PutInjectNs(runBytes, intra, pairs))
+			run := src[i*runBytes : (i+1)*runBytes]
+			runOff := sym.Off + off
+			vis, _ := pe.reliableSend(target, pe.p.Clock.Now(), prof.DeliveryNs(intra, pairs), func(at float64) {
+				pe.world.pw.Write(target, runOff, run, at)
+			})
+			pe.notePending(target, vis)
+		}
+		return
+	}
 	tp := pgas.GetTsScratch()
 	visAt := (*tp)[:0]
 	for _, off := range offs {
@@ -277,7 +337,11 @@ func (pe *PE) GetMemV(target int, sym Sym, offs []int64, runBytes int, dst []byt
 			san.checkRead(pe.p.ID, target, sym.Off+off, int64(runBytes))
 		}
 		pe.linkPenalty()
+		start := pe.p.Clock.Now()
 		pe.p.Clock.Advance(prof.GetNs(runBytes, intra, pairs))
+		if pe.lossy(target) {
+			pe.reliableGet(target, start, prof.DeliveryNs(intra, pairs))
+		}
 	}
 	pe.world.pw.ReadRuns(target, sym.Off, offs, runBytes, dst)
 }
@@ -309,12 +373,26 @@ func (pe *PE) PutSignal(target int, sym Sym, off int64, data []byte, sig Sym, si
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.PutInjectNs(len(data)+8, intra, pairs))
-	vis := pe.p.Clock.Now() + prof.DeliveryNs(intra, pairs)
+	lat := prof.DeliveryNs(intra, pairs)
+	var sigBytes [8]byte
+	binary.LittleEndian.PutUint64(sigBytes[:], uint64(sigVal))
+	if pe.lossy(target) {
+		// Data and signal travel as one message: either both land (at the
+		// same delivery time, preserving signal-mediated completion) or
+		// neither does — a dropped doorbell never advertises absent data.
+		vis, _ := pe.reliableSend(target, pe.p.Clock.Now(), lat, func(at float64) {
+			if len(data) > 0 {
+				pe.world.pw.Write(target, sym.Off+off, data, at)
+			}
+			pe.world.pw.Write(target, sigOff, sigBytes[:], at)
+		})
+		pe.notePending(target, vis)
+		return
+	}
+	vis := pe.p.Clock.Now() + lat
 	if len(data) > 0 {
 		pe.world.pw.Write(target, sym.Off+off, data, vis)
 	}
-	var sigBytes [8]byte
-	binary.LittleEndian.PutUint64(sigBytes[:], uint64(sigVal))
 	pe.world.pw.Write(target, sigOff, sigBytes[:], vis)
 	pe.notePending(target, vis)
 }
@@ -347,14 +425,26 @@ func (pe *PE) putSignalNBI(streams *fabric.NBIStreams, target int, sym Sym, off 
 	intra, pairs := pe.intra(target), pe.pairs()
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.NBIInjectNs())
-	done := streams.Issue(target, pe.p.Clock.Now(),
-		prof.NBITransferNs(len(data)+8, intra, pairs),
-		prof.DeliveryNs(intra, pairs))
+	transfer := prof.NBITransferNs(len(data)+8, intra, pairs)
+	lat := prof.DeliveryNs(intra, pairs)
+	var sigBytes [8]byte
+	binary.LittleEndian.PutUint64(sigBytes[:], uint64(sigVal))
+	if pe.lossy(target) {
+		streams.IssueAt(target, pe.p.Clock.Now(), transfer, func(wire float64) float64 {
+			done, _ := pe.reliableSend(target, wire, lat, func(at float64) {
+				if len(data) > 0 {
+					pe.world.pw.Write(target, sym.Off+off, data, at)
+				}
+				pe.world.pw.Write(target, sigOff, sigBytes[:], at)
+			})
+			return done
+		})
+		return
+	}
+	done := streams.Issue(target, pe.p.Clock.Now(), transfer, lat)
 	if len(data) > 0 {
 		pe.world.pw.Write(target, sym.Off+off, data, done)
 	}
-	var sigBytes [8]byte
-	binary.LittleEndian.PutUint64(sigBytes[:], uint64(sigVal))
 	pe.world.pw.Write(target, sigOff, sigBytes[:], done)
 }
 

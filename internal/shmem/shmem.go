@@ -57,6 +57,13 @@ type PE struct {
 	// collSeq numbers this PE's collective operations; all PEs agree on it
 	// because collectives are globally ordered.
 	collSeq int64
+	// seqTo numbers this PE's reliable messages per destination (lossy-fabric
+	// plans only; see lossy.go). Lazily sized, nil on the loss-free path.
+	seqTo []uint64
+	// unreach lists destinations this PE has declared unreachable after
+	// retry exhaustion, in declaration order. Sticky: once a link is given
+	// up every later completion point reports or escalates it.
+	unreach []int
 }
 
 // newPE wires a PE handle: the default context's completion streams share the

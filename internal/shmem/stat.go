@@ -1,6 +1,7 @@
 package shmem
 
 import (
+	"errors"
 	"fmt"
 
 	"cafshmem/internal/pgas"
@@ -28,14 +29,50 @@ func (pe *PE) linkPenalty() {
 // sanitizer accounting, but when PEs have failed or stopped the rendezvous
 // completes among the survivors and the fault is returned instead of
 // panicking. A nil return means every PE arrived.
+//
+// Given-up links (retry exhaustion on a lossy fabric) fold in too — and
+// unlike QuietStat's PE-local view, EVERY participant reports them: the
+// barrier is the propagation point. A sender declares a link dead strictly
+// before entering the barrier, so after the rendezvous all PEs observe the
+// same set (world.UnreachableDsts) at the same barrier generation and can
+// abandon a phase together, which is what keeps degraded runs out of
+// asymmetric collectives (and therefore out of the watchdog).
 func (pe *PE) BarrierStat() error {
-	pe.Quiet()
+	pe.quiet()
 	w := pe.world
 	if w.san != nil {
 		w.san.recordCollective(pe.p.ID, "Barrier")
 	}
 	n := w.pw.NumPEs()
-	return pe.p.BarrierTolerant(w.prof.BarrierNs(n, w.machine.NodesFor(n)))
+	err := pe.p.BarrierTolerant(w.prof.BarrierNs(n, w.machine.NodesFor(n)))
+	exh := w.pw.UnreachableDsts()
+	if len(pe.unreach) == 0 && len(exh) == 0 {
+		return err
+	}
+	var fe *pgas.ImageFault
+	if err != nil && !errors.As(err, &fe) {
+		return err // non-fault errors pass through untouched
+	}
+	var failed, stopped []int
+	if fe != nil {
+		failed = append(failed, fe.Failed...)
+		stopped = fe.Stopped
+	}
+	for _, d := range exh {
+		dup := false
+		for _, f := range failed {
+			if f == d {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			failed = append(failed, d)
+		}
+	}
+	combined := pe.unreachFault(failed).(*pgas.ImageFault)
+	combined.Stopped = stopped
+	return combined
 }
 
 // SwapStat is Swap with fault status: on a failed target the word is frozen,

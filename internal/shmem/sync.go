@@ -14,7 +14,19 @@ import (
 //
 // Per OpenSHMEM 1.4 semantics, Quiet does NOT complete operations issued on
 // created contexts — each Ctx has its own Quiet.
+//
+// Under a lossy fault plan Quiet is also the legacy escalation point for
+// retry exhaustion: if any destination has been declared unreachable, the
+// drain still completes and then the world error-terminates (QuietStat is
+// the form that reports the condition instead).
 func (pe *PE) Quiet() {
+	pe.quiet()
+	pe.checkReachable()
+}
+
+// quiet is Quiet's drain, shared with the stat forms (which must not
+// escalate — they report).
+func (pe *PE) quiet() {
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.OverheadNs)
 	// Drain the default context's streams: their latest completion joins the
@@ -41,6 +53,12 @@ func (pe *PE) Quiet() {
 // traffic). Other destinations' transfers stay in flight: their completion
 // horizon, and the shared NIC pipe's residual occupancy, are untouched.
 func (pe *PE) QuietTarget(target int) {
+	pe.quietTarget(target)
+	pe.checkReachableTarget(target)
+}
+
+// quietTarget is QuietTarget's drain, shared with QuietTargetStat.
+func (pe *PE) quietTarget(target int) {
 	pe.checkTarget(target)
 	prof := pe.world.prof
 	pe.p.Clock.Advance(prof.OverheadNs)
@@ -150,11 +168,12 @@ func (pe *PE) SignalWaitUntil(sig Sym, idx int, cmp Cmp, value int64) int64 {
 }
 
 // WaitUntilStat is SignalWaitUntil with Fortran-2018-style fault awareness:
-// it watches the listed producer PEs and, if any of them fails while the wait
-// is still unsatisfied, returns the fault instead of hanging on a signal that
-// can never arrive. A signal that did arrive wins even if its producer died
-// afterwards — the data it advertises is already delivered. The last observed
-// signal value is returned in both cases.
+// it watches the listed producer PEs and, if any of them fails — or gives up
+// its link to this PE after retry exhaustion on a lossy fabric — while the
+// wait is still unsatisfied, returns the fault instead of hanging on a
+// signal that can never arrive. A signal that did arrive wins even if its
+// producer died afterwards — the data it advertises is already delivered.
+// The last observed signal value is returned in both cases.
 func (pe *PE) WaitUntilStat(sig Sym, idx int, cmp Cmp, value int64, producers ...int) (int64, error) {
 	off := sig.At(int64(idx) * 8)
 	var got int64
@@ -164,7 +183,7 @@ func (pe *PE) WaitUntilStat(sig Sym, idx int, cmp Cmp, value int64, producers ..
 	}, func() error {
 		var failed []int
 		for _, pr := range producers {
-			if pe.world.pw.Failed(pr) {
+			if pe.world.pw.Failed(pr) || pe.world.pw.Unreachable(pr, pe.p.ID) {
 				failed = append(failed, pr)
 			}
 		}
