@@ -1,0 +1,155 @@
+package cafshmem
+
+// BenchmarkWallclockScale is the engine sweep: the same two application
+// workloads (a blocking-halo Himeno iteration and the disjoint locked-update
+// DHT pattern) at 256 / 1k / 4k / 10k images, on both execution engines. Two
+// extra metrics make the sweep comparable across sizes and engines:
+//
+//	ns/simop          wall-clock nanoseconds per runtime-issued communication
+//	                  operation (caf.Stats.Ops summed over all images) — the
+//	                  host cost of simulating one op, independent of how many
+//	                  ops a configuration happens to issue
+//	peak-goroutines   high-water goroutine count sampled during the run —
+//	                  images+O(1) under the goroutine engine, pool+O(1)
+//	                  under the event engine
+//
+// Virtual-time results are engine-independent (the golden and differential
+// tests pin that); this benchmark is only about what each engine costs the
+// host as the image count grows. cmd/benchreport runs the sweep at
+// -benchtime 1x and records it in the scale section of BENCH_8.json.
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cafshmem/internal/caf"
+	"cafshmem/internal/dht"
+	"cafshmem/internal/fabric"
+	"cafshmem/internal/himeno"
+	"cafshmem/internal/pgas"
+)
+
+// pollPeakGoroutines samples the process goroutine count until stopped and
+// returns the high-water mark (the poller itself included — a constant +1).
+func pollPeakGoroutines() (stop func() float64) {
+	var peak int64
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(200 * time.Microsecond)
+		defer t.Stop()
+		for {
+			if g := int64(runtime.NumGoroutine()); g > atomic.LoadInt64(&peak) {
+				atomic.StoreInt64(&peak, g)
+			}
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+	return func() float64 {
+		close(done)
+		<-finished
+		return float64(atomic.LoadInt64(&peak))
+	}
+}
+
+var scaleEngines = []struct {
+	name   string
+	engine pgas.Engine
+}{
+	{"goroutine", pgas.EngineGoroutine},
+	{"event", pgas.EngineEvent},
+}
+
+func BenchmarkWallclockScale(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096, 10240} {
+		for _, eng := range scaleEngines {
+			n, eng := n, eng
+			b.Run(fmt.Sprintf("himeno/n=%d/%s", n, eng.name), func(b *testing.B) {
+				o := caf.UHCAFOverMV2XSHMEM()
+				o.Strided = caf.StridedNaive
+				o.Engine = eng.engine
+				// One j-plane per image: the footprint stays linear in the
+				// image count and every image parks at halo waits/barriers.
+				prm := himeno.Params{NX: 8, NY: n, NZ: 8, Iters: 2}
+				stop := pollPeakGoroutines()
+				var simOps int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := himeno.Run(o, n, prm)
+					if err != nil {
+						b.Fatal(err)
+					}
+					simOps += r.CommOps
+				}
+				b.StopTimer()
+				peak := stop()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(simOps), "ns/simop")
+				b.ReportMetric(peak, "peak-goroutines")
+			})
+			b.Run(fmt.Sprintf("barrier/n=%d/%s", n, eng.name), func(b *testing.B) {
+				// Park-dominated panel: every op is one whole-job barrier, so
+				// ns/simop isolates what the engine itself charges for a
+				// park/wake cycle — payload-heavy panels dilute the scheduler
+				// cost with marshalling and timestamp bookkeeping the engines
+				// share.
+				o := caf.UHCAFOverCraySHMEM(fabric.Titan())
+				o.Engine = eng.engine
+				// Enough rounds that one-off world construction (goroutine
+				// spawns, symmetric-heap setup — identical across engines)
+				// amortises out and ns/simop reflects the steady-state
+				// park/wake cycle.
+				const rounds = 200
+				stop := pollPeakGoroutines()
+				var simOps int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					err := caf.Run(n, o, func(img *caf.Image) {
+						for r := 0; r < rounds; r++ {
+							img.Clock().Advance(100)
+							img.SyncAll()
+						}
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					simOps += int64(n * rounds)
+				}
+				b.StopTimer()
+				peak := stop()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(simOps), "ns/simop")
+				b.ReportMetric(peak, "peak-goroutines")
+			})
+			b.Run(fmt.Sprintf("dht/n=%d/%s", n, eng.name), func(b *testing.B) {
+				o := caf.UHCAFOverCraySHMEM(fabric.Titan())
+				o.Engine = eng.engine
+				stop := pollPeakGoroutines()
+				var simOps int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Disjoint pattern: remote lock + get + put traffic with
+					// no contention, deterministic at every size.
+					r, err := dht.BenchPattern(o, n, 16, 10, true)
+					if err != nil {
+						b.Fatal(err)
+					}
+					simOps += r.CommOps
+				}
+				b.StopTimer()
+				peak := stop()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(simOps), "ns/simop")
+				b.ReportMetric(peak, "peak-goroutines")
+			})
+		}
+	}
+}

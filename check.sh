@@ -49,8 +49,19 @@ timeout 120 go test -race -run 'TestChaosLoss|TestRetryExhaustion|TestLossyRepla
 echo "==> loss-free golden gate (nil plan vs loss-free plan: bit-identical virtual times)"
 go test -run 'TestLossFreePlanBitIdentical|TestIssueAtMatchesIssue|TestLinkPenaltyWindowBackCompat' -count=1 ./internal/shmem ./internal/fabric
 
+echo "==> engine golden gate (goroutine vs event engine: bit-identical virtual times)"
+go test -run 'TestEventEngineMatchesGoroutine' -count=1 ./internal/pgas
+go test -run 'TestEngineDifferential' -count=1 ./internal/caf
+go test -run 'TestHimenoGoldensOnEventEngine' -count=1 ./internal/himeno
+
+echo "==> event-engine scale smoke (4096 images on the bounded pool, bounded wall time)"
+timeout 120 go test -run 'TestEventEngineHimeno4k' -count=1 ./internal/himeno
+
 echo "==> wall-clock bench smoke (one iteration per benchmark, incl. Himeno overlap)"
-go test -run '^$' -bench '^BenchmarkWallclock' -benchtime 1x .
+# The fixed suite only: the full engine scale sweep (BenchmarkWallclockScale,
+# up to 10k images) is benchreport territory, not a smoke.
+go test -run '^$' -bench '^BenchmarkWallclock(ContigPut|StridedPut|LockContention|DHT|Himeno|HimenoOverlap|HimenoSignal)$' -benchtime 1x .
+go test -run '^$' -bench '^BenchmarkWallclockScale/barrier/n=256' -benchtime 1x .
 
 echo "==> benchreport alloc-regression gate"
 go run ./cmd/benchreport -check

@@ -5,22 +5,26 @@
 //
 // Usage (from the module root):
 //
-//	benchreport                    # run the suite, write BENCH_5.json
+//	benchreport                    # run the suite, write BENCH_8.json
 //	benchreport -out other.json    # write elsewhere
 //	benchreport -count 5           # more repetitions (min is kept)
 //	benchreport -benchtime 200x    # fixed iteration counts instead of 1s
 //	benchreport -procs 4           # pin the child go test to 4 OS procs
+//	benchreport -noscale           # skip the engine scale sweep
 //	benchreport -check             # quick alloc-regression gate for CI
 //
-// The baseline embedded below was measured on the pre-context tree (PR 4,
-// the BENCH_4.json current column) with the benchmark definitions both trees
-// share, so the speedup column is like-for-like: the old Overlap benchmark
-// maps onto this tree's OverlapBarrier schedule, which is the same code
-// path. The signal benchmark is new in this tree and reports without a
-// speedup. Each
-// benchmark is run -count times and the per-metric minimum is kept: the
-// dominant noise source is GC scheduling across whole-world constructions,
-// which only ever inflates a run, never deflates it.
+// The baseline embedded below was measured on the pre-engine tree (PR 7, the
+// BENCH_5.json current column) with the same benchmark definitions, so the
+// speedup column is like-for-like. Each benchmark is run -count times and the
+// per-metric minimum is kept: the dominant noise source is GC scheduling
+// across whole-world constructions, which only ever inflates a run, never
+// deflates it.
+//
+// Besides the fixed 256-image suite, the report carries the engine scale
+// sweep (bench_scale_test.go): three workload panels at 256/1k/4k/10k images
+// on both execution engines, recorded as ns per simulated operation and peak
+// goroutine count, plus the goroutine/event ns-per-simop ratio per panel and
+// size — the wall-clock improvement the event engine buys at scale.
 //
 // -check is the CI gate: it reruns only the contiguous-put benchmark and
 // fails if allocs/op rises above zero, the steady-state target that the
@@ -40,6 +44,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Result is one benchmark's measured cost per operation.
@@ -49,19 +54,27 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// seedBaseline holds the suite as measured on the pre-context tree (the
-// BENCH_4 "current" column, i.e. after the PR 4 nonblocking-RMA work) with
-// the same Go toolchain and machine class. Regenerate by checking out the
-// parent commit and running this tool there. The old WallclockHimenoOverlap
-// (put_nbi + per-iteration barrier) is this tree's OverlapBarrier schedule
-// under the same benchmark name.
+// ScaleResult is one (panel, image count, engine) cell of the scale sweep.
+type ScaleResult struct {
+	NsPerOp        float64 `json:"ns_per_op"`
+	NsPerSimop     float64 `json:"ns_per_simop"`
+	PeakGoroutines float64 `json:"peak_goroutines"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+}
+
+// seedBaseline holds the fixed 256-image suite as measured on the pre-engine
+// tree (the BENCH_5 "current" column, i.e. after the PR 7 reliability work)
+// with the same Go toolchain and machine class. Regenerate by checking out
+// the parent commit and running this tool there.
 var seedBaseline = map[string]Result{
-	"WallclockContigPut":      {NsPerOp: 2507, BytesPerOp: 0, AllocsPerOp: 0},
-	"WallclockStridedPut":     {NsPerOp: 75550, BytesPerOp: 568, AllocsPerOp: 6},
-	"WallclockLockContention": {NsPerOp: 1331175, BytesPerOp: 1407425, AllocsPerOp: 1404},
-	"WallclockDHT":            {NsPerOp: 5103254, BytesPerOp: 5484889, AllocsPerOp: 8761},
-	"WallclockHimeno":         {NsPerOp: 148558260, BytesPerOp: 36556627, AllocsPerOp: 166685},
-	"WallclockHimenoOverlap":  {NsPerOp: 115241263, BytesPerOp: 42743264, AllocsPerOp: 207438},
+	"WallclockContigPut":      {NsPerOp: 2414, BytesPerOp: 0, AllocsPerOp: 0},
+	"WallclockStridedPut":     {NsPerOp: 77374, BytesPerOp: 568, AllocsPerOp: 6},
+	"WallclockLockContention": {NsPerOp: 1286649, BytesPerOp: 1408192, AllocsPerOp: 1404},
+	"WallclockDHT":            {NsPerOp: 5567336, BytesPerOp: 5486945, AllocsPerOp: 8825},
+	"WallclockHimeno":         {NsPerOp: 138658796, BytesPerOp: 36636618, AllocsPerOp: 168260},
+	"WallclockHimenoOverlap":  {NsPerOp: 130367407, BytesPerOp: 42840333, AllocsPerOp: 209093},
+	"WallclockHimenoSignal":   {NsPerOp: 141560786, BytesPerOp: 44889944, AllocsPerOp: 240251},
 }
 
 type report struct {
@@ -74,14 +87,22 @@ type report struct {
 	Baseline    map[string]Result  `json:"baseline"`
 	Current     map[string]Result  `json:"current"`
 	Speedup     map[string]float64 `json:"speedup"`
+	// Scale is the engine sweep keyed "panel/n=<images>/<engine>"; Engine-
+	// Speedup is goroutine ns-per-simop over event ns-per-simop per
+	// "panel/n=<images>" — how much wall clock the event engine saves.
+	Scale         map[string]ScaleResult `json:"scale,omitempty"`
+	EngineSpeedup map[string]float64     `json:"engine_speedup,omitempty"`
 }
 
 var benchLine = regexp.MustCompile(`^Benchmark(\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
 
-// runSuite invokes the suite through go test and returns the per-benchmark
-// minimum over count repetitions. procs > 0 pins the child test binary's
-// GOMAXPROCS via the environment; 0 leaves the child at its own default.
-func runSuite(pattern, benchtime string, count, procs int) (map[string]Result, error) {
+// scaleLine parses one scale-sweep result: the slash-structured name, the
+// custom ns/simop and peak-goroutines metrics, and the allocation columns.
+var scaleLine = regexp.MustCompile(`^BenchmarkWallclockScale/(\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op\s+([0-9.e+]+) ns/simop\s+([0-9.e+]+) peak-goroutines\s+([0-9]+) B/op\s+([0-9]+) allocs/op`)
+
+// runTest invokes go test -bench and returns its stdout. procs > 0 pins the
+// child test binary's GOMAXPROCS via the environment.
+func runTest(pattern, benchtime string, count, procs int) (*bytes.Buffer, error) {
 	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem",
 		"-benchtime", benchtime, "-count", strconv.Itoa(count), "."}
 	cmd := exec.Command("go", args...)
@@ -95,8 +116,18 @@ func runSuite(pattern, benchtime string, count, procs int) (map[string]Result, e
 	if err := cmd.Run(); err != nil {
 		return nil, fmt.Errorf("go %v: %w", args, err)
 	}
+	return &out, nil
+}
+
+// runSuite runs the fixed suite and returns the per-benchmark minimum over
+// count repetitions.
+func runSuite(pattern, benchtime string, count, procs int) (map[string]Result, error) {
+	out, err := runTest(pattern, benchtime, count, procs)
+	if err != nil {
+		return nil, err
+	}
 	results := map[string]Result{}
-	sc := bufio.NewScanner(&out)
+	sc := bufio.NewScanner(out)
 	for sc.Scan() {
 		m := benchLine.FindStringSubmatch(sc.Text())
 		if m == nil {
@@ -130,6 +161,71 @@ func runSuite(pattern, benchtime string, count, procs int) (map[string]Result, e
 	return results, nil
 }
 
+// runScale runs the engine scale sweep at one whole-job iteration per cell
+// (a cell is minutes of simulated work — timed loops are meaningless) and
+// keeps the per-cell minimum over count repetitions.
+func runScale(count, procs int) (map[string]ScaleResult, error) {
+	out, err := runTest("^BenchmarkWallclockScale$", "1x", count, procs)
+	if err != nil {
+		return nil, err
+	}
+	results := map[string]ScaleResult{}
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		m := scaleLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		r := ScaleResult{}
+		r.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		r.NsPerSimop, _ = strconv.ParseFloat(m[3], 64)
+		r.PeakGoroutines, _ = strconv.ParseFloat(m[4], 64)
+		r.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		r.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		prev, seen := results[m[1]]
+		if !seen {
+			results[m[1]] = r
+			continue
+		}
+		if r.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = r.NsPerOp
+		}
+		if r.NsPerSimop < prev.NsPerSimop {
+			prev.NsPerSimop = r.NsPerSimop
+		}
+		if r.PeakGoroutines < prev.PeakGoroutines {
+			prev.PeakGoroutines = r.PeakGoroutines
+		}
+		if r.BytesPerOp < prev.BytesPerOp {
+			prev.BytesPerOp = r.BytesPerOp
+		}
+		if r.AllocsPerOp < prev.AllocsPerOp {
+			prev.AllocsPerOp = r.AllocsPerOp
+		}
+		results[m[1]] = prev
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no scale results parsed from go test output")
+	}
+	return results, nil
+}
+
+// engineSpeedups derives the goroutine/event ns-per-simop ratio per
+// (panel, image count) from the sweep cells.
+func engineSpeedups(scale map[string]ScaleResult) map[string]float64 {
+	sp := map[string]float64{}
+	for key, g := range scale {
+		base, ok := strings.CutSuffix(key, "/goroutine")
+		if !ok {
+			continue
+		}
+		if e, ok := scale[base+"/event"]; ok && e.NsPerSimop > 0 {
+			sp[base] = g.NsPerSimop / e.NsPerSimop
+		}
+	}
+	return sp
+}
+
 // check is the CI alloc-regression gate: the contiguous-put fast path must
 // stay allocation-free per operation.
 func check() error {
@@ -149,11 +245,15 @@ func check() error {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_5.json", "report file to write")
-	pattern := flag.String("bench", "^BenchmarkWallclock", "benchmark regexp to run")
+	out := flag.String("out", "BENCH_8.json", "report file to write")
+	pattern := flag.String("bench",
+		"^BenchmarkWallclock(ContigPut|StridedPut|LockContention|DHT|Himeno|HimenoOverlap|HimenoSignal)$",
+		"fixed-suite benchmark regexp to run (the scale sweep runs separately)")
 	benchtime := flag.String("benchtime", "1s", "per-benchmark measurement time (or Nx iterations)")
 	count := flag.Int("count", 3, "repetitions per benchmark; the minimum is recorded")
+	scaleCount := flag.Int("scalecount", 2, "repetitions per scale-sweep cell; the minimum is recorded")
 	procs := flag.Int("procs", 0, "GOMAXPROCS for the child go test (0 = child default)")
+	noScale := flag.Bool("noscale", false, "skip the engine scale sweep")
 	doCheck := flag.Bool("check", false, "run only the alloc-regression gate and exit")
 	flag.Parse()
 
@@ -170,6 +270,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
 	}
+	var scale map[string]ScaleResult
+	if !*noScale {
+		scale, err = runScale(*scaleCount, *procs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	// Record the GOMAXPROCS the child test binary actually ran with, not this
 	// tool's own: -procs when pinned, the inherited environment override when
 	// set, the machine default otherwise.
@@ -183,8 +291,8 @@ func main() {
 		}
 	}
 	rep := report{
-		Schema:      "cafshmem-wallclock-bench/1",
-		BaselineRef: "pre-context tree (PR 4, BENCH_4.json current column; same toolchain and machine class)",
+		Schema:      "cafshmem-wallclock-bench/2",
+		BaselineRef: "pre-engine tree (PR 7, BENCH_5.json current column; same toolchain and machine class)",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  childProcs,
 		Count:       *count,
@@ -192,11 +300,15 @@ func main() {
 		Baseline:    seedBaseline,
 		Current:     cur,
 		Speedup:     map[string]float64{},
+		Scale:       scale,
 	}
 	for name, b := range seedBaseline {
 		if c, ok := cur[name]; ok && c.NsPerOp > 0 {
 			rep.Speedup[name] = b.NsPerOp / c.NsPerOp
 		}
+	}
+	if scale != nil {
+		rep.EngineSpeedup = engineSpeedups(scale)
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -222,6 +334,18 @@ func main() {
 			sp = fmt.Sprintf("%.2fx", s)
 		}
 		fmt.Printf("%-28s %14.0f %12d %10d %8s\n", n, c.NsPerOp, c.BytesPerOp, c.AllocsPerOp, sp)
+	}
+	if scale != nil {
+		keys := make([]string, 0, len(rep.EngineSpeedup))
+		for k := range rep.EngineSpeedup {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("\n%-24s %16s %12s %14s\n", "scale panel", "goroutine", "event", "event speedup")
+		for _, k := range keys {
+			g, e := scale[k+"/goroutine"], scale[k+"/event"]
+			fmt.Printf("%-24s %13.0f ns %9.0f ns %13.2fx\n", k, g.NsPerSimop, e.NsPerSimop, rep.EngineSpeedup[k])
+		}
 	}
 	fmt.Printf("wrote %s\n", *out)
 }

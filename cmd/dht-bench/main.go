@@ -17,6 +17,7 @@ import (
 	"cafshmem/internal/caf"
 	"cafshmem/internal/dht"
 	"cafshmem/internal/fabric"
+	"cafshmem/internal/pgas"
 	"cafshmem/internal/pgasbench"
 )
 
@@ -24,10 +25,18 @@ func main() {
 	maxImages := flag.Int("images", 1024, "maximum image count")
 	buckets := flag.Int("buckets", 128, "hash buckets per image")
 	updates := flag.Int("updates", 50, "random locked updates per image")
+	engineName := flag.String("engine", "goroutine", "pgas execution engine: goroutine (one scheduled goroutine per image) or event (bounded worker pool; use for 1k+ images)")
+	workers := flag.Int("workers", 0, "event-engine worker pool size (0 = GOMAXPROCS)")
 	faultPlan := flag.String("faultplan", "", "JSON fault-plan file: run one chaos replay under the plan instead of Figure 9")
 	faultSeed := flag.Uint64("faultseed", 0, "nonzero: chaos replay under a seeded lossy plan (drops, delay jitter, dups, one kill)")
 	chaosImages := flag.Int("chaos-images", 8, "image count for the chaos replay")
 	flag.Parse()
+
+	engine, err := pgas.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dht-bench:", err)
+		os.Exit(2)
+	}
 
 	if *faultPlan != "" || *faultSeed != 0 {
 		plan, err := loadPlan(*faultPlan, *faultSeed, *chaosImages)
@@ -35,11 +44,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dht-bench:", err)
 			os.Exit(1)
 		}
-		chaosReplay(plan, *chaosImages, *buckets, *updates)
+		chaosReplay(plan, *chaosImages, *buckets, *updates, engine, *workers)
 		return
 	}
 
-	f := pgasbench.Fig9(*maxImages, *buckets, *updates)
+	f := pgasbench.Fig9Engine(*maxImages, *buckets, *updates, engine, *workers)
 	fmt.Print(f.Render())
 
 	p := f.Panels[0]
@@ -67,10 +76,14 @@ func loadPlan(path string, seed uint64, images int) (*fabric.FaultPlan, error) {
 }
 
 // chaosReplay runs the locked-update workload once under plan, every image on
-// the STAT-bearing path, and reports what the fault machinery observed.
-func chaosReplay(plan *fabric.FaultPlan, images, buckets, updates int) {
+// the STAT-bearing path, and reports what the fault machinery observed. For a
+// fixed engine the replay is bit-identical; across engines it can differ,
+// because the images race on contended locks and arrival order at a contended
+// atomic is host-arbitrated (see internal/pgas/engine.go).
+func chaosReplay(plan *fabric.FaultPlan, images, buckets, updates int, engine pgas.Engine, workers int) {
 	opts := caf.UHCAFOverCraySHMEM(fabric.CrayXC30())
 	opts.FaultPlan = plan
+	opts.Engine, opts.Workers = engine, workers
 
 	stats := make([]caf.Stat, images)
 	applied := make([]int, images)

@@ -16,6 +16,7 @@ import (
 	"cafshmem/internal/caf"
 	"cafshmem/internal/fabric"
 	"cafshmem/internal/himeno"
+	"cafshmem/internal/pgas"
 	"cafshmem/internal/pgasbench"
 )
 
@@ -25,11 +26,18 @@ func main() {
 	ny := flag.Int("ny", 256, "global grid extent in y (decomposed dimension)")
 	nz := flag.Int("nz", 16, "global grid extent in z")
 	iters := flag.Int("iters", 3, "Jacobi iterations")
+	engineName := flag.String("engine", "goroutine", "pgas execution engine: goroutine (one scheduled goroutine per image) or event (bounded worker pool; use for 1k+ images)")
+	workers := flag.Int("workers", 0, "event-engine worker pool size (0 = GOMAXPROCS)")
 	faultPlan := flag.String("faultplan", "", "JSON fault-plan file: run one chaos replay under the plan instead of Figure 10")
 	faultSeed := flag.Uint64("faultseed", 0, "nonzero: chaos replay under a seeded lossy plan (drops, delay jitter, dups, one kill)")
 	chaosImages := flag.Int("chaos-images", 8, "image count for the chaos replay")
 	flag.Parse()
 
+	engine, err := pgas.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "himeno-bench:", err)
+		os.Exit(2)
+	}
 	prm := himeno.Params{NX: *nx, NY: *ny, NZ: *nz, Iters: *iters}
 
 	if *faultPlan != "" || *faultSeed != 0 {
@@ -38,11 +46,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "himeno-bench:", err)
 			os.Exit(1)
 		}
-		chaosReplay(plan, *chaosImages, prm)
+		chaosReplay(plan, *chaosImages, prm, engine, *workers)
 		return
 	}
 
-	f := pgasbench.Fig10(*maxImages, prm)
+	f := pgasbench.Fig10Engine(*maxImages, prm, engine, *workers)
 	fmt.Print(f.Render())
 
 	p := f.Panels[0]
@@ -66,12 +74,14 @@ func loadPlan(path string, seed uint64, images int) (*fabric.FaultPlan, error) {
 }
 
 // chaosReplay runs the fault-aware signal-overlap solver once under plan and
-// reports what the fault machinery observed.
-func chaosReplay(plan *fabric.FaultPlan, images int, prm himeno.Params) {
+// reports what the fault machinery observed. The replay is bit-identical on
+// either engine — -engine only changes how the run spends host time.
+func chaosReplay(plan *fabric.FaultPlan, images int, prm himeno.Params, engine pgas.Engine, workers int) {
 	prm.FaultAware = true
 	prm.Overlap = true
 	opts := caf.UHCAFOverCraySHMEM(fabric.CrayXC30())
 	opts.FaultPlan = plan
+	opts.Engine, opts.Workers = engine, workers
 
 	fmt.Printf("chaos replay: %d images, plan %v\n", images, plan)
 	res, err := himeno.Run(opts, images, prm)

@@ -14,7 +14,8 @@ import (
 // written into member images' partitions).
 type group struct {
 	img     *Image
-	members []int // global 1-based image indices; members[0] is the root
+	n       int   // member count; members is nil for the identity whole-job group
+	members []int // global 1-based image indices; members[0] is the root (nil = identity)
 	myIdx   int   // 0-based position of this image in members
 
 	ctlOff      int64
@@ -27,13 +28,9 @@ type group struct {
 // worldGroup lazily builds the whole-job group view for this image.
 func (img *Image) worldGroup() *group {
 	if img.world == nil {
-		members := make([]int, img.NumImages())
-		for i := range members {
-			members[i] = i + 1
-		}
 		img.world = &group{
 			img:      img,
-			members:  members,
+			n:        img.NumImages(),
 			myIdx:    img.ThisImage() - 1,
 			ctlOff:   img.ctlOff,
 			growable: true,
@@ -42,7 +39,15 @@ func (img *Image) worldGroup() *group {
 	return img.world
 }
 
-func (g *group) size() int { return len(g.members) }
+func (g *group) size() int { return g.n }
+
+// member returns the 1-based global image index of member i.
+func (g *group) member(i int) int {
+	if g.members == nil {
+		return i + 1
+	}
+	return g.members[i]
+}
 
 // rounds returns ceil(log2(size)).
 func (g *group) rounds() int {
@@ -88,7 +93,7 @@ func (g *group) ensureScratch(bytes int64) int64 {
 // signalFlag writes seq into a member's group flag slot and completes it.
 func (g *group) signalFlag(memberIdx, slot int, seq int64) {
 	img := g.img
-	img.tr.PutMem(g.members[memberIdx]-1, g.ctlOff+int64(slot)*8, pgas.EncodeOne(uint64(seq)))
+	img.tr.PutMem(g.member(memberIdx)-1, g.ctlOff+int64(slot)*8, pgas.EncodeOne(uint64(seq)))
 	img.Stats.Puts++
 	img.tr.Quiet()
 	img.Stats.Quiets++
@@ -122,7 +127,7 @@ func groupReduce[T pgas.Elem](g *group, vals []T, op func(a, b T) T, resultIdx i
 		mask := 1 << k
 		if rel&mask != 0 {
 			parentIdx := rel - mask
-			img.tr.PutMem(g.members[parentIdx]-1, scratch+int64(k)*nbytes, pgas.EncodeSlice[T](nil, out))
+			img.tr.PutMem(g.member(parentIdx)-1, scratch+int64(k)*nbytes, pgas.EncodeSlice[T](nil, out))
 			img.Stats.Puts++
 			img.tr.Quiet()
 			img.Stats.Quiets++
@@ -155,7 +160,7 @@ func groupReduce[T pgas.Elem](g *group, vals []T, op func(a, b T) T, resultIdx i
 			if childRel >= n {
 				break
 			}
-			img.tr.PutMem(g.members[childRel]-1, scratch+bslot*nbytes, pgas.EncodeSlice[T](nil, out))
+			img.tr.PutMem(g.member(childRel)-1, scratch+bslot*nbytes, pgas.EncodeSlice[T](nil, out))
 			img.Stats.Puts++
 			img.tr.Quiet()
 			img.Stats.Quiets++
@@ -165,7 +170,7 @@ func groupReduce[T pgas.Elem](g *group, vals []T, op func(a, b T) T, resultIdx i
 	}
 
 	if rel == 0 && resultIdx != 0 {
-		img.tr.PutMem(g.members[resultIdx]-1, scratch+bslot*nbytes, pgas.EncodeSlice[T](nil, out))
+		img.tr.PutMem(g.member(resultIdx)-1, scratch+bslot*nbytes, pgas.EncodeSlice[T](nil, out))
 		img.Stats.Puts++
 		img.tr.Quiet()
 		img.Stats.Quiets++
@@ -209,7 +214,7 @@ func groupBroadcast[T pgas.Elem](g *group, vals []T, sourceIdx int) []T {
 			break
 		}
 		childIdx := (childRel + sourceIdx) % n
-		img.tr.PutMem(g.members[childIdx]-1, scratch+bslot*nbytes, pgas.EncodeSlice[T](nil, out))
+		img.tr.PutMem(g.member(childIdx)-1, scratch+bslot*nbytes, pgas.EncodeSlice[T](nil, out))
 		img.Stats.Puts++
 		img.tr.Quiet()
 		img.Stats.Quiets++

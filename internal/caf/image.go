@@ -32,9 +32,13 @@ type Image struct {
 	nonsym *nsAlloc
 
 	// syncOff is the base of the sync-images counter array: n 64-bit inbound
-	// counters (slot i counts signals from image index i).
+	// counters (slot i counts signals from image index i). syncSeen tracks
+	// consumed signals per partner, lazily: sync images partner sets are
+	// small and local in real programs, so a dense per-image array would be
+	// the job's only O(images²) memory (≈800 MB of host memory at 10k
+	// images) — the map stays proportional to partners actually synced with.
 	syncOff  int64
-	syncSeen []int64
+	syncSeen map[int]int64
 
 	// ctlOff is the base of the whole-job collective control flags; world is
 	// the whole-job collective group (see group.go), built lazily.
@@ -87,6 +91,13 @@ type Stats struct {
 	Barriers int64
 }
 
+// Ops returns the total communication operations the counters record — the
+// denominator the wall-clock scaling benchmarks use for ns per simulated op.
+func (s Stats) Ops() int64 {
+	return s.Puts + s.Gets + s.StridedCalls + s.Quiets + s.Atomics +
+		s.LocksAcquired + s.LocksReleased + s.DirectOps + s.AsyncPuts + s.Barriers
+}
+
 // Run launches a CAF program: images copies of body, 1-based ranks, over the
 // configured transport. It is the runtime analogue of launching a compiled
 // CAF executable.
@@ -97,7 +108,7 @@ func Run(images int, opts Options, body func(*Image)) error {
 	}
 	switch o.Transport {
 	case TransportSHMEM:
-		w, err := shmem.NewWorld(shmem.Config{Machine: o.Machine, Profile: o.Profile, Sanitize: o.Sanitize, FaultPlan: o.FaultPlan}, images)
+		w, err := shmem.NewWorld(shmem.Config{Machine: o.Machine, Profile: o.Profile, Sanitize: o.Sanitize, FaultPlan: o.FaultPlan, Engine: o.Engine, Workers: o.Workers}, images)
 		if err != nil {
 			return err
 		}
@@ -110,7 +121,7 @@ func Run(images int, opts Options, body func(*Image)) error {
 		}
 		return w.FinalizeErr()
 	case TransportGASNet:
-		w, err := gasnet.NewWorld(gasnet.Config{Machine: o.Machine, Profile: o.Profile}, images)
+		w, err := gasnet.NewWorld(gasnet.Config{Machine: o.Machine, Profile: o.Profile, Engine: o.Engine, Workers: o.Workers}, images)
 		if err != nil {
 			return err
 		}
@@ -150,7 +161,7 @@ func newImage(tr Transport, opts Options) *Image {
 	img.nonsym = newNSAlloc(nsBase, opts.NonSymBytes)
 	markRuntimeAlloc(tr, nsBase, opts.NonSymBytes)
 	img.syncOff = tr.Malloc(int64(tr.NPEs()) * 8)
-	img.syncSeen = make([]int64, tr.NPEs())
+	img.syncSeen = map[int]int64{}
 	markRuntimeAlloc(tr, img.syncOff, int64(tr.NPEs())*8)
 	img.ctlOff = tr.Malloc(2 * collMaxRounds * 8)
 	markRuntimeAlloc(tr, img.ctlOff, 2*collMaxRounds*8)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cafshmem/internal/fabric"
+	"cafshmem/internal/pgas"
 )
 
 // TransportKind selects the communication layer under the CAF runtime.
@@ -158,6 +159,14 @@ type Options struct {
 	// the STAT-bearing APIs detect real FAIL IMAGE calls. Implied by a
 	// non-empty FaultPlan. Requires the OpenSHMEM transport.
 	FaultTolerant bool
+	// Engine selects the pgas execution engine: goroutine-per-PE (the
+	// default, one goroutine actively scheduled per image) or the event
+	// engine (images as resumable tasks over a bounded worker pool — the
+	// configuration for 1k–100k-image runs). Virtual times, forensics, and
+	// fault replays are bit-identical across engines. Workers bounds the
+	// event engine's pool; 0 means GOMAXPROCS.
+	Engine  pgas.Engine
+	Workers int
 }
 
 func (o *Options) withDefaults() (Options, error) {

@@ -77,6 +77,7 @@ func (img *Image) FormTeam(teamNumber int64, scratchBytes ...int64) *Team {
 		num: teamNumber,
 		g: &group{
 			img:         img,
+			n:           len(members),
 			members:     members,
 			myIdx:       myIdx,
 			ctlOff:      ctlOff,

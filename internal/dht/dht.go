@@ -10,6 +10,7 @@ package dht
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cafshmem/internal/caf"
 )
@@ -160,6 +161,10 @@ type BenchResult struct {
 	Updates   int // per image
 	TimeMs    float64
 	UpdatesPS float64 // aggregate updates per (virtual) second
+	// CommOps is the job-wide total of runtime-issued communication
+	// operations (caf.Stats.Ops summed over all images) — the simulated-op
+	// denominator for the wall-clock scaling benchmarks.
+	CommOps int64
 }
 
 // UpdateAt atomically adds delta to the bucket at (image, slot) directly,
@@ -259,6 +264,7 @@ func BenchPattern(opts caf.Options, images, bucketsPerImage, updates int, disjoi
 		if img.ThisImage() == 1 {
 			total = img.Clock().Now()
 		}
+		atomic.AddInt64(&res.CommOps, img.Stats.Ops())
 	})
 	if err != nil {
 		return res, err

@@ -160,3 +160,36 @@ func (s *NBIStreams) Targets(yield func(target int)) {
 		yield(s.recs[i].target)
 	}
 }
+
+// Horizon peeks at the latest outstanding completion timestamp across all
+// streams without draining anything (0 when nothing is outstanding) — the
+// value Drain would return, left in place.
+//
+// This is the scheduler-facing form of NBI completion: a completion horizon
+// is *computed* at issue time from the pipe recurrence, never awaited, so an
+// execution engine never parks a PE on quiet — Quiet merges the horizon into
+// the clock and moves on. The event engine relies on exactly this property:
+// its only park sites are barriers and watch waits, and these accessors are
+// what observability layers (and the engine differential tests) use to
+// assert the horizons agree across engines without perturbing them.
+func (s *NBIStreams) Horizon() float64 {
+	var d float64
+	for i := range s.recs {
+		if s.recs[i].doneAt > d {
+			d = s.recs[i].doneAt
+		}
+	}
+	return d
+}
+
+// HorizonTarget peeks at the latest outstanding completion timestamp toward
+// target without draining it (0 when none) — DrainTarget's value, left in
+// place.
+func (s *NBIStreams) HorizonTarget(target int) float64 {
+	for i := range s.recs {
+		if s.recs[i].target == target {
+			return s.recs[i].doneAt
+		}
+	}
+	return 0
+}

@@ -149,3 +149,35 @@ func TestStreamsPartialDrainKeepsPipeBusy(t *testing.T) {
 		t.Fatalf("post-partial-drain issue completed at %g, want 185 (pipe busy until 180)", done)
 	}
 }
+
+// Horizon accessors are pure peeks: they report exactly what Drain/
+// DrainTarget would return, change nothing, and still report the same values
+// afterwards — completion horizons are computed state, never awaited state.
+func TestStreamsHorizonIsNonDrainingPeek(t *testing.T) {
+	var nic NBINic
+	s := NewNBIStreams(&nic)
+	if s.Horizon() != 0 || s.HorizonTarget(0) != 0 {
+		t.Fatal("idle stream set must report zero horizons")
+	}
+	d0 := s.Issue(0, 100, 50, 10) // completes 160
+	d1 := s.Issue(1, 100, 30, 10) // completes 190
+	if got := s.HorizonTarget(0); got != d0 {
+		t.Fatalf("HorizonTarget(0) = %g, want %g", got, d0)
+	}
+	if got := s.HorizonTarget(1); got != d1 {
+		t.Fatalf("HorizonTarget(1) = %g, want %g", got, d1)
+	}
+	if got := s.Horizon(); got != d1 {
+		t.Fatalf("Horizon() = %g, want global max %g", got, d1)
+	}
+	// Peeking drained nothing: counts are intact and Drain returns the same.
+	if got := s.Outstanding(); got != 2 {
+		t.Fatalf("Outstanding() = %d after peeks, want 2", got)
+	}
+	if got := s.Drain(); got != d1 {
+		t.Fatalf("Drain() = %g after peeks, want %g", got, d1)
+	}
+	if got := s.Horizon(); got != 0 {
+		t.Fatalf("Horizon() = %g after drain, want 0", got)
+	}
+}

@@ -54,6 +54,9 @@ type EP struct {
 type Config struct {
 	Machine *fabric.Machine
 	Profile string
+	// Engine/Workers select the pgas execution engine, as in shmem.Config.
+	Engine  pgas.Engine
+	Workers int
 }
 
 // Run launches an n-PE GASNet job (gasnet_init + attach + SPMD body).
@@ -74,7 +77,7 @@ func NewWorld(cfg Config, n int) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	pw, err := pgas.NewWorld(cfg.Machine, n)
+	pw, err := pgas.NewWorldOpts(cfg.Machine, n, pgas.Options{Engine: cfg.Engine, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@ package himeno
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cafshmem/internal/caf"
 )
@@ -89,6 +90,11 @@ type Result struct {
 	// drops, duplicate suppressions, given-up links — captured by image 1 at
 	// the end. Empty unless the fault plan carried loss rules.
 	Forensics []caf.LinkReport
+	// CommOps is the job-wide total of runtime-issued communication
+	// operations (caf.Stats.Ops summed over every image that finished its
+	// body) — the simulated-op denominator for the wall-clock scaling
+	// benchmarks. On fault-cut runs it counts survivors only.
+	CommOps int64
 }
 
 func (p Params) validate(images int) error {
@@ -146,6 +152,7 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 	var itersOut int
 	var barriersOut int64
 	var forensicsOut []caf.LinkReport
+	var commOps int64
 	err := caf.Run(images, opts, func(img *caf.Image) {
 		nx, ny, nz := prm.NX, prm.NY, prm.NZ
 		me := img.ThisImage()
@@ -450,6 +457,7 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 			// barrier with the dead). Keeps sanitized runs leak-clean.
 			p.Deallocate()
 		}
+		atomic.AddInt64(&commOps, img.Stats.Ops())
 	})
 	if err != nil {
 		return res, err
@@ -467,6 +475,7 @@ func Run(opts caf.Options, images int, prm Params) (Result, error) {
 	res.MFLOPS = flopsPerPt * interior * float64(iters) / (worst / 1e9) / 1e6
 	res.Field = gathered
 	res.Forensics = forensicsOut
+	res.CommOps = commOps
 	return res, nil
 }
 

@@ -21,6 +21,9 @@ import (
 type Config struct {
 	Machine *fabric.Machine
 	Profile string
+	// Engine/Workers select the pgas execution engine, as in shmem.Config.
+	Engine  pgas.Engine
+	Workers int
 }
 
 // World is one MPI job.
@@ -57,7 +60,7 @@ func NewWorld(cfg Config, n int) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	pw, err := pgas.NewWorld(cfg.Machine, n)
+	pw, err := pgas.NewWorldOpts(cfg.Machine, n, pgas.Options{Engine: cfg.Engine, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}

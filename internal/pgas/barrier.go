@@ -1,6 +1,9 @@
 package pgas
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // barrier is a reusable sense-reversing barrier that additionally aggregates
 // the maximum virtual arrival time of the participants, so that the release
@@ -24,6 +27,25 @@ type barrier struct {
 	outT     float64
 	outErr   error
 	poisoned bool
+	// evWaiters holds the event-engine waiters of the current generation.
+	// The releaser hands each its result directly (record fields, then the
+	// done flag, then a slot-granting wake), so a released waiter never
+	// reacquires b.mu — release is one pass, not a broadcast-and-reconverge
+	// storm.
+	evWaiters []*bWaiter
+}
+
+// bWaiter is a PE's reusable barrier-wait record on the event engine. The
+// waiter parks until done; the atomic done flag is stored after the result
+// fields, so observing done == true makes the fields safely readable without
+// b.mu (the wake alone is not enough — a stale wake from an earlier targeted
+// write could resume the waiter first).
+type bWaiter struct {
+	p        *PE
+	outT     float64
+	outErr   error
+	poisoned bool
+	done     atomic.Bool
 }
 
 func newBarrier(n int) *barrier {
@@ -33,7 +55,9 @@ func newBarrier(n int) *barrier {
 }
 
 // release completes the current generation. Must be called with b.mu held and
-// b.count == b.n.
+// b.count == b.n. The release time and status are order-independent (a max
+// and a membership snapshot), so which participant happens to arrive last —
+// an engine-scheduling accident — cannot change what anyone observes.
 func (b *barrier) release() {
 	b.count = 0
 	b.outT = b.maxT
@@ -41,16 +65,24 @@ func (b *barrier) release() {
 	b.outErr = b.w.imageFaultErr()
 	b.gen++
 	b.w.bumpEvent()
+	for _, bw := range b.evWaiters {
+		bw.outT = b.outT
+		bw.outErr = b.outErr
+		bw.done.Store(true)
+	}
+	b.w.wakeEventAll(b.evWaiters)
+	b.evWaiters = b.evWaiters[:0]
 	b.cond.Broadcast()
 }
 
 // await blocks until every alive participant has called it, then returns the
 // maximum arriveT across the group and the fault status at release time (nil
-// when every PE was alive).
-func (b *barrier) await(arriveT float64) (float64, error) {
+// when every PE was alive). p identifies the arriving PE for event-engine
+// parking; nil (or a goroutine-engine PE) takes the condition-variable path.
+func (b *barrier) await(p *PE, arriveT float64) (float64, error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.poisoned {
+		b.mu.Unlock()
 		panic("pgas: barrier poisoned (another PE failed)")
 	}
 	if arriveT > b.maxT {
@@ -60,18 +92,50 @@ func (b *barrier) await(arriveT float64) (float64, error) {
 	b.w.bumpEvent()
 	if b.count == b.n {
 		b.release()
-		return b.outT, b.outErr
+		outT, outErr := b.outT, b.outErr
+		b.mu.Unlock()
+		return outT, outErr
 	}
-	gen := b.gen
-	for b.gen == gen && !b.poisoned {
-		b.w.beginBlock()
-		b.cond.Wait()
-		b.w.endBlock()
+	if p == nil || p.wake == nil {
+		gen := b.gen
+		for b.gen == gen && !b.poisoned {
+			b.w.beginBlock()
+			b.cond.Wait()
+			b.w.endBlock()
+		}
+		poisoned := b.poisoned
+		outT, outErr := b.outT, b.outErr
+		b.mu.Unlock()
+		if poisoned {
+			panic("pgas: barrier poisoned (another PE failed)")
+		}
+		return outT, outErr
 	}
-	if b.poisoned {
+	// Event engine: register a waiter record for this generation, release
+	// b.mu and the worker slot, and park until the releaser (or a poison)
+	// fills the record. Stale wake tokens are possible — loop on done.
+	bw := p.bw
+	bw.outT, bw.outErr, bw.poisoned = 0, nil, false
+	bw.done.Store(false)
+	b.evWaiters = append(b.evWaiters, bw)
+	b.mu.Unlock()
+	b.w.beginBlock()
+	p.parkForBarrier(bw)
+	b.w.endBlock()
+	if bw.poisoned {
 		panic("pgas: barrier poisoned (another PE failed)")
 	}
-	return b.outT, b.outErr
+	return bw.outT, bw.outErr
+}
+
+// parkForBarrier parks until the PE's barrier record is done. Each park
+// hands the worker slot off and each wake grants one back (see wakeEvent);
+// a stale wake — a targeted write wakeup that raced the barrier — costs one
+// spurious resume and re-park. No locks are held while parked.
+func (p *PE) parkForBarrier(bw *bWaiter) {
+	for !bw.done.Load() {
+		p.world.parkAndWait(p)
+	}
 }
 
 // depart removes a participant (PE failure or stop). If the remaining
@@ -90,6 +154,12 @@ func (b *barrier) depart() {
 func (b *barrier) poison() {
 	b.mu.Lock()
 	b.poisoned = true
+	for _, bw := range b.evWaiters {
+		bw.poisoned = true
+		bw.done.Store(true)
+	}
+	b.w.wakeEventAll(b.evWaiters)
+	b.evWaiters = b.evWaiters[:0]
 	b.cond.Broadcast()
 	b.mu.Unlock()
 }
@@ -101,7 +171,7 @@ func (b *barrier) poison() {
 // stopped, the rendezvous still completes among survivors and this panics
 // with the *ImageFault — the non-STAT Fortran semantics (error termination).
 func (w *World) BarrierSync(arriveT float64) float64 {
-	rel, err := w.barrier.await(arriveT)
+	rel, err := w.barrier.await(nil, arriveT)
 	if err != nil {
 		panic(err)
 	}
@@ -111,14 +181,14 @@ func (w *World) BarrierSync(arriveT float64) float64 {
 // BarrierSyncStat is BarrierSync for STAT-bearing callers: the fault status
 // is returned instead of panicking, and survivors remain synchronised.
 func (w *World) BarrierSyncStat(arriveT float64) (float64, error) {
-	return w.barrier.await(arriveT)
+	return w.barrier.await(nil, arriveT)
 }
 
 // Barrier is the common composed operation: rendezvous at the PE's current
 // clock, then advance the clock to the release time plus costNs. Panics with
 // *ImageFault if the rendezvous involved failed or stopped images.
 func (p *PE) Barrier(costNs float64) {
-	rel, err := p.world.barrier.await(p.Clock.Now())
+	rel, err := p.world.barrier.await(p, p.Clock.Now())
 	p.Clock.MergeAtLeast(rel)
 	p.Clock.Advance(costNs)
 	if err != nil {
@@ -130,7 +200,7 @@ func (p *PE) Barrier(costNs float64) {
 // behaviour, but fault conditions are returned rather than panicking, so
 // survivors can continue (Fortran's SYNC ALL with a STAT= specifier).
 func (p *PE) BarrierTolerant(costNs float64) error {
-	rel, err := p.world.barrier.await(p.Clock.Now())
+	rel, err := p.world.barrier.await(p, p.Clock.Now())
 	p.Clock.MergeAtLeast(rel)
 	p.Clock.Advance(costNs)
 	return err

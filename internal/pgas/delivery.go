@@ -127,14 +127,7 @@ func (w *World) MarkUnreachable(src, dst int) {
 	}
 	w.dlv.nUnreach.Add(1)
 	w.bumpEvent()
-	for _, q := range w.pes {
-		if q.waiters.Load() == 0 {
-			continue
-		}
-		q.mu.Lock()
-		q.cond.Broadcast()
-		q.mu.Unlock()
-	}
+	w.wakeWatchers(nil)
 }
 
 // Unreachable reports whether src has declared dst unreachable. Safe to call

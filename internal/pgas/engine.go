@@ -1,0 +1,395 @@
+package pgas
+
+// Execution engines. The substrate's virtual-time semantics are a pure
+// function of (program, machine model, fault plan): every write carries a
+// caller-computed visibility timestamp, every wait merges the maximum
+// recorded timestamp over its range, and barriers aggregate an
+// order-independent maximum. How PE bodies get host CPU time therefore
+// cannot affect any modelled result of a program whose cross-image
+// interactions are arbitrated by the modelled synchronisation — which makes
+// the engine underneath replaceable, and lets the two implementations check
+// each other bit-for-bit (the engine golden gate in check.sh). The one
+// arbitration the substrate does NOT model is arrival order at a contended
+// atomic word (RMW64 applies operations in host arrival order): a program
+// that races images against each other on the same word can observe
+// engine-dependent — though per-engine replay-stable — interleavings, on
+// this engine pair exactly as it would across different GOMAXPROCS values.
+//
+//   - EngineGoroutine is the original engine, kept as the compatibility
+//     reference: one goroutine per PE, per-PE sync.Cond broadcast wakeups,
+//     O(world) fan-out scans, and a hang watchdog re-armed by every
+//     last-to-block PE. Its mechanics are preserved unchanged (apart from
+//     the watch-targeted write wakeup, which both engines share) so that
+//     differential runs compare the new engine against the true legacy
+//     behaviour.
+//
+//   - EngineEvent is the scaled engine: PEs are resumable tasks over a
+//     bounded worker pool. A PE that blocks parks after registering its wake
+//     condition (a watch range, a barrier generation) with the world,
+//     handing its worker slot to the next ready PE. Wakeups are targeted —
+//     a writer wakes only the PE whose watch actually matched, a barrier
+//     release hands each parked waiter its result directly, and fault
+//     fan-outs walk the registry of watch-holding PEs instead of scanning
+//     the whole world — and slot-granting: the wake delivers a worker slot
+//     together with the event (immediately when one is free, FIFO-queued
+//     otherwise), so resuming a PE costs one scheduling hop, not a wake
+//     followed by a second block to reacquire a slot. One watchdog
+//     goroutine per world replaces the per-park detector arming.
+//
+// Task states in the event engine (DESIGN.md "Execution engine"):
+//
+//	running  — holds a worker slot, executing the PE body
+//	parked   — wake condition registered, slot handed off, blocked on the
+//	           grant channel (a wake that races ahead of the park sets a
+//	           sticky ready flag the park consumes, so it is never lost)
+//	ready    — woken, queued for a worker slot; the grant is the wakeup
+//	done     — body returned (stopped) or executed a fail-image (failed)
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Engine selects the execution engine underneath a World.
+type Engine int
+
+const (
+	// EngineGoroutine is goroutine-per-PE with per-PE condition variables —
+	// the original engine, kept as the compatibility mode.
+	EngineGoroutine Engine = iota
+	// EngineEvent is the virtual-time event-loop engine: a bounded worker
+	// pool with targeted wakeups.
+	EngineEvent
+)
+
+func (e Engine) String() string {
+	if e == EngineEvent {
+		return "event"
+	}
+	return "goroutine"
+}
+
+// ParseEngine converts a CLI flag value into an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "goroutine", "":
+		return EngineGoroutine, nil
+	case "event":
+		return EngineEvent, nil
+	default:
+		return 0, fmt.Errorf("pgas: unknown engine %q (want goroutine or event)", s)
+	}
+}
+
+// Options configures world construction beyond machine and size.
+type Options struct {
+	// Engine selects the execution engine. The zero value is
+	// EngineGoroutine, the compatibility mode.
+	Engine Engine
+	// Workers bounds how many PE bodies run concurrently on the event
+	// engine (ignored by the goroutine engine). Zero means GOMAXPROCS.
+	Workers int
+}
+
+// sched is the event engine's central scheduler state, embedded in World.
+// It tracks the PEs whose wake condition is a registered watch, so fault
+// fan-outs (departures, repair writes, links given up) wake exactly the PEs
+// that can act on them instead of scanning every partition in the world —
+// and it owns the worker-slot dispatch: a wake event delivered to a parked
+// PE carries a worker slot with it (granted immediately if one is free,
+// queued FIFO otherwise), so a woken PE resumes in one scheduling hop
+// instead of first waking and then blocking again to reacquire a slot.
+type sched struct {
+	mu       sync.Mutex
+	watchers map[*PE]struct{}
+
+	// Slot dispatch, guarded by dmu (separate from the watcher registry so
+	// watch churn and park/wake traffic do not contend). free counts slots
+	// held by no PE; ready/head form a FIFO of slotless PEs with a pending
+	// wake (or not-yet-started bodies), each owed one slot grant.
+	dmu   sync.Mutex
+	free  int
+	ready []*PE
+	head  int
+}
+
+// noteWatcher records that p holds at least one registered watch.
+func (s *sched) noteWatcher(p *PE) {
+	s.mu.Lock()
+	s.watchers[p] = struct{}{}
+	s.mu.Unlock()
+}
+
+// dropWatcher records that p's last watch was deregistered.
+func (s *sched) dropWatcher(p *PE) {
+	s.mu.Lock()
+	delete(s.watchers, p)
+	s.mu.Unlock()
+}
+
+// snapshot appends the current watch-holding PEs to buf and returns it.
+func (s *sched) snapshot(buf []*PE) []*PE {
+	s.mu.Lock()
+	for p := range s.watchers {
+		buf = append(buf, p)
+	}
+	s.mu.Unlock()
+	return buf
+}
+
+// grantLocked hands a freed worker slot to the next ready PE, or banks it in
+// the free pool when nobody waits. Must be called with dmu held. The grant
+// send never blocks: p.wake is buffered(1) and the state machine allows at
+// most one outstanding grant per PE (a PE re-enters the ready queue only
+// after consuming its previous grant).
+func (s *sched) grantLocked() {
+	if s.head < len(s.ready) {
+		q := s.ready[s.head]
+		s.ready[s.head] = nil
+		s.head++
+		if s.head == len(s.ready) {
+			s.ready = s.ready[:0]
+			s.head = 0
+		}
+		q.wake <- struct{}{}
+		return
+	}
+	s.free++
+}
+
+// wakeEvent marks a wake-relevant event for p (event engine). If p is parked
+// it becomes ready and is granted a worker slot — immediately when one is
+// free, FIFO-queued otherwise — so the wake and the slot arrive as one
+// scheduling hop. If p is running (or already granted), the event is noted
+// in a sticky flag consumed by p's next park, so a wake racing ahead of the
+// park is never lost. Callers need not hold any lock; the virtual-time
+// results cannot depend on any of this (see the package comment), which the
+// engine golden gate checks.
+func (w *World) wakeEvent(p *PE) {
+	s := &w.sched
+	s.dmu.Lock()
+	if p.parked {
+		p.parked = false
+		if s.free > 0 {
+			s.free--
+			s.dmu.Unlock()
+			p.wake <- struct{}{}
+			return
+		}
+		s.ready = append(s.ready, p)
+	} else {
+		p.readyFlag = true
+	}
+	s.dmu.Unlock()
+}
+
+// wakeEventAll is wakeEvent over a whole barrier generation's waiters under
+// one dispatch-lock acquisition — at 10k images the release fan-out would
+// otherwise pay a lock hand-off per waiter. Semantics per waiter are exactly
+// wakeEvent's.
+func (w *World) wakeEventAll(bws []*bWaiter) {
+	s := &w.sched
+	s.dmu.Lock()
+	for _, bw := range bws {
+		p := bw.p
+		if p.parked {
+			p.parked = false
+			if s.free > 0 {
+				s.free--
+				p.wake <- struct{}{}
+			} else {
+				s.ready = append(s.ready, p)
+			}
+		} else {
+			p.readyFlag = true
+		}
+	}
+	s.dmu.Unlock()
+}
+
+// parkAndWait releases the calling PE's worker slot (handing it to the next
+// ready PE) and parks until a wake event grants a slot back. If a wake
+// already arrived — the sticky flag — it returns immediately, keeping the
+// slot. Returns may be spurious; callers re-check their predicate in a loop.
+// No locks may be held by the caller.
+func (w *World) parkAndWait(p *PE) {
+	s := &w.sched
+	s.dmu.Lock()
+	if p.readyFlag {
+		p.readyFlag = false
+		s.dmu.Unlock()
+		return
+	}
+	p.parked = true
+	s.grantLocked()
+	s.dmu.Unlock()
+	<-p.wake
+}
+
+// acquireSlotFor claims a worker slot for p's body to start running (event
+// engine; no-op on goroutine). With more PEs than slots the surplus bodies
+// queue behind parked-and-woken PEs and start as slots free up.
+func (w *World) acquireSlotFor(p *PE) {
+	if w.engine != EngineEvent {
+		return
+	}
+	s := &w.sched
+	s.dmu.Lock()
+	if s.free > 0 {
+		s.free--
+		s.dmu.Unlock()
+		return
+	}
+	s.ready = append(s.ready, p)
+	s.dmu.Unlock()
+	<-p.wake
+}
+
+// releaseSlotFor returns p's worker slot when its body finishes (handing it
+// directly to the next ready PE, so unwinds chain through the pool).
+func (w *World) releaseSlotFor(p *PE) {
+	if w.engine != EngineEvent {
+		return
+	}
+	s := &w.sched
+	s.dmu.Lock()
+	s.grantLocked()
+	s.dmu.Unlock()
+}
+
+// wakeLocked wakes p from inside its partition lock (the write-visibility
+// path). Engine-dispatching twin of the old unconditional cond.Broadcast.
+func (p *PE) wakeLocked() {
+	if p.wake != nil {
+		p.world.wakeEvent(p)
+		return
+	}
+	p.cond.Broadcast()
+}
+
+// wakeFanout wakes p from outside its partition lock (departures, repair
+// writes, unreachable-link marks, poison). The goroutine engine must take
+// the partition lock so the broadcast cannot race ahead of a waiter's
+// registration; the event engine's sticky ready flag makes the lock
+// unnecessary.
+func (p *PE) wakeFanout() {
+	if p.wake != nil {
+		p.world.wakeEvent(p)
+		return
+	}
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// block parks the calling PE until a wake-relevant event arrives. Must be
+// called with p.mu held; the lock is held again on return. Returns may be
+// spurious — callers re-check their predicate in a loop.
+//
+// On the event engine the park releases the worker slot, so a blocked PE
+// costs the pool nothing; the wake event delivers a slot together with the
+// wake (see wakeEvent), which is what bounds concurrently-running bodies —
+// and what makes a park/wake cycle cost one scheduling hop, not two.
+func (p *PE) block() {
+	w := p.world
+	w.beginBlock()
+	if p.wake != nil {
+		p.mu.Unlock()
+		w.parkAndWait(p)
+		p.mu.Lock()
+	} else {
+		p.cond.Wait()
+	}
+	w.endBlock()
+}
+
+// wakeWatchers wakes every PE holding a registered watch, except skip (the
+// fault fan-out used by departures, repair writes and unreachable-link
+// marks). The goroutine engine preserves its original whole-world scan gated
+// on the per-PE waiter count; the event engine walks the scheduler registry,
+// which is O(watch holders) regardless of world size.
+func (w *World) wakeWatchers(skip *PE) {
+	if w.engine == EngineEvent {
+		w.scratchMu.Lock()
+		buf := w.sched.snapshot(w.wakeBuf[:0])
+		for _, q := range buf {
+			if q != skip {
+				w.wakeEvent(q)
+			}
+		}
+		w.wakeBuf = buf
+		w.scratchMu.Unlock()
+		return
+	}
+	for _, q := range w.pes {
+		if q == skip || q.waiters.Load() == 0 {
+			continue
+		}
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	}
+}
+
+// --- watchdog budget (see fault.go for the detection logic) ---
+
+// stallBudget is the wall-clock quiet time after which an all-blocked world
+// is declared deadlocked. The base covers small worlds; the budget grows
+// with image count because legitimate wake chains (a barrier release
+// rippling through ten thousand parked PEs, a repair walk fanning out)
+// take host time proportional to the world, and the event engine adds a
+// second per-PE term because its wake chains drain through a bounded worker
+// pool rather than all at once. Under the race detector everything runs
+// roughly an order of magnitude slower, so the whole budget scales up —
+// a 10k-image event-loop run under -race must not false-positive as a
+// deadlock (it previously would have, at the fixed 75ms budget).
+func (w *World) stallBudget() time.Duration {
+	d := stallRealDelay + time.Duration(w.n)*25*time.Microsecond
+	if w.engine == EngineEvent {
+		d += time.Duration(w.n) * 25 * time.Microsecond
+	}
+	if raceEnabled {
+		d *= 8
+	}
+	return d
+}
+
+// eventWatchdog is the event engine's hang backstop: one goroutine per
+// world (versus the goroutine engine's detector arming on every
+// last-to-block transition), polling at a coarse tick and poisoning the
+// world after stallBudget of continuous all-parked, event-free quiet. It
+// exits when the world's PEs are gone or the world is already unwinding.
+func (w *World) eventWatchdog() {
+	const tick = 5 * time.Millisecond
+	budget := w.stallBudget()
+	var quiet time.Duration
+	last := w.eventEpoch.Load()
+	for {
+		time.Sleep(tick)
+		alive := w.aliveN.Load()
+		if alive <= 0 || w.failedErr() != nil {
+			return
+		}
+		e := w.eventEpoch.Load()
+		if e != last || w.blockedN.Load() < alive {
+			last = e
+			quiet = 0
+			continue
+		}
+		quiet += tick
+		if quiet >= budget {
+			w.poisonStall(alive)
+			return
+		}
+	}
+}
+
+// defaultWorkers resolves Options.Workers.
+func defaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -82,17 +82,11 @@ func (w *World) depart(p *PE, to peState) {
 	w.bumpEvent()
 	w.barrier.depart()
 	// Wake only partitions with a registered waiter: the state change above
-	// is sequenced before the waiters load, and a waiter registers before
-	// re-checking fault state, so either we see its registration here or it
-	// sees the departure there (seq-cst Dekker; see PE.waiters).
-	for _, q := range w.pes {
-		if q.waiters.Load() == 0 {
-			continue
-		}
-		q.mu.Lock()
-		q.cond.Broadcast()
-		q.mu.Unlock()
-	}
+	// is sequenced before the waiter scan, and a waiter registers before
+	// re-checking fault state, so either the fan-out sees its registration
+	// or it sees the departure in its own entry checks (seq-cst Dekker; see
+	// PE.waiters and World.wakeWatchers).
+	w.wakeWatchers(nil)
 }
 
 // markStopped records a normal body return (used by Run).
@@ -188,10 +182,12 @@ const stallRealDelay = 75 * time.Millisecond
 // broadcast so an armed detector always observes the epoch change.
 func (w *World) bumpEvent() { w.eventEpoch.Add(1) }
 
-// beginBlock notes that the calling PE is about to block in a condition wait.
-// If it is the last alive PE to block, a detector is armed.
+// beginBlock notes that the calling PE is about to block. On the goroutine
+// engine, the last alive PE to block arms a one-shot detector; the event
+// engine runs a single per-world watchdog instead (see eventWatchdog), so
+// blocking there only maintains the counter.
 func (w *World) beginBlock() {
-	if w.blockedN.Add(1) >= w.aliveN.Load() {
+	if w.blockedN.Add(1) >= w.aliveN.Load() && w.engine != EngineEvent {
 		e := w.eventEpoch.Load()
 		go w.stallDetect(e)
 	}
@@ -201,7 +197,7 @@ func (w *World) beginBlock() {
 func (w *World) endBlock() { w.blockedN.Add(-1) }
 
 func (w *World) stallDetect(epoch uint64) {
-	time.Sleep(stallRealDelay)
+	time.Sleep(w.stallBudget())
 	if w.eventEpoch.Load() != epoch {
 		return // progress happened; a later blocker re-arms if needed
 	}
@@ -209,6 +205,13 @@ func (w *World) stallDetect(epoch uint64) {
 	if alive <= 0 || w.blockedN.Load() < alive {
 		return
 	}
+	w.poisonStall(alive)
+}
+
+// poisonStall declares the world deadlocked (shared by both engines'
+// watchdogs): every alive PE is blocked and no wake-relevant event has
+// occurred for the stall budget, so no wake source remains.
+func (w *World) poisonStall(alive int32) {
 	if w.failedErr() != nil {
 		return // already unwinding
 	}
@@ -242,17 +245,10 @@ func (w *World) RepairWrite(target int, off int64, data []byte, visibleAt float6
 	p.mu.Unlock()
 	w.bumpEvent()
 	// Same waiter-gated fan-out as depart: the repair write completes (and
-	// releases p.mu) before the waiters load, so a waiter that registers too
+	// releases p.mu) before the waiter scan, so a waiter that registers too
 	// late to be woken here observes the repaired state in its own entry
 	// checks instead.
-	for _, q := range w.pes {
-		if q == p || q.waiters.Load() == 0 {
-			continue
-		}
-		q.mu.Lock()
-		q.cond.Broadcast()
-		q.mu.Unlock()
-	}
+	w.wakeWatchers(p)
 }
 
 // ReadUint64Ts reads the 64-bit word at (target, off) together with its
@@ -328,8 +324,6 @@ func (p *PE) WaitUntilStat(off, n int64, pred func([]byte) bool, onEvent func() 
 				return 0, err
 			}
 		}
-		p.world.beginBlock()
-		p.cond.Wait()
-		p.world.endBlock()
+		p.block()
 	}
 }

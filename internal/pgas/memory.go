@@ -50,7 +50,7 @@ func (w *World) Touch(target int, off int64, visibleAt float64) {
 	p := w.pes[target]
 	p.mu.Lock()
 	p.seg.zeroByte(off)
-	p.noteWrite(off, 1, visibleAt)
+	p.noteTouch(off, visibleAt)
 	p.mu.Unlock()
 }
 
@@ -157,30 +157,57 @@ const tsTrackMaxBytes = 1024
 // index and, when a waiter is registered, on overlapping watches — then wakes
 // the waiters. Must be called with p.mu held.
 //
-// Watch-awareness: the scan, the event-epoch bump, and the broadcast are all
-// skipped when no watch is registered. That is sound because the only
-// sleepers on p.cond are WaitUntil/WaitUntilStat, which always hold a
-// registered watch, and a waiter that registers later re-evaluates its
-// predicate against the already-written bytes before blocking — no wakeup
-// can be lost. Timestamp *recording* stays unconditional (see tsIndex): it
-// is what keeps wait timestamps independent of whether the write raced
-// ahead of the watch registration.
+// Watch-awareness: the scan, the event-epoch bump, and the wakeup are all
+// skipped when no watch is registered — and since a waiter's predicate reads
+// only its own watched range, the wakeup is further skipped when no
+// registered watch overlaps the written range (a write that cannot change
+// any waiter's predicate). That is sound because the only sleepers on the
+// partition are WaitUntil/WaitUntilStat, which always hold a registered
+// watch over exactly the bytes their predicate reads, and a waiter that
+// registers later re-evaluates its predicate against the already-written
+// bytes before blocking — no wakeup can be lost. World-level conditions a
+// WaitUntilStat onEvent hook checks (departures, repair writes, dead links)
+// have their own fan-outs and never depend on unrelated-write wakeups.
+// Timestamp *recording* stays unconditional (see tsIndex): it is what keeps
+// wait timestamps independent of whether the write raced ahead of the watch
+// registration.
 func (p *PE) noteWrite(off, n int64, visibleAt float64) {
 	if n <= tsTrackMaxBytes {
 		p.ts.recordRange(off, n, visibleAt)
 	}
+	p.wakeOverlapping(off, n, visibleAt)
+}
+
+// noteTouch is noteWrite for the symmetric-heap Touch: the same watch scan
+// and wakeup, but the timestamp goes through the index's sparse overlay, so
+// backing a region at a high never-written offset does not materialise a
+// dense timestamp page (at 10k PEs the per-malloc Touch pages dominated
+// world-construction time and memory). Must be called with p.mu held.
+func (p *PE) noteTouch(off int64, visibleAt float64) {
+	p.ts.recordWordSparse(off, visibleAt)
+	p.wakeOverlapping(off, 1, visibleAt)
+}
+
+// wakeOverlapping raises overlapping watches to visibleAt and wakes the
+// partition's waiters when any watch matched. Must be called with p.mu held.
+func (p *PE) wakeOverlapping(off, n int64, visibleAt float64) {
 	if len(p.watches) == 0 {
 		return
 	}
+	matched := false
 	for wt := range p.watches {
 		if off < wt.off+wt.n && wt.off < off+n {
 			if visibleAt > wt.ts {
 				wt.ts = visibleAt
 			}
+			matched = true
 		}
 	}
+	if !matched {
+		return
+	}
 	p.world.bumpEvent()
-	p.cond.Broadcast()
+	p.wakeLocked()
 }
 
 // rangeTs returns the latest recorded visibility timestamp overlapping
@@ -214,9 +241,7 @@ func (p *PE) WaitUntil(off, n int64, pred func([]byte) bool) float64 {
 			}
 			return ts
 		}
-		p.world.beginBlock()
-		p.cond.Wait()
-		p.world.endBlock()
+		p.block()
 	}
 }
 

@@ -1,0 +1,6 @@
+//go:build !race
+
+package pgas
+
+// raceEnabled is false in builds without the race detector; see race.go.
+const raceEnabled = false

@@ -22,10 +22,19 @@ const (
 
 type tsIndex struct {
 	pages [][]float64
+	// sparse holds isolated word records on pages the dense path never
+	// wrote: the symmetric-heap allocator's region-backing Touches, which
+	// land one word at the end of each allocation and would otherwise each
+	// materialise a 4 KiB page (and grow the page table) during world
+	// construction — at 10k PEs those pages dominated setup cost and
+	// memory. Entries migrate into the dense page if one is later
+	// allocated, so the flag/lock-word hot path stays map-free.
+	sparse map[int64]float64
 }
 
 // page returns the page covering word index w, allocating it (and growing the
-// page table geometrically) on first touch.
+// page table geometrically) on first touch. Sparse records covered by the new
+// page migrate into it, so a word's timestamp lives in exactly one place.
 func (t *tsIndex) page(w int64) []float64 {
 	pg := int(w >> tsPageShift)
 	if pg >= len(t.pages) {
@@ -44,8 +53,40 @@ func (t *tsIndex) page(w int64) []float64 {
 	if p == nil {
 		p = make([]float64, tsPageWords)
 		t.pages[pg] = p
+		if len(t.sparse) > 0 {
+			for sw, sts := range t.sparse {
+				if int(sw>>tsPageShift) == pg {
+					if i := int(sw & tsPageMask); sts > p[i] {
+						p[i] = sts
+					}
+					delete(t.sparse, sw)
+				}
+			}
+		}
 	}
 	return p
+}
+
+// recordWordSparse raises the recorded timestamp of the single word covering
+// byte offset off, preferring the dense page when one exists and the sparse
+// overlay otherwise — neither materialising a page nor growing the page
+// table. Only rare records (heap-backing Touches) should use this: a word
+// recorded here stays in the overlay until a dense write materialises its
+// page, and overlay entries cost a map lookup pass per maxRange.
+func (t *tsIndex) recordWordSparse(off int64, ts float64) {
+	w := off >> 3
+	if pg := int(w >> tsPageShift); pg < len(t.pages) && t.pages[pg] != nil {
+		if i := int(w & tsPageMask); ts > t.pages[pg][i] {
+			t.pages[pg][i] = ts
+		}
+		return
+	}
+	if t.sparse == nil {
+		t.sparse = map[int64]float64{}
+	}
+	if old, ok := t.sparse[w]; !ok || ts > old {
+		t.sparse[w] = ts
+	}
 }
 
 // recordRange raises the recorded timestamp to ts for every word overlapping
@@ -75,6 +116,15 @@ func (t *tsIndex) maxRange(off, n int64) float64 {
 	ts := 0.0
 	w := off >> 3
 	last := (off + n - 1) >> 3
+	if len(t.sparse) > 0 {
+		// One pass over the (small) overlay, not one lookup per word: the
+		// overlay holds at most one entry per heap allocation.
+		for sw, sts := range t.sparse {
+			if sw >= w && sw <= last && sts > ts {
+				ts = sts
+			}
+		}
+	}
 	for w <= last {
 		pg := int(w >> tsPageShift)
 		if pg >= len(t.pages) {

@@ -31,6 +31,16 @@ type World struct {
 	pes     []*PE
 	barrier *barrier
 
+	// Execution engine (see engine.go). sched is the event engine's central
+	// scheduler: the worker-slot dispatch (Options.Workers slots, granted to
+	// parked PEs by their wake events) and the registry of PEs whose wake
+	// condition is a registered watch; wakeBuf (guarded by scratchMu) is its
+	// reusable fan-out scratch.
+	engine    Engine
+	sched     sched
+	scratchMu sync.Mutex
+	wakeBuf   []*PE
+
 	mu     sync.Mutex
 	shared map[string]interface{}
 
@@ -81,20 +91,44 @@ type PE struct {
 	// ordering of Go atomics makes the Dekker pattern sound: a departer
 	// stores its state change before loading waiters, a waiter increments
 	// waiters before (re-)checking state, so one of them always sees the
-	// other.
+	// other. (On the event engine the same handshake runs through the
+	// scheduler registry's mutex: a departer stores its state change before
+	// snapshotting the registry, a waiter registers before re-checking
+	// state.)
 	waiters atomic.Int32
+
+	// Event-engine task state (nil/unused on the goroutine engine): wake is
+	// the slot-grant channel — a send means "a wake event occurred and you
+	// own a worker slot", and the scheduler's state machine allows at most
+	// one outstanding grant, so the buffered(1) send never blocks — and bw
+	// is the PE's reusable barrier-waiter record (a PE waits in at most one
+	// barrier at a time). parked and readyFlag are the scheduler's view of
+	// this task, guarded by sched.dmu: parked means slotless and awaiting a
+	// grant; readyFlag is the sticky wake-arrived-while-running note the
+	// next park consumes, which is what makes a wake racing ahead of the
+	// park lossless.
+	wake      chan struct{}
+	bw        *bWaiter
+	parked    bool
+	readyFlag bool
 }
 
-// addWatch registers a watch (and its waiter count). Must hold p.mu.
+// addWatch registers a watch (and its waiter count). Must hold p.mu. On the
+// event engine the 0→1 transition also enters the PE into the scheduler's
+// watcher registry, which is what fault fan-outs walk instead of the world.
 func (p *PE) addWatch(wt *watch) {
 	p.watches[wt] = struct{}{}
-	p.waiters.Add(1)
+	if p.waiters.Add(1) == 1 && p.wake != nil {
+		p.world.sched.noteWatcher(p)
+	}
 }
 
 // removeWatch deregisters a watch. Must hold p.mu.
 func (p *PE) removeWatch(wt *watch) {
 	delete(p.watches, wt)
-	p.waiters.Add(-1)
+	if p.waiters.Add(-1) == 0 && p.wake != nil {
+		p.world.sched.dropWatcher(p)
+	}
 }
 
 // watch observes a byte range of a PE's partition. Writers that overlap the
@@ -105,8 +139,14 @@ type watch struct {
 	ts     float64
 }
 
-// NewWorld creates a world of n PEs on the given machine model.
+// NewWorld creates a world of n PEs on the given machine model, on the
+// default (goroutine-per-PE) engine.
 func NewWorld(machine *fabric.Machine, n int) (*World, error) {
+	return NewWorldOpts(machine, n, Options{})
+}
+
+// NewWorldOpts creates a world of n PEs with explicit engine options.
+func NewWorldOpts(machine *fabric.Machine, n int, opts Options) (*World, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("pgas: need at least 1 PE, got %d", n)
 	}
@@ -120,16 +160,36 @@ func NewWorld(machine *fabric.Machine, n int) (*World, error) {
 		barrier: newBarrier(n),
 		shared:  map[string]interface{}{},
 		states:  make([]int32, n),
+		engine:  opts.Engine,
 	}
 	w.barrier.w = w
 	w.aliveN.Store(int32(n))
+	if opts.Engine == EngineEvent {
+		w.sched.free = defaultWorkers(opts.Workers)
+		w.sched.watchers = make(map[*PE]struct{})
+	}
+	// Barrier-waiter records are one contiguous slice: the barrier release
+	// walks all of them every generation, and at 10k PEs the sequential pass
+	// matters more than any per-record layout concern.
+	var bws []bWaiter
+	if opts.Engine == EngineEvent {
+		bws = make([]bWaiter, n)
+	}
 	for i := range w.pes {
 		p := &PE{ID: i, world: w, watches: map[*watch]struct{}{}}
 		p.cond = sync.NewCond(&p.mu)
+		if opts.Engine == EngineEvent {
+			p.wake = make(chan struct{}, 1)
+			bws[i].p = p
+			p.bw = &bws[i]
+		}
 		w.pes[i] = p
 	}
 	return w, nil
 }
+
+// Engine reports which execution engine the world runs on.
+func (w *World) Engine() Engine { return w.engine }
 
 // Run executes body once per PE, each on its own goroutine, and blocks until
 // every PE returns. A panic in any PE poisons the world (waking all blocked
@@ -142,8 +202,16 @@ func Run(machine *fabric.Machine, n int, body func(*PE)) error {
 	return w.Run(body)
 }
 
-// Run executes body on every PE of an already-constructed world.
+// Run executes body on every PE of an already-constructed world. On the
+// goroutine engine every PE body runs concurrently; on the event engine the
+// bodies still each get a goroutine (the cheap part — a resumable stack) but
+// only Workers of them hold a run slot at a time, and a blocked PE parks
+// without its slot, so the pool never idles on blocked tasks and never runs
+// more than Workers bodies at once.
 func (w *World) Run(body func(*PE)) error {
+	if w.engine == EngineEvent {
+		go w.eventWatchdog()
+	}
 	var wg sync.WaitGroup
 	wg.Add(w.n)
 	for _, p := range w.pes {
@@ -159,6 +227,8 @@ func (w *World) Run(body func(*PE)) error {
 				}
 				w.markStopped(p)
 			}()
+			w.acquireSlotFor(p)
+			defer w.releaseSlotFor(p)
 			body(p)
 		}(p)
 	}
@@ -237,9 +307,7 @@ func (w *World) poison(err error) {
 	// Wake everything that might be blocked so the process can unwind.
 	w.barrier.poison()
 	for _, p := range w.pes {
-		p.mu.Lock()
-		p.cond.Broadcast()
-		p.mu.Unlock()
+		p.wakeFanout()
 	}
 }
 

@@ -108,6 +108,12 @@ type Config struct {
 	// operation boundaries. Nil disables fault injection entirely — the nil
 	// check is the only cost, and no virtual-time behaviour changes.
 	FaultPlan *fabric.FaultPlan
+	// Engine selects the pgas execution engine (goroutine-per-PE by
+	// default, or the bounded-worker-pool event engine); Workers bounds the
+	// event engine's pool (0 = GOMAXPROCS). Virtual-time results are
+	// engine-independent by construction.
+	Engine  pgas.Engine
+	Workers int
 }
 
 // Run launches an n-PE OpenSHMEM job and executes body once per PE
@@ -137,7 +143,7 @@ func NewWorld(cfg Config, n int) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	pw, err := pgas.NewWorld(cfg.Machine, n)
+	pw, err := pgas.NewWorldOpts(cfg.Machine, n, pgas.Options{Engine: cfg.Engine, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
