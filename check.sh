@@ -57,13 +57,18 @@ go test -run 'TestHimenoGoldensOnEventEngine' -count=1 ./internal/himeno
 echo "==> event-engine scale smoke (4096 images on the bounded pool, bounded wall time)"
 timeout 120 go test -run 'TestEventEngineHimeno4k' -count=1 ./internal/himeno
 
+echo "==> 100k-image event-engine smoke (sharded-barrier panel, 1 iteration, bounded wall time)"
+# One 100k barrier row end-to-end: completes watchdog-clean or the timeout
+# turns a hang/poison into a failure. ~5s on the reference machine.
+timeout 180 go test -run '^$' -bench '^BenchmarkWallclockScale/barrier/n=102400/event$' -benchtime 1x .
+
 echo "==> wall-clock bench smoke (one iteration per benchmark, incl. Himeno overlap)"
 # The fixed suite only: the full engine scale sweep (BenchmarkWallclockScale,
 # up to 10k images) is benchreport territory, not a smoke.
 go test -run '^$' -bench '^BenchmarkWallclock(ContigPut|StridedPut|LockContention|DHT|Himeno|HimenoOverlap|HimenoSignal)$' -benchtime 1x .
 go test -run '^$' -bench '^BenchmarkWallclockScale/barrier/n=256' -benchtime 1x .
 
-echo "==> benchreport alloc-regression gate"
+echo "==> benchreport regression gates (contig-put allocs + BENCH_9.json scale floor)"
 go run ./cmd/benchreport -check
 
 echo "check.sh: all gates passed"

@@ -5,7 +5,7 @@
 //
 // Usage (from the module root):
 //
-//	benchreport                    # run the suite, write BENCH_8.json
+//	benchreport                    # run the suite, write BENCH_9.json
 //	benchreport -out other.json    # write elsewhere
 //	benchreport -count 5           # more repetitions (min is kept)
 //	benchreport -benchtime 200x    # fixed iteration counts instead of 1s
@@ -26,10 +26,13 @@
 // goroutine count, plus the goroutine/event ns-per-simop ratio per panel and
 // size — the wall-clock improvement the event engine buys at scale.
 //
-// -check is the CI gate: it reruns only the contiguous-put benchmark and
-// fails if allocs/op rises above zero, the steady-state target that the
-// pooled marshalling buffers guarantee. It is deliberately narrow — timing
-// gates are too noisy for CI, allocation counts are exact.
+// -check is the CI gate, two deliberately-narrow validations: it reruns only
+// the contiguous-put benchmark and fails if allocs/op rises above zero (the
+// steady-state target the pooled marshalling buffers guarantee — timing
+// gates are too noisy for CI, allocation counts are exact), and it validates
+// the committed report's scale section against the PR 9 regression floor:
+// the 10k-image barrier-panel engine speedup must hold ≥4.5× and the
+// 100k-image event row must be present (the sharded-tree guarantees).
 package main
 
 import (
@@ -226,9 +229,12 @@ func engineSpeedups(scale map[string]ScaleResult) map[string]float64 {
 	return sp
 }
 
-// check is the CI alloc-regression gate: the contiguous-put fast path must
-// stay allocation-free per operation.
-func check() error {
+// check is the CI regression gate: the contiguous-put fast path must stay
+// allocation-free per operation (measured live), and the committed report's
+// scale section must still carry the sharded-barrier guarantees (validated
+// from the file — rerunning the full sweep is minutes of work the gate
+// cannot afford, and the report is regenerated whenever the sweep changes).
+func check(reportPath string) error {
 	res, err := runSuite("^BenchmarkWallclockContigPut$", "300x", 1, 0)
 	if err != nil {
 		return err
@@ -241,11 +247,46 @@ func check() error {
 		return fmt.Errorf("contiguous put regressed to %d allocs/op (want 0): a hot-path allocation crept in", r.AllocsPerOp)
 	}
 	fmt.Printf("benchreport -check: contiguous put %d allocs/op (%.0f ns/op) — ok\n", r.AllocsPerOp, r.NsPerOp)
+	if err := checkScaleReport(reportPath); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkScaleReport validates the committed report's scale section against the
+// sharded-tree regression floor.
+func checkScaleReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("scale gate: %w (regenerate with benchreport)", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("scale gate: %s: %w", path, err)
+	}
+	const barrier10k = "barrier/n=10240"
+	sp, ok := rep.EngineSpeedup[barrier10k]
+	if !ok {
+		return fmt.Errorf("scale gate: %s missing engine_speedup[%q]", path, barrier10k)
+	}
+	if sp < 4.5 {
+		return fmt.Errorf("scale gate: %s barrier-panel 10k engine speedup %.2fx < 4.5x floor (sharded combining tree regressed)", path, sp)
+	}
+	const barrier100k = "barrier/n=102400/event"
+	row, ok := rep.Scale[barrier100k]
+	if !ok {
+		return fmt.Errorf("scale gate: %s missing scale[%q] (100k event row must be present)", path, barrier100k)
+	}
+	if row.NsPerSimop <= 0 {
+		return fmt.Errorf("scale gate: %s has empty 100k event row", path)
+	}
+	fmt.Printf("benchreport -check: %s barrier 10k speedup %.2fx (floor 4.5x), 100k event row %.0f ns/simop — ok\n",
+		path, sp, row.NsPerSimop)
 	return nil
 }
 
 func main() {
-	out := flag.String("out", "BENCH_8.json", "report file to write")
+	out := flag.String("out", "BENCH_9.json", "report file to write (also the file -check validates)")
 	pattern := flag.String("bench",
 		"^BenchmarkWallclock(ContigPut|StridedPut|LockContention|DHT|Himeno|HimenoOverlap|HimenoSignal)$",
 		"fixed-suite benchmark regexp to run (the scale sweep runs separately)")
@@ -258,7 +299,7 @@ func main() {
 	flag.Parse()
 
 	if *doCheck {
-		if err := check(); err != nil {
+		if err := check(*out); err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 			os.Exit(1)
 		}

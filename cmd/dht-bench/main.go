@@ -27,6 +27,7 @@ func main() {
 	updates := flag.Int("updates", 50, "random locked updates per image")
 	engineName := flag.String("engine", "goroutine", "pgas execution engine: goroutine (one scheduled goroutine per image) or event (bounded worker pool; use for 1k+ images)")
 	workers := flag.Int("workers", 0, "event-engine worker pool size (0 = GOMAXPROCS)")
+	barrierShards := flag.Int("barriershards", 0, "world-barrier combining-tree shard count (0 = auto, one shard per 256 images; results are bit-identical across layouts)")
 	faultPlan := flag.String("faultplan", "", "JSON fault-plan file: run one chaos replay under the plan instead of Figure 9")
 	faultSeed := flag.Uint64("faultseed", 0, "nonzero: chaos replay under a seeded lossy plan (drops, delay jitter, dups, one kill)")
 	chaosImages := flag.Int("chaos-images", 8, "image count for the chaos replay")
@@ -44,11 +45,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dht-bench:", err)
 			os.Exit(1)
 		}
-		chaosReplay(plan, *chaosImages, *buckets, *updates, engine, *workers)
+		chaosReplay(plan, *chaosImages, *buckets, *updates, pgasbench.EngineOpts{Engine: engine, Workers: *workers, BarrierShards: *barrierShards})
 		return
 	}
 
-	f := pgasbench.Fig9Engine(*maxImages, *buckets, *updates, engine, *workers)
+	f := pgasbench.Fig9Engine(*maxImages, *buckets, *updates, pgasbench.EngineOpts{Engine: engine, Workers: *workers, BarrierShards: *barrierShards})
 	fmt.Print(f.Render())
 
 	p := f.Panels[0]
@@ -80,10 +81,10 @@ func loadPlan(path string, seed uint64, images int) (*fabric.FaultPlan, error) {
 // fixed engine the replay is bit-identical; across engines it can differ,
 // because the images race on contended locks and arrival order at a contended
 // atomic is host-arbitrated (see internal/pgas/engine.go).
-func chaosReplay(plan *fabric.FaultPlan, images, buckets, updates int, engine pgas.Engine, workers int) {
+func chaosReplay(plan *fabric.FaultPlan, images, buckets, updates int, eng pgasbench.EngineOpts) {
 	opts := caf.UHCAFOverCraySHMEM(fabric.CrayXC30())
 	opts.FaultPlan = plan
-	opts.Engine, opts.Workers = engine, workers
+	opts.Engine, opts.Workers, opts.BarrierShards = eng.Engine, eng.Workers, eng.BarrierShards
 
 	stats := make([]caf.Stat, images)
 	applied := make([]int, images)

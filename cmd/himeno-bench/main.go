@@ -28,6 +28,7 @@ func main() {
 	iters := flag.Int("iters", 3, "Jacobi iterations")
 	engineName := flag.String("engine", "goroutine", "pgas execution engine: goroutine (one scheduled goroutine per image) or event (bounded worker pool; use for 1k+ images)")
 	workers := flag.Int("workers", 0, "event-engine worker pool size (0 = GOMAXPROCS)")
+	barrierShards := flag.Int("barriershards", 0, "world-barrier combining-tree shard count (0 = auto, one shard per 256 images; results are bit-identical across layouts)")
 	faultPlan := flag.String("faultplan", "", "JSON fault-plan file: run one chaos replay under the plan instead of Figure 10")
 	faultSeed := flag.Uint64("faultseed", 0, "nonzero: chaos replay under a seeded lossy plan (drops, delay jitter, dups, one kill)")
 	chaosImages := flag.Int("chaos-images", 8, "image count for the chaos replay")
@@ -46,11 +47,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "himeno-bench:", err)
 			os.Exit(1)
 		}
-		chaosReplay(plan, *chaosImages, prm, engine, *workers)
+		chaosReplay(plan, *chaosImages, prm, pgasbench.EngineOpts{Engine: engine, Workers: *workers, BarrierShards: *barrierShards})
 		return
 	}
 
-	f := pgasbench.Fig10Engine(*maxImages, prm, engine, *workers)
+	f := pgasbench.Fig10Engine(*maxImages, prm, pgasbench.EngineOpts{Engine: engine, Workers: *workers, BarrierShards: *barrierShards})
 	fmt.Print(f.Render())
 
 	p := f.Panels[0]
@@ -75,13 +76,14 @@ func loadPlan(path string, seed uint64, images int) (*fabric.FaultPlan, error) {
 
 // chaosReplay runs the fault-aware signal-overlap solver once under plan and
 // reports what the fault machinery observed. The replay is bit-identical on
-// either engine — -engine only changes how the run spends host time.
-func chaosReplay(plan *fabric.FaultPlan, images int, prm himeno.Params, engine pgas.Engine, workers int) {
+// either engine and any barrier shard layout — -engine, -workers and
+// -barriershards only change how the run spends host time.
+func chaosReplay(plan *fabric.FaultPlan, images int, prm himeno.Params, eng pgasbench.EngineOpts) {
 	prm.FaultAware = true
 	prm.Overlap = true
 	opts := caf.UHCAFOverCraySHMEM(fabric.CrayXC30())
 	opts.FaultPlan = plan
-	opts.Engine, opts.Workers = engine, workers
+	opts.Engine, opts.Workers, opts.BarrierShards = eng.Engine, eng.Workers, eng.BarrierShards
 
 	fmt.Printf("chaos replay: %d images, plan %v\n", images, plan)
 	res, err := himeno.Run(opts, images, prm)

@@ -54,8 +54,9 @@ func diffSplitmix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// diffRun executes the random program for (seed, plan) on the given engine.
-func diffRun(t *testing.T, seed uint64, plan *fabric.FaultPlan, engine pgas.Engine, workers int) diffOutcome {
+// diffRun executes the random program for (seed, plan) on the given engine,
+// worker count, and barrier shard layout (0 = auto).
+func diffRun(t *testing.T, seed uint64, plan *fabric.FaultPlan, engine pgas.Engine, workers, shards int) diffOutcome {
 	t.Helper()
 	const n, rounds, span = 6, 10, 8
 
@@ -94,7 +95,7 @@ func diffRun(t *testing.T, seed uint64, plan *fabric.FaultPlan, engine pgas.Engi
 	}
 
 	opts := chaosOpts(plan)
-	opts.Engine, opts.Workers = engine, workers
+	opts.Engine, opts.Workers, opts.BarrierShards = engine, workers, shards
 	err := caf.Run(n, opts, func(img *caf.Image) {
 		me := img.ThisImage()
 		x := caf.Allocate[int64](img, span)
@@ -175,21 +176,38 @@ func diffPlans(seed uint64) map[string]*fabric.FaultPlan {
 
 // TestEngineDifferential is the cross-engine replay property: goroutine-per-
 // image and the event-driven bounded pool must agree bit-for-bit on every
-// observable of the random program, in every fault regime.
+// observable of the random program, in every fault regime — and so must
+// every barrier shard layout (single shard, two, an odd split, and more
+// shards than images), on both engines. The shard tree is host-side
+// machinery exactly like the engine: nothing about how arrivals combine may
+// leak into the simulation.
 func TestEngineDifferential(t *testing.T) {
+	type variant struct {
+		engine  pgas.Engine
+		workers int
+		shards  int
+	}
+	variants := []variant{
+		{pgas.EngineGoroutine, 0, 1},
+		{pgas.EngineGoroutine, 0, 2},
+		{pgas.EngineEvent, 1, 0},
+		{pgas.EngineEvent, 1, 3}, // odd split of 6 images
+		{pgas.EngineEvent, 3, 2},
+		{pgas.EngineEvent, 3, 8}, // more shards than images
+	}
 	for _, seed := range []uint64{101, 202, 303} {
 		for name, plan := range diffPlans(seed) {
-			ref := diffRun(t, seed, plan, pgas.EngineGoroutine, 0)
+			ref := diffRun(t, seed, plan, pgas.EngineGoroutine, 0, 0)
 			for pe, s := range ref.Stats {
 				if !isLegalStat(s) {
 					t.Errorf("seed %d %s: image %d illegal stat %v", seed, name, pe+1, s)
 				}
 			}
-			for _, workers := range []int{1, 3} {
-				got := diffRun(t, seed, plan, pgas.EngineEvent, workers)
+			for _, v := range variants {
+				got := diffRun(t, seed, plan, v.engine, v.workers, v.shards)
 				if !reflect.DeepEqual(ref, got) {
-					t.Errorf("seed %d %s: event engine (workers=%d) diverged from goroutine engine:\n%+v\nvs\n%+v",
-						seed, name, workers, ref, got)
+					t.Errorf("seed %d %s: engine=%v workers=%d shards=%d diverged from reference:\n%+v\nvs\n%+v",
+						seed, name, v.engine, v.workers, v.shards, ref, got)
 				}
 			}
 		}
@@ -201,7 +219,7 @@ func TestEngineDifferential(t *testing.T) {
 // reduce the differential test to the loss-only case.
 func TestEngineDifferentialKillObserved(t *testing.T) {
 	seed := uint64(101)
-	out := diffRun(t, seed, diffPlans(seed)["losskill"], pgas.EngineEvent, 2)
+	out := diffRun(t, seed, diffPlans(seed)["losskill"], pgas.EngineEvent, 2, 2)
 	obs := false
 	for _, s := range out.Stats {
 		if s == caf.StatFailedImage {

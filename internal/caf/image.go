@@ -108,7 +108,7 @@ func Run(images int, opts Options, body func(*Image)) error {
 	}
 	switch o.Transport {
 	case TransportSHMEM:
-		w, err := shmem.NewWorld(shmem.Config{Machine: o.Machine, Profile: o.Profile, Sanitize: o.Sanitize, FaultPlan: o.FaultPlan, Engine: o.Engine, Workers: o.Workers}, images)
+		w, err := shmem.NewWorld(shmem.Config{Machine: o.Machine, Profile: o.Profile, Sanitize: o.Sanitize, FaultPlan: o.FaultPlan, Engine: o.Engine, Workers: o.Workers, BarrierShards: o.BarrierShards}, images)
 		if err != nil {
 			return err
 		}
@@ -121,7 +121,7 @@ func Run(images int, opts Options, body func(*Image)) error {
 		}
 		return w.FinalizeErr()
 	case TransportGASNet:
-		w, err := gasnet.NewWorld(gasnet.Config{Machine: o.Machine, Profile: o.Profile, Engine: o.Engine, Workers: o.Workers}, images)
+		w, err := gasnet.NewWorld(gasnet.Config{Machine: o.Machine, Profile: o.Profile, Engine: o.Engine, Workers: o.Workers, BarrierShards: o.BarrierShards}, images)
 		if err != nil {
 			return err
 		}

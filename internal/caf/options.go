@@ -167,6 +167,11 @@ type Options struct {
 	// event engine's pool; 0 means GOMAXPROCS.
 	Engine  pgas.Engine
 	Workers int
+	// BarrierShards overrides the world barrier's combining-tree leaf-shard
+	// count (0 = auto-size, one shard per 256 images). A host-side
+	// performance knob only: virtual times and fault replays are
+	// bit-identical across shard layouts.
+	BarrierShards int
 }
 
 func (o *Options) withDefaults() (Options, error) {

@@ -54,9 +54,11 @@ type EP struct {
 type Config struct {
 	Machine *fabric.Machine
 	Profile string
-	// Engine/Workers select the pgas execution engine, as in shmem.Config.
-	Engine  pgas.Engine
-	Workers int
+	// Engine/Workers/BarrierShards select and tune the pgas execution
+	// engine, as in shmem.Config.
+	Engine        pgas.Engine
+	Workers       int
+	BarrierShards int
 }
 
 // Run launches an n-PE GASNet job (gasnet_init + attach + SPMD body).
@@ -77,7 +79,7 @@ func NewWorld(cfg Config, n int) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	pw, err := pgas.NewWorldOpts(cfg.Machine, n, pgas.Options{Engine: cfg.Engine, Workers: cfg.Workers})
+	pw, err := pgas.NewWorldOpts(cfg.Machine, n, pgas.Options{Engine: cfg.Engine, Workers: cfg.Workers, BarrierShards: cfg.BarrierShards})
 	if err != nil {
 		return nil, err
 	}

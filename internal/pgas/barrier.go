@@ -5,127 +5,255 @@ import (
 	"sync/atomic"
 )
 
-// barrier is a reusable sense-reversing barrier that additionally aggregates
-// the maximum virtual arrival time of the participants, so that the release
-// time respects causality (no PE may leave a barrier "before" the last PE
-// arrived).
+// The world barrier is a sharded combining tree: PEs arrive at one of S leaf
+// shards (each owning a contiguous PE-rank range, with its own mutex, arrival
+// count and local max-arrival time), the last arriver at a leaf combines its
+// (count, maxT) contribution upward to the root, and the root — which alone
+// snapshots the fault status — releases generation-by-generation downward,
+// each shard fanning out its own waiters. Because the release time is an
+// order-independent maximum and the membership snapshot happens once at the
+// root, tree aggregation is *exact*: the virtual times and fault statuses are
+// bit-identical to the flat counting barrier it replaced (the flat barrier
+// survives as the property-test oracle in barrier_prop_test.go), matching how
+// real OpenSHMEM runtimes build shmem_barrier_all from log-depth combining
+// without changing its semantics.
+//
+// What sharding buys at scale is host-side: a 10k–100k-image rendezvous no
+// longer serialises every arrival through one global mutex, and the release
+// walks S per-shard contiguous bWaiter arenas (values indexed by PE rank, so
+// the fan-out is a sequential memory pass) instead of chasing a flat list of
+// pointer records, batch-waking each shard's generation under one
+// dispatch-lock acquisition.
 //
 // The participant count tracks the world's alive PEs: when a PE fails or
-// stops it departs the barrier, and a rendezvous of all remaining PEs — or a
-// departure that makes the current arrivals complete — releases the group.
-// Each release carries the fault status at release time, so callers can
-// surface Fortran 2018's STAT_FAILED_IMAGE/STAT_STOPPED_IMAGE instead of
-// hanging on a peer that will never arrive.
+// stops it departs through its owning shard, and a rendezvous of all
+// remaining PEs — or a departure that makes the current arrivals complete —
+// re-checks completeness at the root and releases the group. Each release
+// carries the fault status at release time, so callers can surface Fortran
+// 2018's STAT_FAILED_IMAGE/STAT_STOPPED_IMAGE instead of hanging on a peer
+// that will never arrive.
+
+// defaultShardPEs is the leaf-shard size when Options.BarrierShards is zero:
+// worlds up to this many PEs keep a single shard (the flat fast path, so the
+// fixed 256-image suite and every small test see one mutex as before), and
+// larger worlds grow one shard per 256 ranks.
+const defaultShardPEs = 256
+
+// barrier is the world rendezvous: a root over S leaf shards.
 type barrier struct {
+	w     *World
+	chunk int // PE ranks per shard: rank r belongs to shards[r/chunk]
+	// shards are the combining-tree leaves. Shard state is guarded by the
+	// shard's own mutex; root state by root.mu. Lock order is root → shard →
+	// sched.dmu; arrivals and departs take their shard lock first, drop it,
+	// then take the root lock, so no path ever holds a shard lock while
+	// acquiring the root.
+	shards []bShard
+	root   bRoot
+	// arena holds the event-engine waiter records, one value per PE, indexed
+	// by rank — shard s's waiters are arena[s.lo:s.hi], so a release fans out
+	// over sequential memory instead of pointer-chasing an arrival-ordered
+	// list. Nil on the goroutine engine (whose waiters park on the shard
+	// condition variable instead).
+	arena []bWaiter
+}
+
+// bRoot is the top of the combining tree. n mirrors the flat barrier's alive
+// participant count; done counts the shards that reported completion for the
+// current generation; maxT accumulates the shard maxima as they report.
+type bRoot struct {
+	mu   sync.Mutex
+	n    int
+	done int
+	maxT float64
+}
+
+// bShard is one combining-tree leaf. alive is the shard's alive owned PEs,
+// count the arrivals this generation; the shard is complete when they meet,
+// and the PE (or departer) that makes them meet reports the shard's maxT
+// upward exactly once per generation (the reported flag). outT/outErr/gen are
+// the release results the root writes back downward; goroutine-engine waiters
+// sleep on cond until gen moves.
+type bShard struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
-	w        *World
-	n        int // alive participants
+	lo, hi   int // owned PE rank range [lo, hi)
+	alive    int
 	count    int
-	gen      uint64
 	maxT     float64
+	reported bool
+	gen      uint64
 	outT     float64
 	outErr   error
 	poisoned bool
-	// evWaiters holds the event-engine waiters of the current generation.
-	// The releaser hands each its result directly (record fields, then the
-	// done flag, then a slot-granting wake), so a released waiter never
-	// reacquires b.mu — release is one pass, not a broadcast-and-reconverge
-	// storm.
-	evWaiters []*bWaiter
 }
 
-// bWaiter is a PE's reusable barrier-wait record on the event engine. The
-// waiter parks until done; the atomic done flag is stored after the result
-// fields, so observing done == true makes the fields safely readable without
-// b.mu (the wake alone is not enough — a stale wake from an earlier targeted
-// write could resume the waiter first).
+// bWaiter is a PE's reusable barrier-wait record on the event engine, one
+// arena value per rank. waiting marks a registration for the current
+// generation (guarded by the owning shard's mutex; the release clears it
+// while additionally holding the dispatch lock). The atomic done flag is
+// stored after the result fields, so observing done == true makes the fields
+// safely readable without any lock (the wake alone is not enough — a stale
+// wake from an earlier targeted write could resume the waiter first).
 type bWaiter struct {
 	p        *PE
 	outT     float64
 	outErr   error
+	waiting  bool
 	poisoned bool
 	done     atomic.Bool
 }
 
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
+// newBarrier builds the shard tree for n PEs. shardsOpt is
+// Options.BarrierShards (0 = auto: one shard per defaultShardPEs ranks),
+// clamped to [1, n]; the chunking guarantees every shard starts non-empty.
+// event selects whether to allocate the waiter arena.
+func newBarrier(w *World, n, shardsOpt int, event bool) *barrier {
+	s := shardsOpt
+	if s <= 0 {
+		s = (n + defaultShardPEs - 1) / defaultShardPEs
+	}
+	if s > n {
+		s = n
+	}
+	chunk := (n + s - 1) / s
+	s = (n + chunk - 1) / chunk
+	b := &barrier{w: w, chunk: chunk, shards: make([]bShard, s)}
+	b.root.n = n
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.lo = i * chunk
+		sh.hi = min(sh.lo+chunk, n)
+		sh.alive = sh.hi - sh.lo
+		sh.cond = sync.NewCond(&sh.mu)
+	}
+	if event {
+		b.arena = make([]bWaiter, n)
+	}
 	return b
 }
 
-// release completes the current generation. Must be called with b.mu held and
-// b.count == b.n. The release time and status are order-independent (a max
-// and a membership snapshot), so which participant happens to arrive last —
-// an engine-scheduling accident — cannot change what anyone observes.
-func (b *barrier) release() {
-	b.count = 0
-	b.outT = b.maxT
-	b.maxT = 0
-	b.outErr = b.w.imageFaultErr()
-	b.gen++
-	b.w.bumpEvent()
-	for _, bw := range b.evWaiters {
-		bw.outT = b.outT
-		bw.outErr = b.outErr
-		bw.done.Store(true)
+// combine reports one completed leaf shard upward and, when it is the last
+// outstanding shard and alive participants remain, releases the generation.
+// self is the reporting PE when the report came from an arrival (so the
+// release fan-out can skip waking the goroutine that is itself running the
+// release), nil when it came from a departure.
+func (b *barrier) combine(sMax float64, self *PE) {
+	r := &b.root
+	r.mu.Lock()
+	if sMax > r.maxT {
+		r.maxT = sMax
 	}
-	b.w.wakeEventAll(b.evWaiters)
-	b.evWaiters = b.evWaiters[:0]
-	b.cond.Broadcast()
+	r.done++
+	if r.done == len(b.shards) && r.n > 0 {
+		b.release(self)
+	}
+	r.mu.Unlock()
+}
+
+// release completes the current generation. Must be called with root.mu held
+// and every shard reported. The release time and status are order-independent
+// (a max and a membership snapshot taken once here at the root), so which
+// participant happens to report last — an engine-scheduling accident — cannot
+// change what anyone observes. The downward pass walks the shards in rank
+// order, resetting each for the next generation and fanning out its own
+// waiters: event-engine records are filled and batch-woken arena-slice by
+// arena-slice (one dispatch-lock pass per shard), goroutine-engine waiters
+// get the shard broadcast.
+func (b *barrier) release(self *PE) {
+	r := &b.root
+	outT := r.maxT
+	outErr := b.w.imageFaultErr()
+	r.maxT = 0
+	r.done = 0
+	b.w.bumpEvent()
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		sh.count = 0
+		sh.maxT = 0
+		// A shard with no alive owners left has nobody to report it next
+		// generation; it is pre-reported here so the root's completeness
+		// count stays exact.
+		sh.reported = sh.alive == 0
+		if sh.reported {
+			r.done++
+		}
+		sh.outT, sh.outErr = outT, outErr
+		sh.gen++
+		if b.arena != nil {
+			b.w.wakeBarrierShard(b.arena[sh.lo:sh.hi], outT, outErr, self)
+		}
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
 }
 
 // await blocks until every alive participant has called it, then returns the
 // maximum arriveT across the group and the fault status at release time (nil
-// when every PE was alive). p identifies the arriving PE for event-engine
-// parking; nil (or a goroutine-engine PE) takes the condition-variable path.
+// when every PE was alive). p identifies the arriving PE: it selects the
+// owning shard, and on the event engine its arena record.
 func (b *barrier) await(p *PE, arriveT float64) (float64, error) {
-	b.mu.Lock()
-	if b.poisoned {
-		b.mu.Unlock()
+	sh := &b.shards[p.ID/b.chunk]
+	sh.mu.Lock()
+	if sh.poisoned {
+		sh.mu.Unlock()
 		panic("pgas: barrier poisoned (another PE failed)")
 	}
-	if arriveT > b.maxT {
-		b.maxT = arriveT
+	if arriveT > sh.maxT {
+		sh.maxT = arriveT
 	}
-	b.count++
+	sh.count++
 	b.w.bumpEvent()
-	if b.count == b.n {
-		b.release()
-		outT, outErr := b.outT, b.outErr
-		b.mu.Unlock()
-		return outT, outErr
+	gen := sh.gen
+	var bw *bWaiter
+	if p.wake != nil {
+		// Event engine: register the arena record before reporting upward —
+		// once the shard is reported, any other shard's report can trigger
+		// the release, and a record registered late would miss its fill.
+		bw = &b.arena[p.ID]
+		bw.outT, bw.outErr, bw.poisoned = 0, nil, false
+		bw.done.Store(false)
+		bw.waiting = true
 	}
-	if p == nil || p.wake == nil {
-		gen := b.gen
-		for b.gen == gen && !b.poisoned {
-			b.w.beginBlock()
-			b.cond.Wait()
-			b.w.endBlock()
-		}
-		poisoned := b.poisoned
-		outT, outErr := b.outT, b.outErr
-		b.mu.Unlock()
-		if poisoned {
+	complete := sh.count == sh.alive && !sh.reported
+	var sMax float64
+	if complete {
+		sh.reported = true
+		sMax = sh.maxT
+	}
+	sh.mu.Unlock()
+	if complete {
+		b.combine(sMax, p)
+	}
+	if bw != nil {
+		// Park until the releaser (or a poison) fills the record. Stale wake
+		// tokens are possible — loop on done. If this PE ran the release
+		// itself, done is already set and the park falls straight through.
+		b.w.beginBlock()
+		p.parkForBarrier(bw)
+		b.w.endBlock()
+		if bw.poisoned {
 			panic("pgas: barrier poisoned (another PE failed)")
 		}
-		return outT, outErr
+		return bw.outT, bw.outErr
 	}
-	// Event engine: register a waiter record for this generation, release
-	// b.mu and the worker slot, and park until the releaser (or a poison)
-	// fills the record. Stale wake tokens are possible — loop on done.
-	bw := p.bw
-	bw.outT, bw.outErr, bw.poisoned = 0, nil, false
-	bw.done.Store(false)
-	b.evWaiters = append(b.evWaiters, bw)
-	b.mu.Unlock()
-	b.w.beginBlock()
-	p.parkForBarrier(bw)
-	b.w.endBlock()
-	if bw.poisoned {
+	// Goroutine engine: sleep on the shard condition variable until the
+	// generation moves. The next generation cannot release before this PE
+	// arrives again, so the shard's result fields stay valid to read here.
+	sh.mu.Lock()
+	for sh.gen == gen && !sh.poisoned {
+		b.w.beginBlock()
+		sh.cond.Wait()
+		b.w.endBlock()
+	}
+	poisoned := sh.poisoned
+	outT, outErr := sh.outT, sh.outErr
+	sh.mu.Unlock()
+	if poisoned {
 		panic("pgas: barrier poisoned (another PE failed)")
 	}
-	return bw.outT, bw.outErr
+	return outT, outErr
 }
 
 // parkForBarrier parks until the PE's barrier record is done. Each park
@@ -138,30 +266,50 @@ func (p *PE) parkForBarrier(bw *bWaiter) {
 	}
 }
 
-// depart removes a participant (PE failure or stop). If the remaining
-// arrivals now form the complete alive group, the barrier releases — with a
-// non-nil status, since a departure mid-rendezvous is exactly the condition
-// the status exists to report.
-func (b *barrier) depart() {
-	b.mu.Lock()
-	b.n--
-	if b.n > 0 && b.count == b.n {
-		b.release()
+// depart removes a participant (PE failure or stop), routed through its
+// owning shard. If the shard's remaining arrivals now form its complete
+// alive group, the departure reports it upward and the root re-checks whole-
+// world completeness — a departure mid-rendezvous is exactly the condition
+// the release status exists to report.
+func (b *barrier) depart(id int) {
+	sh := &b.shards[id/b.chunk]
+	sh.mu.Lock()
+	sh.alive--
+	complete := !sh.reported && sh.count == sh.alive
+	var sMax float64
+	if complete {
+		sh.reported = true
+		sMax = sh.maxT
 	}
-	b.mu.Unlock()
+	sh.mu.Unlock()
+	r := &b.root
+	r.mu.Lock()
+	r.n--
+	if complete {
+		if sMax > r.maxT {
+			r.maxT = sMax
+		}
+		r.done++
+		if r.done == len(b.shards) && r.n > 0 {
+			b.release(nil)
+		}
+	}
+	r.mu.Unlock()
 }
 
+// poison marks every shard poisoned and wakes all registered waiters so the
+// world can unwind.
 func (b *barrier) poison() {
-	b.mu.Lock()
-	b.poisoned = true
-	for _, bw := range b.evWaiters {
-		bw.poisoned = true
-		bw.done.Store(true)
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		sh.poisoned = true
+		if b.arena != nil {
+			b.w.poisonBarrierShard(b.arena[sh.lo:sh.hi])
+		}
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
 	}
-	b.w.wakeEventAll(b.evWaiters)
-	b.evWaiters = b.evWaiters[:0]
-	b.cond.Broadcast()
-	b.mu.Unlock()
 }
 
 // BarrierSync performs a world-wide rendezvous: it blocks until every alive
@@ -170,8 +318,8 @@ func (b *barrier) poison() {
 // value is the causality floor, not the release time). If any PE failed or
 // stopped, the rendezvous still completes among survivors and this panics
 // with the *ImageFault — the non-STAT Fortran semantics (error termination).
-func (w *World) BarrierSync(arriveT float64) float64 {
-	rel, err := w.barrier.await(nil, arriveT)
+func (p *PE) BarrierSync(arriveT float64) float64 {
+	rel, err := p.world.barrier.await(p, arriveT)
 	if err != nil {
 		panic(err)
 	}
@@ -180,8 +328,8 @@ func (w *World) BarrierSync(arriveT float64) float64 {
 
 // BarrierSyncStat is BarrierSync for STAT-bearing callers: the fault status
 // is returned instead of panicking, and survivors remain synchronised.
-func (w *World) BarrierSyncStat(arriveT float64) (float64, error) {
-	return w.barrier.await(nil, arriveT)
+func (p *PE) BarrierSyncStat(arriveT float64) (float64, error) {
+	return p.world.barrier.await(p, arriveT)
 }
 
 // Barrier is the common composed operation: rendezvous at the PE's current

@@ -2,6 +2,7 @@ package pgas
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"cafshmem/internal/fabric"
@@ -58,6 +59,66 @@ func BenchmarkEncodeDecodeFloat64(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		buf = EncodeSlice(buf[:0], src)
 		DecodeSlice(dst, buf)
+	}
+}
+
+// BenchmarkBarrierRelease measures steady-state full-world barrier rounds on
+// the event engine: 256 PEs park, the release fans out through the shard
+// arenas and the pre-sized ready queue, everyone re-arrives. The measured
+// region starts with every PE except rank 0 already parked at its first
+// rendezvous, so op 1 onward is pure steady state; the companion test below
+// asserts the rounds are allocation-free (the arena records, wake channels
+// and ready queue are all pre-sized at construction, so nothing on the
+// park/release path should touch the heap).
+func BenchmarkBarrierRelease(b *testing.B) {
+	const n = 256
+	// Two workers: rank 0 pins one slot while it blocks on the start channel
+	// (a host-side wait, invisible to the scheduler), and the second slot
+	// circulates the other 255 PEs into their first park.
+	w, err := NewWorldOpts(fabric.Stampede(), n, Options{Engine: EngineEvent, Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	setup := make(chan struct{})
+	start := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(p *PE) {
+			if p.ID == 0 {
+				close(setup)
+				<-start // rank 0 holds the rendezvous open until the timer runs
+			}
+			for i := 0; i < b.N; i++ {
+				p.Clock.Advance(1)
+				p.Barrier(0)
+			}
+		})
+	}()
+	<-setup
+	for w.blockedN.Load() < n-1 {
+		runtime.Gosched()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	close(start)
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+}
+
+// TestBarrierReleaseZeroAllocs pins the satellite requirement: a steady-state
+// event-engine barrier release is 0 allocs/op. A regression here means the
+// release path regrew the ready queue, reallocated waiter records, or
+// otherwise picked up a per-round heap dependency.
+func TestBarrierReleaseZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc assertion is meaningless")
+	}
+	r := testing.Benchmark(BenchmarkBarrierRelease)
+	if allocs := r.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("steady-state barrier release: %d allocs/op, want 0 (%d allocs over %d rounds)",
+			allocs, r.MemAllocs, r.N)
 	}
 }
 

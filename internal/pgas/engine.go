@@ -91,6 +91,13 @@ type Options struct {
 	// Workers bounds how many PE bodies run concurrently on the event
 	// engine (ignored by the goroutine engine). Zero means GOMAXPROCS.
 	Workers int
+	// BarrierShards overrides the world barrier's leaf-shard count (see
+	// barrier.go). Zero auto-sizes to one shard per 256 PEs; values are
+	// clamped to [1, NumPEs]. Shard layout is a host-side performance knob:
+	// the barrier's virtual-time results are bit-identical across layouts
+	// (the tree aggregates an order-independent max), which the engine
+	// differential gate checks.
+	BarrierShards int
 }
 
 // sched is the event engine's central scheduler state, embedded in World.
@@ -185,14 +192,60 @@ func (w *World) wakeEvent(p *PE) {
 	s.dmu.Unlock()
 }
 
-// wakeEventAll is wakeEvent over a whole barrier generation's waiters under
-// one dispatch-lock acquisition — at 10k images the release fan-out would
-// otherwise pay a lock hand-off per waiter. Semantics per waiter are exactly
-// wakeEvent's.
-func (w *World) wakeEventAll(bws []*bWaiter) {
+// wakeBarrierShard releases one barrier shard's generation: it fills every
+// registered waiter record in the shard's contiguous arena slice — result
+// fields first, then the atomic done flag that publishes them — and wakes the
+// waiters under a single dispatch-lock acquisition. At 100k images the
+// release fan-out would otherwise pay a lock hand-off per waiter; batching
+// per shard (rather than per world) keeps the walk a sequential pass over
+// one arena. self — the PE running the release, if any — gets its record
+// filled but no wake dispatch: it is running, and a sticky readyFlag would
+// go stale. Per-waiter wake semantics are exactly wakeEvent's. Caller holds
+// the shard mutex, so registration cannot race the walk.
+func (w *World) wakeBarrierShard(arena []bWaiter, outT float64, outErr error, self *PE) {
 	s := &w.sched
 	s.dmu.Lock()
-	for _, bw := range bws {
+	for i := range arena {
+		bw := &arena[i]
+		if !bw.waiting {
+			continue
+		}
+		bw.waiting = false
+		bw.outT, bw.outErr = outT, outErr
+		bw.done.Store(true)
+		p := bw.p
+		if p == self {
+			continue
+		}
+		if p.parked {
+			p.parked = false
+			if s.free > 0 {
+				s.free--
+				p.wake <- struct{}{}
+			} else {
+				s.ready = append(s.ready, p)
+			}
+		} else {
+			p.readyFlag = true
+		}
+	}
+	s.dmu.Unlock()
+}
+
+// poisonBarrierShard is wakeBarrierShard's poison twin: registered waiters
+// are marked poisoned, published, and woken so the world can unwind. Caller
+// holds the shard mutex.
+func (w *World) poisonBarrierShard(arena []bWaiter) {
+	s := &w.sched
+	s.dmu.Lock()
+	for i := range arena {
+		bw := &arena[i]
+		if !bw.waiting {
+			continue
+		}
+		bw.waiting = false
+		bw.poisoned = true
+		bw.done.Store(true)
 		p := bw.p
 		if p.parked {
 			p.parked = false
@@ -338,17 +391,29 @@ func (w *World) wakeWatchers(skip *PE) {
 // stallBudget is the wall-clock quiet time after which an all-blocked world
 // is declared deadlocked. The base covers small worlds; the budget grows
 // with image count because legitimate wake chains (a barrier release
-// rippling through ten thousand parked PEs, a repair walk fanning out)
-// take host time proportional to the world, and the event engine adds a
-// second per-PE term because its wake chains drain through a bounded worker
-// pool rather than all at once. Under the race detector everything runs
-// roughly an order of magnitude slower, so the whole budget scales up —
-// a 10k-image event-loop run under -race must not false-positive as a
-// deadlock (it previously would have, at the fixed 75ms budget).
+// rippling through parked PEs, a repair walk fanning out) take host time
+// proportional to the world. The goroutine engine keeps its historical
+// linear 25µs/PE term (its wake chains are per-PE cond broadcasts, and it
+// is capped at ~10k images anyway). The event engine's term is sub-linear:
+// a release is one sequential dispatch pass (~ns per PE) plus the woken
+// bodies draining through the bounded worker pool (~µs per PE per worker) —
+// a linear 25µs/PE term would put the 100k budget past five seconds, long
+// enough to mask real deadlocks, where the calibrated form stays under a
+// second. Under the race detector everything runs roughly an order of
+// magnitude slower, so the whole budget scales up — a 100k-image event-loop
+// run under -race must not false-positive as a deadlock.
 func (w *World) stallBudget() time.Duration {
-	d := stallRealDelay + time.Duration(w.n)*25*time.Microsecond
+	var d time.Duration
 	if w.engine == EngineEvent {
-		d += time.Duration(w.n) * 25 * time.Microsecond
+		workers := w.workers
+		if workers < 1 {
+			workers = 1
+		}
+		d = stallRealDelay +
+			time.Duration(w.n)*250*time.Nanosecond +
+			time.Duration(w.n/workers)*2500*time.Nanosecond
+	} else {
+		d = stallRealDelay + time.Duration(w.n)*25*time.Microsecond
 	}
 	if raceEnabled {
 		d *= 8

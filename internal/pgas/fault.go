@@ -80,7 +80,7 @@ func (w *World) depart(p *PE, to peState) {
 	w.aliveN.Add(-1)
 	w.departEpoch.Add(1)
 	w.bumpEvent()
-	w.barrier.depart()
+	w.barrier.depart(p.ID)
 	// Wake only partitions with a registered waiter: the state change above
 	// is sequenced before the waiter scan, and a waiter registers before
 	// re-checking fault state, so either the fan-out sees its registration

@@ -37,6 +37,7 @@ type World struct {
 	// condition is a registered watch; wakeBuf (guarded by scratchMu) is its
 	// reusable fan-out scratch.
 	engine    Engine
+	workers   int // resolved event-engine pool size (0 on goroutine engine)
 	sched     sched
 	scratchMu sync.Mutex
 	wakeBuf   []*PE
@@ -100,15 +101,14 @@ type PE struct {
 	// Event-engine task state (nil/unused on the goroutine engine): wake is
 	// the slot-grant channel — a send means "a wake event occurred and you
 	// own a worker slot", and the scheduler's state machine allows at most
-	// one outstanding grant, so the buffered(1) send never blocks — and bw
-	// is the PE's reusable barrier-waiter record (a PE waits in at most one
-	// barrier at a time). parked and readyFlag are the scheduler's view of
-	// this task, guarded by sched.dmu: parked means slotless and awaiting a
-	// grant; readyFlag is the sticky wake-arrived-while-running note the
+	// one outstanding grant, so the buffered(1) send never blocks. The PE's
+	// reusable barrier-waiter record lives in its shard's arena, indexed by
+	// rank (see barrier.go). parked and readyFlag are the scheduler's view
+	// of this task, guarded by sched.dmu: parked means slotless and awaiting
+	// a grant; readyFlag is the sticky wake-arrived-while-running note the
 	// next park consumes, which is what makes a wake racing ahead of the
 	// park lossless.
 	wake      chan struct{}
-	bw        *bWaiter
 	parked    bool
 	readyFlag bool
 }
@@ -157,31 +157,29 @@ func NewWorldOpts(machine *fabric.Machine, n int, opts Options) (*World, error) 
 		machine: machine,
 		n:       n,
 		pes:     make([]*PE, n),
-		barrier: newBarrier(n),
 		shared:  map[string]interface{}{},
 		states:  make([]int32, n),
 		engine:  opts.Engine,
 	}
-	w.barrier.w = w
+	w.barrier = newBarrier(w, n, opts.BarrierShards, opts.Engine == EngineEvent)
 	w.aliveN.Store(int32(n))
 	if opts.Engine == EngineEvent {
-		w.sched.free = defaultWorkers(opts.Workers)
+		w.workers = defaultWorkers(opts.Workers)
+		w.sched.free = w.workers
 		w.sched.watchers = make(map[*PE]struct{})
-	}
-	// Barrier-waiter records are one contiguous slice: the barrier release
-	// walks all of them every generation, and at 10k PEs the sequential pass
-	// matters more than any per-record layout concern.
-	var bws []bWaiter
-	if opts.Engine == EngineEvent {
-		bws = make([]bWaiter, n)
+		// Pre-size the ready queue to world capacity: a full-world barrier
+		// release can make every PE ready at once, and regrowing the queue
+		// mid-fanout under the dispatch lock is exactly the stall the batch
+		// wake exists to avoid. grantLocked resets to ready[:0] on drain, so
+		// the capacity persists across generations.
+		w.sched.ready = make([]*PE, 0, n)
 	}
 	for i := range w.pes {
 		p := &PE{ID: i, world: w, watches: map[*watch]struct{}{}}
 		p.cond = sync.NewCond(&p.mu)
 		if opts.Engine == EngineEvent {
 			p.wake = make(chan struct{}, 1)
-			bws[i].p = p
-			p.bw = &bws[i]
+			w.barrier.arena[i].p = p
 		}
 		w.pes[i] = p
 	}

@@ -53,7 +53,7 @@ func TestRunPropagatesPanic(t *testing.T) {
 			panic("boom")
 		}
 		// PE 0 parks in a barrier; the poison must wake it.
-		p.world.BarrierSync(0)
+		p.BarrierSync(0)
 	})
 	if err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Fatalf("expected propagated panic, got %v", err)

@@ -8,17 +8,31 @@ import (
 	"cafshmem/internal/pgas"
 )
 
+// EngineOpts bundles the host-side execution-engine tuning the bench CLIs
+// expose (-engine, -workers, -barriershards). The zero value is the
+// goroutine engine with defaults. None of it can change a virtual-time
+// result — it only changes how the simulation spends host time.
+type EngineOpts struct {
+	Engine        pgas.Engine
+	Workers       int
+	BarrierShards int
+}
+
+func (e EngineOpts) apply(o *caf.Options) {
+	o.Engine, o.Workers, o.BarrierShards = e.Engine, e.Workers, e.BarrierShards
+}
+
 // Fig9 regenerates Figure 9: the distributed hash table benchmark on Titan.
 // Each image performs `updates` random locked updates; execution time of the
 // slowest image is reported per image count.
 func Fig9(maxImages, bucketsPerImage, updates int) Figure {
-	return Fig9Engine(maxImages, bucketsPerImage, updates, pgas.EngineGoroutine, 0)
+	return Fig9Engine(maxImages, bucketsPerImage, updates, EngineOpts{})
 }
 
 // Fig9Engine is Fig9 on an explicit pgas execution engine — the virtual-time
 // results are engine-independent; the engine choice only changes how the
 // simulation spends host time (bench CLIs expose it as -engine/-workers).
-func Fig9Engine(maxImages, bucketsPerImage, updates int, engine pgas.Engine, workers int) Figure {
+func Fig9Engine(maxImages, bucketsPerImage, updates int, eng EngineOpts) Figure {
 	ti := fabric.Titan()
 	counts := []int{}
 	for _, n := range ImageSweep {
@@ -36,7 +50,7 @@ func Fig9Engine(maxImages, bucketsPerImage, updates int, engine pgas.Engine, wor
 	}
 	p := Panel{Title: "DHT: random locked updates", XLabel: "images", YLabel: "time (ms)"}
 	for _, c := range configs {
-		c.opts.Engine, c.opts.Workers = engine, workers
+		eng.apply(&c.opts)
 		s := Series{Label: c.label}
 		for _, n := range counts {
 			r, err := dht.Bench(c.opts, n, bucketsPerImage, updates)
@@ -54,11 +68,11 @@ func Fig9Engine(maxImages, bucketsPerImage, updates int, engine pgas.Engine, wor
 // vs image count, UHCAF over GASNet vs UHCAF over MVAPICH2-X SHMEM with the
 // naive strided algorithm (the best per §V-D).
 func Fig10(maxImages int, prm himeno.Params) Figure {
-	return Fig10Engine(maxImages, prm, pgas.EngineGoroutine, 0)
+	return Fig10Engine(maxImages, prm, EngineOpts{})
 }
 
 // Fig10Engine is Fig10 on an explicit pgas execution engine (see Fig9Engine).
-func Fig10Engine(maxImages int, prm himeno.Params, engine pgas.Engine, workers int) Figure {
+func Fig10Engine(maxImages int, prm himeno.Params, eng EngineOpts) Figure {
 	st := fabric.Stampede()
 	counts := []int{}
 	for _, n := range append([]int{1}, ImageSweep...) {
@@ -77,7 +91,7 @@ func Fig10Engine(maxImages int, prm himeno.Params, engine pgas.Engine, workers i
 	}
 	p := Panel{Title: "Himeno Jacobi pressure solver", XLabel: "images", YLabel: "MFLOPS"}
 	for _, c := range configs {
-		c.opts.Engine, c.opts.Workers = engine, workers
+		eng.apply(&c.opts)
 		s := Series{Label: c.label}
 		for _, n := range counts {
 			r, err := himeno.Run(c.opts, n, prm)

@@ -111,9 +111,12 @@ type Config struct {
 	// Engine selects the pgas execution engine (goroutine-per-PE by
 	// default, or the bounded-worker-pool event engine); Workers bounds the
 	// event engine's pool (0 = GOMAXPROCS). Virtual-time results are
-	// engine-independent by construction.
-	Engine  pgas.Engine
-	Workers int
+	// engine-independent by construction. BarrierShards overrides the world
+	// barrier's combining-tree leaf-shard count (0 = auto, one shard per
+	// 256 PEs) — equally invisible to modelled results.
+	Engine        pgas.Engine
+	Workers       int
+	BarrierShards int
 }
 
 // Run launches an n-PE OpenSHMEM job and executes body once per PE
@@ -143,7 +146,7 @@ func NewWorld(cfg Config, n int) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	pw, err := pgas.NewWorldOpts(cfg.Machine, n, pgas.Options{Engine: cfg.Engine, Workers: cfg.Workers})
+	pw, err := pgas.NewWorldOpts(cfg.Machine, n, pgas.Options{Engine: cfg.Engine, Workers: cfg.Workers, BarrierShards: cfg.BarrierShards})
 	if err != nil {
 		return nil, err
 	}
