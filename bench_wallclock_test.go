@@ -16,6 +16,7 @@ import (
 	"cafshmem/internal/dht"
 	"cafshmem/internal/fabric"
 	"cafshmem/internal/himeno"
+	"cafshmem/internal/pgasbench"
 )
 
 // BenchmarkWallclockContigPut measures the steady-state contiguous put fast
@@ -161,5 +162,29 @@ func BenchmarkWallclockHimeno(b *testing.B) {
 		if _, err := himeno.Run(o, 256, prm); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWallclockHimenoTransport is the same workload as
+// BenchmarkWallclockHimeno run once per transport backend — the host-cost
+// side of the transport matrix. cmd/benchreport extracts the three
+// sub-benchmark rows into BENCH_10.json, and its -check gate asserts the
+// mpi3 row exists there, so the matrix cannot silently lose a backend.
+// Every backend runs the naive strided algorithm at 256 images so the rows
+// differ only in the transport mapping (shmem fast path, GASNet AM engine +
+// NBI streams, MPI-3 window epochs).
+func BenchmarkWallclockHimenoTransport(b *testing.B) {
+	prm := himeno.Params{NX: 16, NY: 256, NZ: 8, Iters: 20}
+	for _, kind := range []caf.TransportKind{caf.TransportSHMEM, caf.TransportGASNet, caf.TransportMPI3} {
+		kind := kind
+		b.Run("transport="+kind.String(), func(b *testing.B) {
+			o := pgasbench.TransportOptions(kind)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := himeno.Run(o, 256, prm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

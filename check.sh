@@ -41,6 +41,16 @@ go test -run 'TestOverlapFasterOnAllMachines' -count=1 ./internal/himeno
 echo "==> signal smoke (barrier-free Himeno beats the barrier-paced overlap)"
 go test -run 'TestSignalOverlapFasterThanBarrierOverlap' -count=1 ./internal/himeno
 
+echo "==> transport conformance (shared battery, per-transport, bounded wall time)"
+# Every transport runs the full semantic battery on its own budget, so a
+# hang in one backend names that backend instead of stalling the gate.
+for tr in shmem gasnet mpi3; do
+    timeout 120 go test -run "^TestConformance/${tr}$" -count=1 ./internal/caf/conformance
+done
+
+echo "==> transport differential gate (bit-exact blocking paths, pinned divergences)"
+timeout 120 go test -run 'TestDifferentialBlockingExact|TestGASNetAtomicDivergenceExact|TestGASNetSignalDivergenceExact|TestMPI3WindowSyncSurchargeExact' -count=1 ./internal/caf/conformance
+
 echo "==> chaos-loss smoke (lossy fabric: retransmit/dup/kill replays, bounded wall time)"
 # A retry-exhaustion or watchdog bug would show up as a hang; the timeout
 # turns that into a failure instead of a stuck gate.
@@ -68,7 +78,7 @@ echo "==> wall-clock bench smoke (one iteration per benchmark, incl. Himeno over
 go test -run '^$' -bench '^BenchmarkWallclock(ContigPut|StridedPut|LockContention|DHT|Himeno|HimenoOverlap|HimenoSignal)$' -benchtime 1x .
 go test -run '^$' -bench '^BenchmarkWallclockScale/barrier/n=256' -benchtime 1x .
 
-echo "==> benchreport regression gates (contig-put allocs + BENCH_9.json scale floor)"
+echo "==> benchreport regression gates (contig-put allocs + BENCH_9.json scale floor + BENCH_10.json transport matrix)"
 go run ./cmd/benchreport -check
 
 echo "check.sh: all gates passed"

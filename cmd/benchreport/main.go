@@ -12,6 +12,7 @@
 //	benchreport -procs 4           # pin the child go test to 4 OS procs
 //	benchreport -noscale           # skip the engine scale sweep
 //	benchreport -check             # quick alloc-regression gate for CI
+//	benchreport -transports        # run only the transport matrix (BENCH_10.json)
 //
 // The baseline embedded below was measured on the pre-engine tree (PR 7, the
 // BENCH_5.json current column) with the same benchmark definitions, so the
@@ -26,13 +27,20 @@
 // goroutine count, plus the goroutine/event ns-per-simop ratio per panel and
 // size — the wall-clock improvement the event engine buys at scale.
 //
-// -check is the CI gate, two deliberately-narrow validations: it reruns only
-// the contiguous-put benchmark and fails if allocs/op rises above zero (the
-// steady-state target the pooled marshalling buffers guarantee — timing
-// gates are too noisy for CI, allocation counts are exact), and it validates
-// the committed report's scale section against the PR 9 regression floor:
-// the 10k-image barrier-panel engine speedup must hold ≥4.5× and the
-// 100k-image event row must be present (the sharded-tree guarantees).
+// Besides BENCH_9.json, every full run (and -transports alone) writes the
+// transport matrix to BENCH_10.json: the Himeno workload's host cost on each
+// CAF transport backend (shmem, gasnet, mpi3), from the sub-benchmarks of
+// BenchmarkWallclockHimenoTransport.
+//
+// -check is the CI gate, three deliberately-narrow validations: it reruns
+// only the contiguous-put benchmark and fails if allocs/op rises above zero
+// (the steady-state target the pooled marshalling buffers guarantee — timing
+// gates are too noisy for CI, allocation counts are exact); it validates
+// the committed report's scale section against the PR 9 regression floor
+// (the 10k-image barrier-panel engine speedup must hold ≥4.5× and the
+// 100k-image event row must be present — the sharded-tree guarantees); and
+// it validates the committed transport matrix (all three Himeno rows, mpi3
+// included, must be present with real measurements).
 package main
 
 import (
@@ -98,6 +106,24 @@ type report struct {
 }
 
 var benchLine = regexp.MustCompile(`^Benchmark(\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
+
+// transportLine parses one transport-matrix row (the slash-structured
+// sub-benchmarks of BenchmarkWallclockHimenoTransport, which the \w+? of
+// benchLine cannot reach).
+var transportLine = regexp.MustCompile(`^BenchmarkWallclockHimenoTransport/transport=(\w+)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(?:\s+([0-9]+) B/op\s+([0-9]+) allocs/op)?`)
+
+// transportReport is the BENCH_10.json shape: the Himeno workload's host cost
+// per transport backend. Its own file (and schema) rather than a section of
+// BENCH_9.json so the wallclock baseline history stays byte-stable.
+type transportReport struct {
+	Schema     string            `json:"schema"`
+	Workload   string            `json:"workload"`
+	GoVersion  string            `json:"go_version"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Count      int               `json:"count"`
+	Benchtime  string            `json:"benchtime"`
+	Transports map[string]Result `json:"transports"`
+}
 
 // scaleLine parses one scale-sweep result: the slash-structured name, the
 // custom ns/simop and peak-goroutines metrics, and the allocation columns.
@@ -213,6 +239,81 @@ func runScale(count, procs int) (map[string]ScaleResult, error) {
 	return results, nil
 }
 
+// runTransports runs the transport-matrix benchmark and returns the
+// per-transport minimum over count repetitions, keyed "shmem"/"gasnet"/"mpi3".
+func runTransports(benchtime string, count, procs int) (map[string]Result, error) {
+	out, err := runTest("^BenchmarkWallclockHimenoTransport$", benchtime, count, procs)
+	if err != nil {
+		return nil, err
+	}
+	results := map[string]Result{}
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		m := transportLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		r := Result{}
+		r.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+			r.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		prev, seen := results[m[1]]
+		if !seen {
+			results[m[1]] = r
+			continue
+		}
+		if r.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = r.NsPerOp
+		}
+		if r.BytesPerOp < prev.BytesPerOp {
+			prev.BytesPerOp = r.BytesPerOp
+		}
+		if r.AllocsPerOp < prev.AllocsPerOp {
+			prev.AllocsPerOp = r.AllocsPerOp
+		}
+		results[m[1]] = prev
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no transport-matrix results parsed from go test output")
+	}
+	return results, nil
+}
+
+// writeTransportReport records the matrix as BENCH_10.json and prints it.
+func writeTransportReport(path, benchtime string, count, childProcs int, tr map[string]Result) error {
+	rep := transportReport{
+		Schema:     "cafshmem-transport-bench/1",
+		Workload:   "Himeno 16x256x8, 20 iters, 256 images, naive strided (BenchmarkWallclockHimenoTransport)",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: childProcs,
+		Count:      count,
+		Benchtime:  benchtime,
+		Transports: tr,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(tr))
+	for n := range tr {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-12s %14s %12s %10s\n", "transport", "ns/op", "B/op", "allocs/op")
+	for _, n := range names {
+		c := tr[n]
+		fmt.Printf("%-12s %14.0f %12d %10d\n", n, c.NsPerOp, c.BytesPerOp, c.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
 // engineSpeedups derives the goroutine/event ns-per-simop ratio per
 // (panel, image count) from the sweep cells.
 func engineSpeedups(scale map[string]ScaleResult) map[string]float64 {
@@ -234,7 +335,7 @@ func engineSpeedups(scale map[string]ScaleResult) map[string]float64 {
 // scale section must still carry the sharded-barrier guarantees (validated
 // from the file — rerunning the full sweep is minutes of work the gate
 // cannot afford, and the report is regenerated whenever the sweep changes).
-func check(reportPath string) error {
+func check(reportPath, transportPath string) error {
 	res, err := runSuite("^BenchmarkWallclockContigPut$", "300x", 1, 0)
 	if err != nil {
 		return err
@@ -250,6 +351,33 @@ func check(reportPath string) error {
 	if err := checkScaleReport(reportPath); err != nil {
 		return err
 	}
+	return checkTransportReport(transportPath)
+}
+
+// checkTransportReport validates the committed transport matrix: all three
+// backend rows — mpi3 above all, the row this floor exists for — must be
+// present with real measurements, so the matrix cannot silently lose a
+// transport when the benchmark or the parser changes.
+func checkTransportReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("transport gate: %w (regenerate with benchreport -transports)", err)
+	}
+	var rep transportReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("transport gate: %s: %w", path, err)
+	}
+	for _, name := range []string{"shmem", "gasnet", "mpi3"} {
+		row, ok := rep.Transports[name]
+		if !ok {
+			return fmt.Errorf("transport gate: %s missing the %s Himeno row (matrix incomplete)", path, name)
+		}
+		if row.NsPerOp <= 0 {
+			return fmt.Errorf("transport gate: %s has an empty %s Himeno row", path, name)
+		}
+	}
+	fmt.Printf("benchreport -check: %s carries all three transport rows (mpi3 %.0f ns/op) — ok\n",
+		path, rep.Transports["mpi3"].NsPerOp)
 	return nil
 }
 
@@ -296,10 +424,24 @@ func main() {
 	procs := flag.Int("procs", 0, "GOMAXPROCS for the child go test (0 = child default)")
 	noScale := flag.Bool("noscale", false, "skip the engine scale sweep")
 	doCheck := flag.Bool("check", false, "run only the alloc-regression gate and exit")
+	transportOut := flag.String("transportout", "BENCH_10.json", "transport-matrix report file (also the file -check validates)")
+	transportsOnly := flag.Bool("transports", false, "run only the transport matrix and write -transportout")
 	flag.Parse()
 
 	if *doCheck {
-		if err := check(*out); err != nil {
+		if err := check(*out, *transportOut); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *transportsOnly {
+		tr, err := runTransports(*benchtime, *count, *procs)
+		if err == nil {
+			err = writeTransportReport(*transportOut, *benchtime, *count, childGOMAXPROCS(*procs), tr)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 			os.Exit(1)
 		}
@@ -319,18 +461,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	// Record the GOMAXPROCS the child test binary actually ran with, not this
-	// tool's own: -procs when pinned, the inherited environment override when
-	// set, the machine default otherwise.
-	childProcs := *procs
-	if childProcs <= 0 {
-		childProcs = runtime.NumCPU()
-		if env := os.Getenv("GOMAXPROCS"); env != "" {
-			if n, err := strconv.Atoi(env); err == nil && n > 0 {
-				childProcs = n
-			}
-		}
-	}
+	childProcs := childGOMAXPROCS(*procs)
 	rep := report{
 		Schema:      "cafshmem-wallclock-bench/2",
 		BaselineRef: "pre-engine tree (PR 7, BENCH_5.json current column; same toolchain and machine class)",
@@ -389,4 +520,31 @@ func main() {
 		}
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	// A full run refreshes the transport matrix too, so BENCH_9.json and
+	// BENCH_10.json always describe the same tree.
+	tr, err := runTransports(*benchtime, *count, *procs)
+	if err == nil {
+		err = writeTransportReport(*transportOut, *benchtime, *count, childProcs, tr)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// childGOMAXPROCS is the GOMAXPROCS the child test binary actually runs with,
+// not this tool's own: -procs when pinned, the inherited environment override
+// when set, the machine default otherwise.
+func childGOMAXPROCS(procs int) int {
+	if procs > 0 {
+		return procs
+	}
+	n := runtime.NumCPU()
+	if env := os.Getenv("GOMAXPROCS"); env != "" {
+		if v, err := strconv.Atoi(env); err == nil && v > 0 {
+			n = v
+		}
+	}
+	return n
 }

@@ -28,6 +28,7 @@ func main() {
 	engineName := flag.String("engine", "goroutine", "pgas execution engine: goroutine (one scheduled goroutine per image) or event (bounded worker pool; use for 1k+ images)")
 	workers := flag.Int("workers", 0, "event-engine worker pool size (0 = GOMAXPROCS)")
 	barrierShards := flag.Int("barriershards", 0, "world-barrier combining-tree shard count (0 = auto, one shard per 256 images; results are bit-identical across layouts)")
+	transport := flag.String("transport", "", "run the locked-update sweep on ONE Stampede transport backend (shmem, gasnet, or mpi3) instead of the Figure-9 trio")
 	faultPlan := flag.String("faultplan", "", "JSON fault-plan file: run one chaos replay under the plan instead of Figure 9")
 	faultSeed := flag.Uint64("faultseed", 0, "nonzero: chaos replay under a seeded lossy plan (drops, delay jitter, dups, one kill)")
 	chaosImages := flag.Int("chaos-images", 8, "image count for the chaos replay")
@@ -49,6 +50,16 @@ func main() {
 		return
 	}
 
+	if *transport != "" {
+		kind, err := caf.ParseTransport(*transport)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dht-bench:", err)
+			os.Exit(2)
+		}
+		transportSweep(kind, *maxImages, *buckets, *updates, pgasbench.EngineOpts{Engine: engine, Workers: *workers, BarrierShards: *barrierShards})
+		return
+	}
+
 	f := pgasbench.Fig9Engine(*maxImages, *buckets, *updates, pgasbench.EngineOpts{Engine: engine, Workers: *workers, BarrierShards: *barrierShards})
 	fmt.Print(f.Render())
 
@@ -61,6 +72,29 @@ func main() {
 		pgasbench.GeoMeanRatio(*cray, *shm))
 	fmt.Printf("  UHCAF-GASNet / UHCAF-Cray-SHMEM  = %.2f  (paper: UHCAF-SHMEM 18%% faster)\n",
 		pgasbench.GeoMeanRatio(*gas, *shm))
+}
+
+// transportSweep runs the locked-update workload on a single Stampede
+// transport backend (-transport shmem|gasnet|mpi3), printing a time table —
+// the per-backend view of the Figure-9 comparison on the machine whose three
+// transports the conformance suite covers.
+func transportSweep(kind caf.TransportKind, maxImages, buckets, updates int, eng pgasbench.EngineOpts) {
+	opts := pgasbench.TransportOptions(kind)
+	opts.Engine, opts.Workers, opts.BarrierShards = eng.Engine, eng.Workers, eng.BarrierShards
+	fmt.Printf("DHT on Stampede, transport=%v, %d buckets/image, %d updates/image\n",
+		kind, buckets, updates)
+	fmt.Printf("%8s %12s\n", "images", "time (ms)")
+	for _, n := range pgasbench.ImageSweep {
+		if n > maxImages {
+			continue
+		}
+		r, err := dht.Bench(opts, n, buckets, updates)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dht-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%8d %12.3f\n", n, r.TimeMs)
+	}
 }
 
 // loadPlan resolves the chaos fault plan: a JSON file when given, otherwise a

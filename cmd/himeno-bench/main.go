@@ -29,6 +29,7 @@ func main() {
 	engineName := flag.String("engine", "goroutine", "pgas execution engine: goroutine (one scheduled goroutine per image) or event (bounded worker pool; use for 1k+ images)")
 	workers := flag.Int("workers", 0, "event-engine worker pool size (0 = GOMAXPROCS)")
 	barrierShards := flag.Int("barriershards", 0, "world-barrier combining-tree shard count (0 = auto, one shard per 256 images; results are bit-identical across layouts)")
+	transport := flag.String("transport", "", "run the sweep on ONE Stampede transport backend (shmem, gasnet, or mpi3) instead of the Figure-10 pair")
 	faultPlan := flag.String("faultplan", "", "JSON fault-plan file: run one chaos replay under the plan instead of Figure 10")
 	faultSeed := flag.Uint64("faultseed", 0, "nonzero: chaos replay under a seeded lossy plan (drops, delay jitter, dups, one kill)")
 	chaosImages := flag.Int("chaos-images", 8, "image count for the chaos replay")
@@ -51,6 +52,16 @@ func main() {
 		return
 	}
 
+	if *transport != "" {
+		kind, err := caf.ParseTransport(*transport)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "himeno-bench:", err)
+			os.Exit(2)
+		}
+		transportSweep(kind, *maxImages, prm, pgasbench.EngineOpts{Engine: engine, Workers: *workers, BarrierShards: *barrierShards})
+		return
+	}
+
 	f := pgasbench.Fig10Engine(*maxImages, prm, pgasbench.EngineOpts{Engine: engine, Workers: *workers, BarrierShards: *barrierShards})
 	fmt.Print(f.Render())
 
@@ -59,6 +70,29 @@ func main() {
 	gas := p.FindSeries("UHCAF-GASNet")
 	fmt.Printf("\nsummary (geometric-mean MFLOPS ratio, SHMEM/GASNet): %.3f  (paper: ~6%% avg, 22%% max)\n",
 		pgasbench.GeoMeanRatio(*shm, *gas))
+}
+
+// transportSweep runs the Himeno sweep on a single Stampede transport backend
+// (-transport shmem|gasnet|mpi3), printing an MFLOPS table — the per-backend
+// view of the Figure-10 comparison, sharing its image counts and the
+// canonical per-transport options (pgasbench.TransportOptions).
+func transportSweep(kind caf.TransportKind, maxImages int, prm himeno.Params, eng pgasbench.EngineOpts) {
+	opts := pgasbench.TransportOptions(kind)
+	opts.Engine, opts.Workers, opts.BarrierShards = eng.Engine, eng.Workers, eng.BarrierShards
+	fmt.Printf("Himeno on Stampede, transport=%v, grid %dx%dx%d, %d iters\n",
+		kind, prm.NX, prm.NY, prm.NZ, prm.Iters)
+	fmt.Printf("%8s %12s %12s\n", "images", "MFLOPS", "time (ms)")
+	for _, n := range append([]int{1}, pgasbench.ImageSweep...) {
+		if n > maxImages || n > prm.NY {
+			continue
+		}
+		r, err := himeno.Run(opts, n, prm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "himeno-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%8d %12.2f %12.3f\n", n, r.MFLOPS, r.TimeMs)
+	}
 }
 
 // loadPlan resolves the chaos fault plan: a JSON file when given, otherwise a

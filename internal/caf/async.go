@@ -19,8 +19,8 @@ import (
 // next SyncMemory the source values are in the runtime's hands — the caller
 // must not assume the target has the data, and same-image ordering with later
 // puts to the same location is not guaranteed. On transports without
-// nonblocking support (GASNet) PutAsync degrades to the blocking Put path, so
-// programs stay portable across both backends.
+// nonblocking support (MPI-3 RMA) PutAsync degrades to the blocking Put
+// path, so programs stay portable across every backend.
 
 // PutAsync writes vals (dense, column-major section order) into section sec
 // of the coarray on image j (1-based) without waiting for remote completion.
@@ -115,7 +115,7 @@ func (img *Image) SyncMemoryStat() Stat {
 // that communication contexts make expressible. Transfers to other images
 // stay in flight, so a batch targeting one owner pays that owner's completion
 // horizon rather than the global one. On transports without per-destination
-// completion (GASNet) it degrades to the full SyncMemory, which is always
+// completion (MPI-3 RMA) it degrades to the full SyncMemory, which is always
 // correct — just stronger.
 func (img *Image) SyncMemoryImage(j int) {
 	img.pollFault()

@@ -131,10 +131,10 @@ func TestPutAsyncOverlapsCompute(t *testing.T) {
 	}
 }
 
-// On transports without a nonblocking surface (GASNet), PutAsync degrades to
-// the blocking path and stays correct.
-func TestPutAsyncFallsBackOnGASNet(t *testing.T) {
-	err := Run(2, gasnetOpts(), func(img *Image) {
+// On transports without a nonblocking surface (MPI-3 RMA), PutAsync degrades
+// to the blocking path and stays correct.
+func TestPutAsyncFallsBackOnMPI3(t *testing.T) {
+	err := Run(2, mpi3Opts(), func(img *Image) {
 		x := Allocate[int64](img, 8)
 		me := img.ThisImage()
 		vals := make([]int64, 8)
@@ -151,7 +151,37 @@ func TestPutAsyncFallsBackOnGASNet(t *testing.T) {
 			}
 		}
 		if img.Stats.AsyncPuts != 0 {
-			t.Errorf("GASNet fallback counted %d async puts", img.Stats.AsyncPuts)
+			t.Errorf("MPI-3 fallback counted %d async puts", img.Stats.AsyncPuts)
+		}
+		img.SyncAll()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// GASNet now exposes gasnet_put_nbi through the NBI engine: PutAsync must be
+// genuinely nonblocking there — counted as async and landing the data after
+// SyncMemory — not silently degraded as the original UHCAF backend did.
+func TestPutAsyncNonblockingOnGASNet(t *testing.T) {
+	err := Run(2, gasnetOpts(), func(img *Image) {
+		x := Allocate[int64](img, 8)
+		me := img.ThisImage()
+		vals := make([]int64, 8)
+		for i := range vals {
+			vals[i] = int64(10*me + i)
+		}
+		x.PutAsync(3-me, All(8), vals)
+		if img.Stats.AsyncPuts == 0 {
+			t.Error("GASNet PutAsync did not take the nonblocking path")
+		}
+		img.SyncMemory()
+		img.SyncAll()
+		got := x.Slice()
+		for i, v := range got {
+			if want := int64(10*(3-me) + i); v != want {
+				t.Errorf("image %d elem %d = %d, want %d", me, i, v, want)
+			}
 		}
 		img.SyncAll()
 	})

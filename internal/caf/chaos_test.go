@@ -1,6 +1,7 @@
 package caf_test
 
 import (
+	"strings"
 	"testing"
 
 	"cafshmem/internal/caf"
@@ -542,6 +543,44 @@ func TestChaosNBIPutAsync(t *testing.T) {
 						memStats[pe][r], allStats[pe][r], memStats2[pe][r], allStats2[pe][r])
 				}
 			}
+		}
+	}
+}
+
+// TestChaosRejectsNonSHMEMTransports pins the chaos suite's transport
+// boundary: fault plans (and FaultTolerant alone) are an OpenSHMEM-transport
+// feature — the STAT plumbing lives in the shmem mapping — so a job that
+// pairs one with the GASNet or MPI-3 backend must be rejected up front with
+// the documented error, not die somewhere inside the run.
+func TestChaosRejectsNonSHMEMTransports(t *testing.T) {
+	plan := fabric.RandomPlan(3, 4, 1, 2000, 60000)
+	for _, tc := range []struct {
+		name string
+		tr   caf.TransportKind
+	}{
+		{"gasnet", caf.TransportGASNet},
+		{"mpi3", caf.TransportMPI3},
+	} {
+		for _, mode := range []string{"faultplan", "faulttolerant"} {
+			t.Run(tc.name+"/"+mode, func(t *testing.T) {
+				opts := caf.Options{Machine: fabric.Stampede(), Transport: tc.tr}
+				if tc.tr == caf.TransportGASNet {
+					opts.Profile = fabric.ProfGASNetIBV
+				} else {
+					opts.Profile = fabric.ProfMV2XMPI3
+				}
+				if mode == "faultplan" {
+					opts.FaultPlan = plan
+				} else {
+					opts.FaultTolerant = true
+				}
+				err := caf.Run(4, opts, func(img *caf.Image) {
+					t.Error("image body ran despite the rejected transport/fault combination")
+				})
+				if err == nil || !strings.Contains(err.Error(), "require the OpenSHMEM transport") {
+					t.Fatalf("want transport rejection error, got %v", err)
+				}
+			})
 		}
 	}
 }

@@ -16,6 +16,8 @@ func gasnetOpts() Options {
 
 func crayOpts() Options { return UHCAFOverCraySHMEM(fabric.CrayXC30()) }
 
+func mpi3Opts() Options { return UHCAFOverMV2XMPI3() }
+
 func forEachTransport(t *testing.T, images int, body func(*Image)) {
 	t.Helper()
 	for _, tc := range []struct {
@@ -24,6 +26,7 @@ func forEachTransport(t *testing.T, images int, body func(*Image)) {
 	}{
 		{"shmem", shmemOpts()},
 		{"gasnet", gasnetOpts()},
+		{"mpi3", mpi3Opts()},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			if err := Run(images, tc.opts, body); err != nil {
@@ -55,6 +58,54 @@ func TestRunOptionValidation(t *testing.T) {
 	bad.Profile = "nope"
 	if err := Run(2, bad, func(*Image) {}); err == nil {
 		t.Fatal("unknown profile must fail")
+	}
+}
+
+// TestTransportSelection pins Options.Transport behaviour: the zero value is
+// the OpenSHMEM transport, an out-of-range kind is rejected with
+// errBadTransport (not a panic), and ParseTransport round-trips every name.
+func TestTransportSelection(t *testing.T) {
+	var zero TransportKind
+	if zero != TransportSHMEM || zero.String() != "shmem" {
+		t.Fatalf("zero TransportKind = %v (%q), want shmem", zero, zero.String())
+	}
+	ran := false
+	opts := shmemOpts()
+	opts.Transport = 0 // explicit zero value: must select shmem and run
+	if err := Run(1, opts, func(img *Image) {
+		ran = true
+		if got := img.Transport().Name(); got != "shmem/"+fabric.ProfMV2XSHMEM {
+			t.Errorf("zero-value transport resolved to %q", got)
+		}
+	}); err != nil || !ran {
+		t.Fatalf("zero-value transport run: err=%v ran=%v", err, ran)
+	}
+
+	bad := shmemOpts()
+	bad.Transport = TransportKind(99)
+	err := Run(1, bad, func(*Image) { t.Error("body must not run on a bad transport kind") })
+	if err != errBadTransport {
+		t.Fatalf("Transport=99: err=%v, want errBadTransport", err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		want TransportKind
+	}{
+		{"shmem", TransportSHMEM},
+		{"gasnet", TransportGASNet},
+		{"mpi3", TransportMPI3},
+	} {
+		got, err := ParseTransport(tc.name)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseTransport(%q) = %v, %v; want %v", tc.name, got, err, tc.want)
+		}
+		if got.String() != tc.name {
+			t.Errorf("TransportKind(%v).String() = %q, want %q", got, got.String(), tc.name)
+		}
+	}
+	if _, err := ParseTransport("dmapp"); err == nil {
+		t.Error("ParseTransport must reject unknown names")
 	}
 }
 

@@ -1,0 +1,13 @@
+package conformance
+
+import "testing"
+
+// TestConformance runs the semantic battery against every transport. The
+// subtest names are stable API: check.sh gates each transport individually
+// with -run 'TestConformance/<name>'.
+func TestConformance(t *testing.T) {
+	for _, c := range Cases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) { RunBattery(t, c) })
+	}
+}

@@ -23,8 +23,8 @@ func TestCriticalMutualExclusion(t *testing.T) {
 	if violations != 0 {
 		t.Fatalf("%d critical-section violations", violations)
 	}
-	if total != 2*6*15 { // two transports
-		t.Fatalf("executed %d bodies, want %d", total, 2*6*15)
+	if total != 3*6*15 { // three transports
+		t.Fatalf("executed %d bodies, want %d", total, 3*6*15)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"cafshmem/internal/fabric"
 	"cafshmem/internal/gasnet"
+	"cafshmem/internal/mpi3"
 	"cafshmem/internal/pgas"
 	"cafshmem/internal/shmem"
 )
@@ -50,8 +51,9 @@ type Image struct {
 	held map[lockKey]int64
 
 	// Nonblocking-RMA support (async.go). nbi is the transport's
-	// nonblocking-ops surface, nil when the transport has none (GASNet) —
-	// async puts then degrade to the blocking §IV-B path.
+	// nonblocking-ops surface, nil when the transport has none (MPI-3 RMA,
+	// whose flush-based completion has no per-op split-phase form in this
+	// mapping) — async puts then degrade to the blocking §IV-B path.
 	nbi nbiOps
 
 	// Failed-image support (fail.go). fault is the transport's fault-ops
@@ -129,6 +131,16 @@ func Run(images int, opts Options, body func(*Image)) error {
 		w.PgasWorld().SetActivePairsPerNode(o.ActivePairsPerNode)
 		return w.PgasWorld().Run(func(p *pgas.PE) {
 			img := newImage(newGasnetTransport(w.Attach(p)), o)
+			body(img)
+		})
+	case TransportMPI3:
+		w, err := mpi3.NewWorld(mpi3.Config{Machine: o.Machine, Profile: o.Profile, Engine: o.Engine, Workers: o.Workers, BarrierShards: o.BarrierShards}, images)
+		if err != nil {
+			return err
+		}
+		w.PgasWorld().SetActivePairsPerNode(o.ActivePairsPerNode)
+		return w.PgasWorld().Run(func(p *pgas.PE) {
+			img := newImage(newMPI3Transport(w, w.Attach(p)), o)
 			body(img)
 		})
 	default:

@@ -16,13 +16,38 @@ const (
 	// TransportGASNet maps the runtime onto GASNet — the original UHCAF
 	// backend and the paper's main comparator.
 	TransportGASNet
+	// TransportMPI3 maps the runtime onto MPI-3.0 RMA (internal/mpi3): one
+	// window over the whole partition opened with MPI_Win_lock_all at
+	// startup, puts/gets under the shared epoch, flush_all as Quiet and
+	// fence epochs under barriers — the DART-MPI mapping of a PGAS runtime
+	// onto MPI one-sided communication.
+	TransportMPI3
 )
 
 func (k TransportKind) String() string {
-	if k == TransportGASNet {
+	switch k {
+	case TransportGASNet:
 		return "gasnet"
+	case TransportMPI3:
+		return "mpi3"
+	default:
+		return "shmem"
 	}
-	return "shmem"
+}
+
+// ParseTransport resolves a transport name from a CLI flag ("shmem",
+// "gasnet", or "mpi3").
+func ParseTransport(name string) (TransportKind, error) {
+	switch name {
+	case "shmem":
+		return TransportSHMEM, nil
+	case "gasnet":
+		return TransportGASNet, nil
+	case "mpi3":
+		return TransportMPI3, nil
+	default:
+		return 0, fmt.Errorf("caf: unknown transport %q (want shmem, gasnet, or mpi3)", name)
+	}
 }
 
 // StridedAlgo selects the multi-dimensional strided transfer strategy (§IV-C).
@@ -221,6 +246,16 @@ func UHCAFOverMV2XSHMEM() Options {
 func UHCAFOverGASNet(m *fabric.Machine, profile string) Options {
 	return Options{Machine: m, Transport: TransportGASNet, Profile: profile,
 		Strided: StridedNaive, Locks: LockMCS}
+}
+
+// UHCAFOverMV2XMPI3 is UHCAF retargeted to MPI-3.0 RMA over MVAPICH2-X
+// (Stampede) — the third transport of the paper's comparison (§III measures
+// the MPI-3 one-sided latencies the profile models). MPI has no native
+// strided RMA fast path in this mapping, so sections decompose naively like
+// the GASNet backend.
+func UHCAFOverMV2XMPI3() Options {
+	return Options{Machine: fabric.Stampede(), Transport: TransportMPI3,
+		Profile: fabric.ProfMV2XMPI3, Strided: StridedNaive, Locks: LockMCS}
 }
 
 // CrayCAF models the Cray Fortran compiler's own CAF implementation over

@@ -59,7 +59,7 @@ func (s *Signal) Notify(j int) {
 		img.Stats.Puts++
 		return
 	}
-	// Degrade (GASNet): no fused signal exists, so complete everything first
+	// Degrade (MPI-3 RMA): no fused signal exists, so complete everything first
 	// and post the flag as an ordinary put — always correct, just stronger.
 	img.quiet()
 	img.tr.PutMem(j-1, s.slotOff(me), pgas.EncodeOne(uint64(s.sent[j-1])))
@@ -143,7 +143,7 @@ func (s *Signal) Pending(j int) int64 {
 // own view of the transfer (source-buffer hygiene), but the consumer needs
 // nothing beyond Wait.
 //
-// On transports without the fused path (GASNet) it degrades to a blocking put
+// On transports without the fused path (MPI-3 RMA) it degrades to a blocking put
 // section, a full quiet, and a plain Notify — the same observable ordering,
 // without the overlap.
 func (c *Coarray[T]) PutSignalAsync(j int, sec Section, vals []T, sig *Signal) {

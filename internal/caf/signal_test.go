@@ -7,13 +7,15 @@ import (
 )
 
 // Notify/Wait over blocking puts: the consumer that returns from Wait sees
-// the producer's prior puts, with no barrier anywhere — on the OpenSHMEM
-// transport (fused put-with-signal) and the GASNet degrade alike.
+// the producer's prior puts, with no barrier anywhere — on the fused
+// put-with-signal paths (OpenSHMEM native, GASNet AM-emulated) and the MPI-3
+// degrade alike.
 func TestSignalNotifyWaitDeliversData(t *testing.T) {
 	for name, opts := range map[string]Options{
 		"shmem":  UHCAFOverMV2XSHMEM(),
 		"cray":   UHCAFOverCraySHMEM(fabric.CrayXC30()),
 		"gasnet": gasnetOpts(),
+		"mpi3":   mpi3Opts(),
 	} {
 		err := Run(2, opts, func(img *Image) {
 			x := Allocate[int64](img, 8)
@@ -180,9 +182,9 @@ func TestSyncMemoryImageWaitsForOneImage(t *testing.T) {
 }
 
 // SyncMemoryImage degrades to the (stronger) full SyncMemory on transports
-// without per-destination completion, and the data still lands.
-func TestSyncMemoryImageGASNetDegrade(t *testing.T) {
-	err := Run(2, gasnetOpts(), func(img *Image) {
+// without per-destination completion (MPI-3 RMA), and the data still lands.
+func TestSyncMemoryImageMPI3Degrade(t *testing.T) {
+	err := Run(2, mpi3Opts(), func(img *Image) {
 		x := Allocate[int64](img, 8)
 		me := img.ThisImage()
 		x.PutAsync(3-me, All(8), []int64{1, 2, 3, 4, 5, 6, 7, 8})

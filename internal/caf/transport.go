@@ -223,11 +223,13 @@ func (t *shmemTransport) Barrier() { t.pe.Barrier() }
 // --- nonblocking-RMA extension (async.go) ---
 
 // nbiOps is the extension surface for nonblocking one-sided writes
-// (shmem_put_nbi and friends, OpenSHMEM 1.3 §9.5). Only the OpenSHMEM
-// transport provides it: GASNet's put is already split-phase internally, but
-// the original UHCAF backend never exposed that to the CAF layer, and keeping
-// it unavailable there preserves the comparison baseline. asNBIOps returns
-// nil elsewhere and callers degrade to the blocking path.
+// (shmem_put_nbi and friends, OpenSHMEM 1.3 §9.5). The OpenSHMEM transport
+// maps it onto the native *_nbi calls; the GASNet transport maps it onto
+// gasnet_put_nbi/get_nbi over the same NBI completion engine, so PutAsync
+// genuinely overlaps there too (put-with-signal is AM-emulated, paying
+// handler dispatch at the target). The MPI-3 transport provides none — its
+// flush-based completion has no per-op split-phase form in this mapping —
+// so asNBIOps returns nil there and callers degrade to the blocking path.
 //
 // Contract: source buffers passed to the PutNBI forms are owned by the
 // runtime until the next Quiet/QuietStat — callers must not reuse or pool
@@ -477,6 +479,63 @@ func (t *gasnetTransport) GetStrided1D(target int, off, strideBytes int64, elemS
 }
 
 func (t *gasnetTransport) Quiet() { t.ep.WaitSyncAll() }
+
+// --- nonblocking-RMA extension over gasnet_put_nbi/get_nbi ---
+
+func (t *gasnetTransport) wordIdx(off int64) int {
+	if off%8 != 0 {
+		panic("caf: atomic on unaligned offset")
+	}
+	return int(off / 8)
+}
+
+func (t *gasnetTransport) PutMemNBI(target int, off int64, data []byte) {
+	t.ep.PutNBI(target, t.all, off, data)
+}
+
+// PutMemVNBI: no vectored form in GASNet; one put_nbi per run. Each run
+// charges one injection overhead and the transfers serialise on the NIC —
+// the same arithmetic as the OpenSHMEM vectored NBI path.
+func (t *gasnetTransport) PutMemVNBI(target int, offs []int64, runBytes int, src []byte) {
+	for i, off := range offs {
+		t.ep.PutNBI(target, t.all, off, src[i*runBytes:(i+1)*runBytes])
+	}
+}
+
+// PutStrided1DNBI: no strided API either; one put_nbi per element, the
+// nonblocking sibling of the blocking loop in PutStrided1D.
+func (t *gasnetTransport) PutStrided1DNBI(target int, off, strideBytes int64, elemSize int, src []byte) {
+	for k := 0; k*elemSize < len(src); k++ {
+		t.ep.PutNBI(target, t.all, off+int64(k)*strideBytes, src[k*elemSize:(k+1)*elemSize])
+	}
+}
+
+func (t *gasnetTransport) GetMemNBI(target int, off int64, dst []byte) {
+	t.ep.GetNBI(target, t.all, off, dst)
+}
+
+func (t *gasnetTransport) PutSignal(target int, off int64, data []byte, sigOff int64, sigVal int64) {
+	t.ep.PutSignal(target, t.all, off, data, t.all, t.wordIdx(sigOff), sigVal)
+}
+
+func (t *gasnetTransport) PutSignalNBI(target int, off int64, data []byte, sigOff int64, sigVal int64) {
+	t.ep.PutSignalNBI(target, t.all, off, data, t.all, t.wordIdx(sigOff), sigVal)
+}
+
+func (t *gasnetTransport) QuietImage(target int) { t.ep.WaitSyncImage(target) }
+
+// QuietImageStat / QuietStat: the GASNet transport has no failed-image
+// machinery (faultOps is SHMEM-only), so the stat forms drain and report
+// success unconditionally.
+func (t *gasnetTransport) QuietImageStat(target int) error {
+	t.ep.WaitSyncImage(target)
+	return nil
+}
+
+func (t *gasnetTransport) QuietStat() error {
+	t.ep.WaitSyncAll()
+	return nil
+}
 
 func (t *gasnetTransport) amo(target, handler int, args ...int64) int64 {
 	return t.ep.RequestSync(target, handler, args...)[0]

@@ -46,6 +46,20 @@ func (m *Machine) MustProfile(name string) *CostProfile {
 	return p
 }
 
+// AddProfile registers (or replaces) a library cost profile under p.Name —
+// the hook harnesses use to run a machine with a derived profile (e.g. a
+// clone with a nonzero WindowSyncNs to isolate that surcharge). The machine
+// builders below remain the source of the calibrated defaults.
+func (m *Machine) AddProfile(p *CostProfile) {
+	if p == nil || p.Name == "" {
+		panic("fabric: AddProfile needs a named profile")
+	}
+	if m.profiles == nil {
+		m.profiles = map[string]*CostProfile{}
+	}
+	m.profiles[p.Name] = p
+}
+
 // ProfileNames lists the library profiles configured for the machine.
 func (m *Machine) ProfileNames() []string {
 	names := make([]string, 0, len(m.profiles))

@@ -72,9 +72,7 @@ func (ep *EP) runHandler(target, idx int, payload []byte, args []int64, wantRepl
 	}
 	// Fire-and-forget: the source tracks remote completion via the implicit
 	// sync set, like a put.
-	if arrive > ep.pendingT {
-		ep.pendingT = arrive
-	}
+	ep.notePending(target, arrive)
 	return nil, replyAt
 }
 

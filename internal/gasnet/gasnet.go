@@ -48,6 +48,18 @@ type EP struct {
 	world    *World
 	p        *pgas.PE
 	pendingT float64
+	// pendTargets/pendVis refine pendingT per destination (first-issue
+	// order), so WaitSyncImage can complete one destination's blocking puts
+	// without draining the rest — the same bookkeeping shmem.PE keeps.
+	pendTargets []int
+	pendVis     []float64
+	// nic is the endpoint's injection pipe; nbi tracks in-flight
+	// implicit-handle nonblocking ops (PutNBI/GetNBI) per destination on it.
+	// Explicit-handle ops (PutNB/GetNB) reserve the same pipe but complete
+	// through their SyncHandle, not the implicit set — gasnet_wait_syncnbi_all
+	// never completes explicit handles.
+	nic fabric.NBINic
+	nbi fabric.NBIStreams
 }
 
 // Config selects the modelled platform and conduit.
@@ -90,7 +102,30 @@ func NewWorld(cfg Config, n int) (*World, error) {
 }
 
 // Attach creates the endpoint handle for a pgas PE.
-func (w *World) Attach(p *pgas.PE) *EP { return &EP{world: w, p: p} }
+func (w *World) Attach(p *pgas.PE) *EP {
+	ep := &EP{world: w, p: p}
+	ep.nbi = fabric.NewNBIStreams(&ep.nic)
+	return ep
+}
+
+// notePending records the visibility time of a blocking put (or
+// fire-and-forget AM) toward target on both the global horizon and the
+// per-destination refinement.
+func (ep *EP) notePending(target int, vis float64) {
+	if vis > ep.pendingT {
+		ep.pendingT = vis
+	}
+	for i, t := range ep.pendTargets {
+		if t == target {
+			if vis > ep.pendVis[i] {
+				ep.pendVis[i] = vis
+			}
+			return
+		}
+	}
+	ep.pendTargets = append(ep.pendTargets, target)
+	ep.pendVis = append(ep.pendVis, vis)
+}
 
 // PgasWorld exposes the substrate (for layered runtimes).
 func (w *World) PgasWorld() *pgas.World { return w.pw }

@@ -3,6 +3,8 @@ package mpi3
 import (
 	"strings"
 	"testing"
+
+	"cafshmem/internal/pgas"
 )
 
 // Negative-path coverage for the MPI-3 RMA epoch discipline.
@@ -96,5 +98,61 @@ func TestTargetRangeChecked(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "out of range") {
 		t.Fatalf("expected rank range panic, got %v", err)
+	}
+}
+
+// TestErrorPathsTable sweeps the epoch-discipline and bounds violations the
+// individual tests above leave uncovered: every RMA flavour outside an
+// epoch, flush/unlock against the wrong target, negative offsets, and
+// atomics on out-of-range ranks. Rank 0 triggers the violation inside a
+// fresh 2-rank job; the panic must surface through Run as an error carrying
+// the expected fragment.
+func TestErrorPathsTable(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+		body func(pr *Proc, win *Win)
+	}{
+		{"get outside epoch", "outside an access epoch",
+			func(pr *Proc, win *Win) { pr.Get(win, 1, 0, make([]byte, 4)) }},
+		{"accumulate outside epoch", "outside an access epoch",
+			func(pr *Proc, win *Win) { pr.Accumulate(win, 1, 0, 1) }},
+		{"fetch-and-op outside epoch", "outside an access epoch",
+			func(pr *Proc, win *Win) { pr.FetchAndOp(win, 1, 0, 1) }},
+		{"fetch-op outside epoch", "outside an access epoch",
+			func(pr *Proc, win *Win) { pr.FetchOp(win, 1, 0, pgas.OpSwap, 1) }},
+		{"compare-and-swap outside epoch", "outside an access epoch",
+			func(pr *Proc, win *Win) { pr.CompareAndSwap(win, 1, 0, 0, 1) }},
+		{"flush outside epoch", "outside an access epoch",
+			func(pr *Proc, win *Win) { pr.Flush(1, win) }},
+		{"flush wrong target", "outside an access epoch",
+			func(pr *Proc, win *Win) { pr.Lock(LockShared, 0, win); pr.Flush(1, win) }},
+		{"unlock wrong target", "without an epoch",
+			func(pr *Proc, win *Win) { pr.Lock(LockShared, 0, win); pr.Unlock(1, win) }},
+		{"lock after lockall", "already holds an epoch",
+			func(pr *Proc, win *Win) { pr.LockAll(win); pr.Lock(LockShared, 1, win) }},
+		{"put negative offset", "overflows",
+			func(pr *Proc, win *Win) { pr.LockAll(win); pr.Put(win, 1, -1, []byte{1}) }},
+		{"get negative offset", "overflows",
+			func(pr *Proc, win *Win) { pr.LockAll(win); pr.Get(win, 1, -1, make([]byte, 1)) }},
+		{"put overflow", "overflows",
+			func(pr *Proc, win *Win) { pr.LockAll(win); pr.Put(win, 1, 12, make([]byte, 8)) }},
+		{"lock target out of range", "out of range",
+			func(pr *Proc, win *Win) { pr.Lock(LockShared, 5, win) }},
+		{"atomic target out of range", "out of range",
+			func(pr *Proc, win *Win) { pr.LockAll(win); pr.FetchOp(win, -1, 0, pgas.OpAdd, 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Run(cfg(), 2, func(pr *Proc) {
+				win := pr.WinAllocate(16)
+				if pr.Rank() == 0 {
+					tc.body(pr, win)
+				}
+			})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
 	}
 }

@@ -24,6 +24,9 @@ type Config struct {
 	// Engine/Workers select the pgas execution engine, as in shmem.Config.
 	Engine  pgas.Engine
 	Workers int
+	// BarrierShards configures the world-barrier combining tree
+	// (pgas.Options.BarrierShards); 0 selects the automatic layout.
+	BarrierShards int
 }
 
 // World is one MPI job.
@@ -33,6 +36,9 @@ type World struct {
 	machine *fabric.Machine
 	winHeap int64
 	heapMu  sync.Mutex
+
+	worldWin     *Win
+	worldWinOnce sync.Once
 }
 
 // Proc is the per-rank handle.
@@ -60,7 +66,7 @@ func NewWorld(cfg Config, n int) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	pw, err := pgas.NewWorldOpts(cfg.Machine, n, pgas.Options{Engine: cfg.Engine, Workers: cfg.Workers})
+	pw, err := pgas.NewWorldOpts(cfg.Machine, n, pgas.Options{Engine: cfg.Engine, Workers: cfg.Workers, BarrierShards: cfg.BarrierShards})
 	if err != nil {
 		return nil, err
 	}
@@ -72,6 +78,30 @@ func (w *World) Attach(p *pgas.PE) *Proc { return &Proc{world: w, p: p} }
 
 // PgasWorld exposes the underlying substrate.
 func (w *World) PgasWorld() *pgas.World { return w.pw }
+
+// Profile exposes the resolved cost profile (for layered harnesses that
+// reason about the modelled WindowSyncNs surcharge).
+func (w *World) Profile() *fabric.CostProfile { return w.prof }
+
+// WorldWin returns the window spanning each rank's entire partition. It is
+// what a PGAS runtime layered over MPI-3 RMA (DART-MPI style) uses: one
+// MPI_Win_create over the whole symmetric heap at startup, so coarray puts
+// and gets never re-negotiate window handles. The handle is a process-local
+// singleton — no collective call, no clock cost — because the window covers
+// memory the job already owns; epoch discipline still applies per rank.
+func (w *World) WorldWin() *Win {
+	w.worldWinOnce.Do(func() {
+		w.worldWin = &Win{world: w, off: 0, size: pgas.MaxSegmentBytes}
+	})
+	return w.worldWin
+}
+
+// Pgas exposes the rank's underlying PE (for layered harnesses that manage
+// their own heap or local stores alongside the MPI windows).
+func (pr *Proc) Pgas() *pgas.PE { return pr.p }
+
+// World returns the job this rank belongs to.
+func (pr *Proc) World() *World { return pr.world }
 
 // Rank returns the calling process's rank (MPI_Comm_rank).
 func (pr *Proc) Rank() int { return pr.p.ID }
@@ -140,6 +170,13 @@ func (pr *Proc) WinAllocate(size int64) *Win {
 	pr.Barrier()
 	return win
 }
+
+// Off returns the window's base offset within each rank's partition (the
+// simulator's stand-in for the window base address MPI_Win_allocate returns).
+func (win *Win) Off() int64 { return win.off }
+
+// Size returns the window's per-rank extent in bytes.
+func (win *Win) Size() int64 { return win.size }
 
 // epochs are tracked per (proc, win) pair in a per-proc map.
 var epochKey = func(win *Win) int64 { return win.off }

@@ -152,12 +152,20 @@ func (pr *Proc) Accumulate(win *Win, target int, off int64, v int64) {
 
 // FetchAndOp is MPI_Fetch_and_op with MPI_SUM on a 64-bit word.
 func (pr *Proc) FetchAndOp(win *Win, target int, off int64, v int64) int64 {
+	return int64(pr.FetchOp(win, target, off, pgas.OpAdd, uint64(v)))
+}
+
+// FetchOp is MPI_Fetch_and_op with a selectable reduction on a 64-bit word:
+// pgas.OpAdd is MPI_SUM, OpAnd/OpOr/OpXor the bitwise MPI ops, and OpSwap is
+// MPI_REPLACE (fetch the old value, store the new). All flavours pay the same
+// modelled atomic round trip plus the window-synchronisation surcharge.
+func (pr *Proc) FetchOp(win *Win, target int, off int64, op pgas.AtomicOp, v uint64) uint64 {
 	pr.checkTarget(target)
 	pr.requireEpoch(pr.epochFor(win, false), target)
 	intra, pairs := pr.intra(target), pr.pairs()
 	prof := pr.world.prof
 	pr.p.Clock.Advance(prof.AtomicRTTNs(intra, pairs) + prof.WindowSyncNs)
-	return int64(pr.world.pw.RMW64(target, win.off+off, pgas.OpAdd, uint64(v), pr.p.Clock.Now()))
+	return pr.world.pw.RMW64(target, win.off+off, op, v, pr.p.Clock.Now())
 }
 
 // CompareAndSwap is MPI_Compare_and_swap on a 64-bit word.

@@ -22,6 +22,42 @@ func (e EngineOpts) apply(o *caf.Options) {
 	o.Engine, o.Workers, o.BarrierShards = e.Engine, e.Workers, e.BarrierShards
 }
 
+// TransportOptions returns the canonical Stampede configuration for one CAF
+// transport backend — the configuration the transport-comparison panels, the
+// bench CLIs' -transport flags, and the BENCH_10 matrix all share. Every
+// backend gets the naive strided algorithm and MCS locks so the only degree
+// of freedom across the three rows is the communication mapping itself.
+func TransportOptions(k caf.TransportKind) caf.Options {
+	var o caf.Options
+	switch k {
+	case caf.TransportGASNet:
+		o = caf.UHCAFOverGASNet(fabric.Stampede(), fabric.ProfGASNetIBV)
+	case caf.TransportMPI3:
+		o = caf.UHCAFOverMV2XMPI3()
+	default:
+		o = caf.UHCAFOverMV2XSHMEM()
+	}
+	o.Strided = caf.StridedNaive
+	o.Locks = caf.LockMCS
+	return o
+}
+
+// TransportConfigs lists the three Stampede transport backends in the order
+// the comparison panels and the BENCH_10.json rows use.
+func TransportConfigs() []struct {
+	Label string
+	Kind  caf.TransportKind
+} {
+	return []struct {
+		Label string
+		Kind  caf.TransportKind
+	}{
+		{"MV2X-SHMEM", caf.TransportSHMEM},
+		{"GASNet-ibv", caf.TransportGASNet},
+		{"MV2X-MPI3", caf.TransportMPI3},
+	}
+}
+
 // Fig9 regenerates Figure 9: the distributed hash table benchmark on Titan.
 // Each image performs `updates` random locked updates; execution time of the
 // slowest image is reported per image count.

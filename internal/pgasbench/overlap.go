@@ -157,6 +157,38 @@ func FigOverlap(maxImages int) Figure {
 	return Figure{
 		ID:     "FigOverlap",
 		Title:  "Nonblocking RMA: communication/computation overlap",
-		Panels: []Panel{micro, app},
+		Panels: []Panel{micro, app, transportOverlapPanel(counts, prm)},
 	}
+}
+
+// transportOverlapPanel is Panel C: the same blocking-vs-overlapped Himeno
+// sweep, but across the three Stampede transport backends at one strided
+// algorithm. SHMEM and GASNet both carry a genuine nonblocking surface
+// (shmem_put_nbi and gasnet put_nbi over fabric.NBIStreams), so their overlap
+// schedules beat their blocking ones; the MPI-3 RMA mapping has no
+// nonblocking path — PutAsync degrades to a blocking put — so its two series
+// show what the degradation costs.
+func transportOverlapPanel(counts []int, prm himeno.Params) Panel {
+	p := Panel{Title: "Himeno by transport: blocking vs overlapped (Stampede)", XLabel: "images", YLabel: "time (ms)"}
+	for _, tc := range TransportConfigs() {
+		o := TransportOptions(tc.Kind)
+		blockSeries := Series{Label: tc.Label + " blocking"}
+		overSeries := Series{Label: tc.Label + " overlap"}
+		for _, n := range counts {
+			r, err := himeno.Run(o, n, prm)
+			if err != nil {
+				panic(err)
+			}
+			blockSeries.Rows = append(blockSeries.Rows, Row{X: float64(n), Value: r.TimeMs})
+			op := prm
+			op.Overlap = true
+			r2, err := himeno.Run(o, n, op)
+			if err != nil {
+				panic(err)
+			}
+			overSeries.Rows = append(overSeries.Rows, Row{X: float64(n), Value: r2.TimeMs})
+		}
+		p.Series = append(p.Series, blockSeries, overSeries)
+	}
+	return p
 }

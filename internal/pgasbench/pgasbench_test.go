@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"cafshmem/internal/caf"
 	"cafshmem/internal/fabric"
 )
 
@@ -296,8 +297,8 @@ func TestOverlapMicroHidesTransfer(t *testing.T) {
 // EXPERIMENTS.md records.
 func TestFigOverlapSpeedupOnAllMachines(t *testing.T) {
 	fig := FigOverlap(8)
-	if len(fig.Panels) != 2 {
-		t.Fatalf("FigOverlap has %d panels, want 2", len(fig.Panels))
+	if len(fig.Panels) != 3 {
+		t.Fatalf("FigOverlap has %d panels, want 3", len(fig.Panels))
 	}
 	app := fig.Panels[1]
 	for _, m := range overlapMachines() {
@@ -316,6 +317,39 @@ func TestFigOverlapSpeedupOnAllMachines(t *testing.T) {
 			t.Errorf("%s: geomean blocking/overlap ratio %.3f, want > 1", m.Label, r)
 		}
 	}
+
+	// Panel C compares the three Stampede transports. The two backends with a
+	// genuine nonblocking surface (SHMEM's put_nbi, GASNet's put_nb/nbi over
+	// fabric.NBIStreams) must profit from the overlap schedule. The MPI-3
+	// mapping's PutAsync degrades to a blocking put, so no direction is
+	// asserted for it — the barrier-free schedule and the degraded puts pull
+	// opposite ways — but both series must exist and be positive.
+	tp := fig.Panels[2]
+	var hide [3]float64
+	for ti, tc := range TransportConfigs() {
+		b := tp.FindSeries(tc.Label + " blocking")
+		o := tp.FindSeries(tc.Label + " overlap")
+		if b == nil || o == nil {
+			t.Fatalf("transport panel: %s: missing series", tc.Label)
+		}
+		for i := range b.Rows {
+			if b.Rows[i].Value <= 0 || o.Rows[i].Value <= 0 {
+				t.Fatalf("transport panel: %s images=%v: non-positive time", tc.Label, b.Rows[i].X)
+			}
+			if tc.Kind != caf.TransportMPI3 && b.Rows[i].X >= 2 && o.Rows[i].Value >= b.Rows[i].Value {
+				t.Errorf("transport panel: %s images=%v: overlap %.4f ms not faster than blocking %.4f ms",
+					tc.Label, b.Rows[i].X, o.Rows[i].Value, b.Rows[i].Value)
+			}
+		}
+		hide[ti] = GeoMeanRatio(*b, *o)
+	}
+	// Honest NBI must hide more than the degraded MPI-3 path on the same
+	// workload: the shmem and gasnet blocking/overlap ratios both exceed
+	// mpi3's.
+	if hide[0] <= hide[2] || hide[1] <= hide[2] {
+		t.Errorf("transport panel: overlap gain shmem %.3f, gasnet %.3f, mpi3 %.3f — NBI transports must gain more than the degraded MPI-3 path",
+			hide[0], hide[1], hide[2])
+	}
 }
 
 // FigSignal's application panel must show the signal-driven schedule beating
@@ -324,8 +358,8 @@ func TestFigOverlapSpeedupOnAllMachines(t *testing.T) {
 // signal series against linearly growing blocking/barrier-overlap series.
 func TestFigSignalBarrierFreeAndFaster(t *testing.T) {
 	fig := FigSignal(8)
-	if len(fig.Panels) != 2 {
-		t.Fatalf("FigSignal has %d panels, want 2", len(fig.Panels))
+	if len(fig.Panels) != 3 {
+		t.Fatalf("FigSignal has %d panels, want 3", len(fig.Panels))
 	}
 	app := fig.Panels[0]
 	for _, m := range overlapMachines() {
@@ -363,6 +397,29 @@ func TestFigSignalBarrierFreeAndFaster(t *testing.T) {
 			}
 			if bar.Rows[i].Value <= bar.Rows[i-1].Value {
 				t.Errorf("barrier-overlap barriers did not grow between iters=%v and %v", bar.Rows[i-1].X, bar.Rows[i].X)
+			}
+		}
+	}
+
+	// Panel C: the same barrier-vs-signal comparison across the three
+	// Stampede transports. The signal schedule drops the per-iteration
+	// barrier on every backend, so it must win everywhere there is a
+	// neighbour to signal — including MPI-3, whose notify is just one more
+	// blocking RMA op but whose barrier is the costliest of the three.
+	tp := fig.Panels[2]
+	for _, tc := range TransportConfigs() {
+		b := tp.FindSeries(tc.Label + " barrier")
+		s := tp.FindSeries(tc.Label + " signal")
+		if b == nil || s == nil {
+			t.Fatalf("transport panel: %s: missing series", tc.Label)
+		}
+		for i := range b.Rows {
+			if b.Rows[i].X < 2 {
+				continue
+			}
+			if s.Rows[i].Value >= b.Rows[i].Value {
+				t.Errorf("transport panel: %s images=%v: signal %.4f ms not faster than barrier-paced %.4f ms",
+					tc.Label, b.Rows[i].X, s.Rows[i].Value, b.Rows[i].Value)
 			}
 		}
 	}

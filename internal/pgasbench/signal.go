@@ -80,6 +80,40 @@ func FigSignal(maxImages int) Figure {
 	return Figure{
 		ID:     "FigSignal",
 		Title:  "Put-with-signal: barrier-free ghost refresh",
-		Panels: []Panel{app, bars},
+		Panels: []Panel{app, bars, transportSignalPanel(counts, prm)},
 	}
+}
+
+// transportSignalPanel is Panel C: the barrier-paced vs signal-driven ghost
+// refresh across the three Stampede transport backends. SHMEM fuses data and
+// doorbell in hardware; GASNet emulates put-with-signal over an active
+// message (the AMHandlerNs surcharge the conformance suite pins); the MPI-3
+// mapping issues the flag as one more blocking RMA op. All three still run
+// barrier-free in the steady state — the schedules differ only in what one
+// notify costs.
+func transportSignalPanel(counts []int, prm himeno.Params) Panel {
+	p := Panel{Title: "Himeno by transport: barrier-paced vs signal-driven (Stampede)", XLabel: "images", YLabel: "time (ms)"}
+	for _, tc := range TransportConfigs() {
+		o := TransportOptions(tc.Kind)
+		barSeries := Series{Label: tc.Label + " barrier"}
+		sigSeries := Series{Label: tc.Label + " signal"}
+		for _, n := range counts {
+			bp := prm
+			bp.Overlap, bp.OverlapBarrier = true, true
+			r, err := himeno.Run(o, n, bp)
+			if err != nil {
+				panic(err)
+			}
+			barSeries.Rows = append(barSeries.Rows, Row{X: float64(n), Value: r.TimeMs})
+			sp := prm
+			sp.Overlap = true
+			r2, err := himeno.Run(o, n, sp)
+			if err != nil {
+				panic(err)
+			}
+			sigSeries.Rows = append(sigSeries.Rows, Row{X: float64(n), Value: r2.TimeMs})
+		}
+		p.Series = append(p.Series, barSeries, sigSeries)
+	}
+	return p
 }
